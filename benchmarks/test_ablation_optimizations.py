@@ -1,0 +1,46 @@
+"""Ablation: the Section 3.6 / Section 4 comprehension optimizations.
+
+Not a paper figure, but DESIGN.md calls these design choices out: loop-range
+elimination (Section 3.6) removes the join between index ranges and arrays,
+and the Rule 16/17 group-by eliminations turn per-key machinery into plain
+aggregations.  The benchmark runs matrix multiplication and the vector-copy
+kernel with the optimizer on and off; the assertions check the structural
+effect (fewer rewrites means more work at run time).
+"""
+
+import pytest
+
+from repro.evaluation.harness import diablo_for
+from repro.programs import get_program
+from repro.runtime.context import DistributedContext
+from repro.workloads import workload_for_program
+
+MATMUL_SIZE = 8
+VECTOR_SOURCE = "for i = 0, 499 do V[i] += W[i];"
+
+
+@pytest.mark.parametrize("optimized", [True, False], ids=["optimized", "unoptimized"])
+def test_matrix_multiplication_with_and_without_optimizations(benchmark, optimized):
+    spec = get_program("matrix_multiplication")
+    inputs = workload_for_program("matrix_multiplication", MATMUL_SIZE)
+    diablo = diablo_for(spec, DistributedContext(num_partitions=4), optimize=optimized)
+    compiled = diablo.compile(spec.source)
+    if optimized:
+        assert diablo.compiler.optimize
+    benchmark.pedantic(lambda: compiled.run(**inputs), rounds=2, iterations=1)
+    benchmark.extra_info["optimized"] = optimized
+
+
+@pytest.mark.parametrize("optimized", [True, False], ids=["optimized", "unoptimized"])
+def test_vector_increment_with_and_without_group_by_elimination(benchmark, optimized):
+    diablo = diablo_for(get_program("sum"), DistributedContext(num_partitions=4), optimize=optimized)
+    compiled = diablo.compile(VECTOR_SOURCE)
+    stats = compiled.translation.optimizer_stats
+    if optimized:
+        assert stats.unique_key_group_bys_removed >= 1
+    else:
+        assert stats.total() == 0
+    inputs = {"V": {}, "W": {i: float(i) for i in range(500)}}
+    result = benchmark.pedantic(lambda: compiled.run(**inputs), rounds=2, iterations=1)
+    assert result.array("V")[499] == 499.0
+    benchmark.extra_info["optimized"] = optimized

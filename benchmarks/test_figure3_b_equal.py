@@ -1,0 +1,26 @@
+"""Figure 3.B: Equal -- DIABLO vs hand-written runtime.
+
+The panel sweeps input sizes for an all-equal check over random strings, running the DIABLO-translated loop
+program and the expert-written dataflow baseline on the same local DISC
+runtime.  Absolute seconds are machine dependent; the reproduced shape is the
+relative standing of the two systems (see EXPERIMENTS.md).
+"""
+
+import pytest
+
+from benchmarks.conftest import FIGURE3_BENCH_SIZES, figure3_panel_benchmark
+
+PROGRAM = "equal"
+SIZES = FIGURE3_BENCH_SIZES[PROGRAM]
+
+
+@pytest.mark.parametrize("size", SIZES)
+def test_diablo(benchmark, size):
+    """The DIABLO series of Figure 3.B."""
+    figure3_panel_benchmark(benchmark, PROGRAM, size, "diablo")
+
+
+@pytest.mark.parametrize("size", SIZES)
+def test_handwritten(benchmark, size):
+    """The hand-written series of Figure 3.B."""
+    figure3_panel_benchmark(benchmark, PROGRAM, size, "handwritten")

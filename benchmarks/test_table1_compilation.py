@@ -1,0 +1,69 @@
+"""Table 1: translator running time (DIABLO vs the MOLD/Casper simulators).
+
+The paper's observation: DIABLO translates every one of the sixteen programs
+in seconds (compositional rules, no search), while the template-search and
+synthesis-based translators are orders of magnitude slower and fail on the
+complex programs.  Here the DIABLO column is this package's compiler; the
+comparator columns run the simulators described in DESIGN.md.
+"""
+
+import pytest
+
+from repro.comparators.casper import CasperTranslator
+from repro.comparators.mold import MoldTranslator
+from repro.evaluation.harness import diablo_for
+from repro.programs import get_program, table1_program_names
+from repro.workloads import workload_for_program
+
+
+@pytest.mark.parametrize("name", table1_program_names())
+def test_diablo_translation_time(benchmark, name):
+    """DIABLO translation time for every Table 1 program."""
+    spec = get_program(name)
+    diablo = diablo_for(spec)
+    result = benchmark(lambda: diablo.compiler.compile(spec.source))
+    assert result.target.statements
+    benchmark.extra_info["program"] = name
+    benchmark.extra_info["system"] = "diablo"
+
+
+@pytest.mark.parametrize("name", ["word_count", "matrix_multiplication", "pagerank"])
+def test_mold_simulator_translation_time(benchmark, name):
+    """MOLD-style template search on a representative subset."""
+    spec = get_program(name)
+    translator = MoldTranslator(search_budget=20_000)
+    result = benchmark.pedantic(lambda: translator.translate(spec.source, name), rounds=2, iterations=1)
+    benchmark.extra_info["program"] = name
+    benchmark.extra_info["system"] = "mold-sim"
+    benchmark.extra_info["succeeded"] = result.succeeded
+    if name == "pagerank":
+        assert not result.succeeded
+
+
+@pytest.mark.parametrize("name", ["word_count", "matrix_multiplication", "linear_regression"])
+def test_casper_simulator_translation_time(benchmark, name):
+    """Casper-style synthesis on a representative subset."""
+    spec = get_program(name)
+    translator = CasperTranslator(candidate_budget=4_000)
+    workload = lambda size: workload_for_program(name, size, seed=29)  # noqa: E731
+    result = benchmark.pedantic(
+        lambda: translator.translate(spec.source, name, workload=workload), rounds=2, iterations=1
+    )
+    benchmark.extra_info["program"] = name
+    benchmark.extra_info["system"] = "casper-sim"
+    benchmark.extra_info["succeeded"] = result.succeeded
+    if name == "matrix_multiplication":
+        assert not result.succeeded
+
+
+def test_diablo_succeeds_on_all_table1_programs(benchmark):
+    """The completeness half of Table 1: every program translates."""
+
+    def translate_all():
+        return [
+            diablo_for(get_program(name)).compiler.compile(get_program(name).source)
+            for name in table1_program_names()
+        ]
+
+    results = benchmark.pedantic(translate_all, rounds=1, iterations=1)
+    assert len(results) == 16

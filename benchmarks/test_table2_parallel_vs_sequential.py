@@ -1,0 +1,51 @@
+"""Table 2: parallel (DISC runtime) vs sequential (interpreter) evaluation.
+
+The paper compiles each loop program to parallel and sequential collections;
+here the parallel column is the translated program on the local DISC runtime
+and the sequential column is the reference loop interpreter (see DESIGN.md).
+"""
+
+import pytest
+
+from repro.evaluation.harness import diablo_for
+from repro.programs import get_program, table2_program_names
+from repro.workloads import workload_for_program
+
+#: Smaller sizes than the evaluation harness so the bench suite stays fast.
+SIZES = {
+    "conditional_sum": 4_000,
+    "equal": 4_000,
+    "string_match": 4_000,
+    "word_count": 2_000,
+    "histogram": 1_500,
+    "linear_regression": 2_000,
+    "group_by": 2_000,
+    "matrix_addition": 16,
+    "matrix_multiplication": 8,
+    "pagerank": 60,
+    "kmeans": 200,
+    "matrix_factorization": 8,
+}
+
+
+@pytest.mark.parametrize("name", table2_program_names())
+def test_parallel_translated_evaluation(benchmark, name):
+    """The 'par' column: translated program on the DISC runtime."""
+    spec = get_program(name)
+    inputs = workload_for_program(name, SIZES[name])
+    diablo = diablo_for(spec)
+    compiled = diablo.compile(spec.source)
+    benchmark.pedantic(lambda: compiled.run(**inputs), rounds=2, iterations=1)
+    benchmark.extra_info["program"] = name
+    benchmark.extra_info["mode"] = "parallel"
+
+
+@pytest.mark.parametrize("name", table2_program_names())
+def test_sequential_interpreter_evaluation(benchmark, name):
+    """The 'seq' column: the original loop program, interpreted sequentially."""
+    spec = get_program(name)
+    inputs = workload_for_program(name, SIZES[name])
+    diablo = diablo_for(spec)
+    benchmark.pedantic(lambda: diablo.interpret(spec.source, dict(inputs)), rounds=2, iterations=1)
+    benchmark.extra_info["program"] = name
+    benchmark.extra_info["mode"] = "sequential"

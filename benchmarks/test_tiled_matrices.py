@@ -1,0 +1,61 @@
+"""Ablation: packed (tiled) matrices vs the sparse representation (Section 5).
+
+The paper argues that tiling can improve performance because tiles are dense
+units of work and the tile merge needs no shuffling.  The benchmark compares
+sparse and tiled matrix addition and multiplication at the same size and
+asserts the shuffle-free property of the co-partitioned tile merge.
+"""
+
+import pytest
+
+from repro.arrays.sparse import SparseMatrix
+from repro.arrays.tiles import TiledMatrix
+from repro.runtime.context import DistributedContext
+from repro.workloads.generators import random_matrix
+
+SIZE = 48
+TILE = 16
+
+
+def matrices(context):
+    a = random_matrix(SIZE, SIZE, seed=21)
+    b = random_matrix(SIZE, SIZE, seed=22)
+    return (
+        SparseMatrix.from_dict(context, a, (SIZE, SIZE)),
+        SparseMatrix.from_dict(context, b, (SIZE, SIZE)),
+        TiledMatrix.from_dict(context, a, (SIZE, SIZE), tile_size=TILE),
+        TiledMatrix.from_dict(context, b, (SIZE, SIZE), tile_size=TILE),
+    )
+
+
+@pytest.mark.parametrize("representation", ["sparse", "tiled"])
+def test_matrix_addition_representation(benchmark, representation):
+    context = DistributedContext(num_partitions=4)
+    sparse_a, sparse_b, tiled_a, tiled_b = matrices(context)
+    if representation == "sparse":
+        benchmark.pedantic(lambda: sparse_a.add(sparse_b), rounds=2, iterations=1)
+    else:
+        benchmark.pedantic(lambda: tiled_a.add(tiled_b), rounds=2, iterations=1)
+    benchmark.extra_info["representation"] = representation
+
+
+@pytest.mark.parametrize("representation", ["sparse", "tiled"])
+def test_matrix_multiplication_representation(benchmark, representation):
+    context = DistributedContext(num_partitions=4)
+    sparse_a, sparse_b, tiled_a, tiled_b = matrices(context)
+    if representation == "sparse":
+        benchmark.pedantic(lambda: sparse_a.multiply(sparse_b), rounds=1, iterations=1)
+    else:
+        benchmark.pedantic(lambda: tiled_a.multiply(tiled_b), rounds=1, iterations=1)
+    benchmark.extra_info["representation"] = representation
+
+
+def test_tile_merge_is_shuffle_free(benchmark):
+    context = DistributedContext(num_partitions=4)
+    _sa, _sb, tiled_a, tiled_b = matrices(context)
+    partitioner = context.hash_partitioner()
+    left = TiledMatrix(tiled_a.data.partition_by(partitioner), tiled_a.shape, TILE)
+    right = TiledMatrix(tiled_b.data.partition_by(partitioner), tiled_b.shape, TILE)
+    context.metrics.reset()
+    benchmark.pedantic(lambda: left.merge_tiles(right, lambda x, y: x + y), rounds=2, iterations=1)
+    assert context.metrics.shuffles == 0

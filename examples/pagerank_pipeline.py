@@ -1,0 +1,55 @@
+"""PageRank over an RMAT graph: an iterative analytics pipeline.
+
+This is the workload the paper's introduction motivates: a scientist writes
+plain loops over adjacency matrices; DIABLO turns them into shuffling dataflow
+so the same program runs on a cluster runtime.  The example generates a
+synthetic RMAT graph, runs three PageRank iterations through the translated
+loop program, compares the ranks against the hand-written dataflow baseline,
+and prints the highest-ranked vertices.
+
+Run with:  python examples/pagerank_pipeline.py
+"""
+
+from repro.baselines import pagerank as handwritten
+from repro.evaluation.harness import diablo_for
+from repro.programs import get_program
+from repro.runtime.context import DistributedContext
+from repro.workloads.rmat import adjacency_matrix, rmat_graph
+
+VERTICES = 150
+STEPS = 3
+
+
+def main() -> None:
+    edges = rmat_graph(VERTICES, edges_per_vertex=8, seed=11)
+    inputs = {"E": adjacency_matrix(edges), "N": VERTICES, "num_steps": STEPS}
+    print(f"RMAT graph: {VERTICES} vertices, {len(edges)} edges, {STEPS} PageRank steps")
+
+    spec = get_program("pagerank")
+    context = DistributedContext(num_partitions=4)
+    diablo = diablo_for(spec, context)
+    translated = diablo.compile(spec.source).run(**inputs)
+    ranks = translated.array("P")
+    print(
+        f"translated program: {context.metrics.shuffles} shuffle stages, "
+        f"{context.metrics.shuffled_records} shuffled records"
+    )
+
+    baseline_context = DistributedContext(num_partitions=4)
+    baseline = handwritten.distributed(baseline_context, inputs)
+    worst = max(abs(ranks[v] - baseline["P"][v]) for v in baseline["P"])
+    print(
+        f"hand-written baseline: {baseline_context.metrics.shuffles} shuffle stages, "
+        f"{baseline_context.metrics.shuffled_records} shuffled records"
+    )
+    print(f"max rank difference vs baseline: {worst:.2e}")
+    assert worst < 1e-9
+
+    top = sorted(ranks.items(), key=lambda item: item[1], reverse=True)[:5]
+    print("top-5 vertices by rank:")
+    for vertex, rank in top:
+        print(f"  vertex {vertex:>4}  rank {rank:.6f}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,23 @@
+"""Compilation of monoid comprehensions to DISC dataflow and execution.
+
+* :mod:`repro.algebra.evaluator` -- evaluates comprehension terms against the
+  local DISC runtime, discovering equi-joins from generator/condition
+  patterns, turning group-bys into groupByKey or reduceByKey, and the array
+  merges ⊳ / ⊳⊕ into coGroups.
+* :mod:`repro.algebra.runner` -- executes whole target programs (the output of
+  the translator) over caller-supplied inputs.
+* :mod:`repro.algebra.explain` -- renders the dataflow decisions taken for a
+  term (which joins, which shuffles) for documentation and tests.
+"""
+
+from repro.algebra.evaluator import TermEvaluator, EvaluationEnvironment
+from repro.algebra.runner import ProgramRunner, ProgramResult
+from repro.algebra.explain import explain_term
+
+__all__ = [
+    "TermEvaluator",
+    "EvaluationEnvironment",
+    "ProgramRunner",
+    "ProgramResult",
+    "explain_term",
+]

@@ -1,0 +1,668 @@
+"""Evaluation of comprehension terms over the local DISC runtime.
+
+The :class:`TermEvaluator` is the analogue of DIQL's comprehension-to-algebra
+compiler: it walks the qualifiers of a comprehension from left to right and
+builds a dataflow of :class:`~repro.runtime.dataset.Dataset` operations.
+
+The important plan decisions are the ones the paper relies on:
+
+* a generator over a dataset joined to the rows built so far through an
+  equality condition becomes a **hash equi-join** (possibly with a composite
+  key);
+* a generator with no linking condition becomes a **broadcast nested-loop
+  join** of the smaller side (semantically a cartesian product -- this is the
+  "expensive join" the paper observes for KMeans);
+* a group-by whose lifted variables are only consumed by aggregations becomes
+  a **reduceByKey**; otherwise it is a **groupByKey**;
+* the array merges ⊳ and ⊳⊕ become **coGroups**.
+
+Scalar sub-terms are evaluated locally inside tasks with the shared operator
+semantics of :mod:`repro.operators`, so the distributed path and the
+sequential interpreter agree on every arithmetic detail.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+from repro import operators
+from repro.comprehension import ir
+from repro.comprehension.monoids import DEFAULT_MONOIDS, MonoidRegistry
+from repro.errors import CompilationError, ExecutionError
+from repro.functions import DEFAULT_FUNCTIONS, FunctionRegistry
+from repro.runtime.context import DistributedContext
+from repro.runtime.dataset import Dataset
+
+#: When a generator has no join condition, the smaller side is broadcast if it
+#: has at most this many records; otherwise a cartesian product is
+#: materialized.  The threshold only affects performance, never results.
+BROADCAST_THRESHOLD = 100_000
+
+
+@dataclass
+class EvaluationEnvironment:
+    """Everything a term needs to be evaluated.
+
+    Attributes:
+        context: the runtime context used to create datasets.
+        values: program variables -- Datasets for arrays/collections, plain
+            Python values for scalars.
+        functions: scalar function registry.
+        monoids: commutative monoid registry.
+    """
+
+    context: DistributedContext
+    values: dict[str, Any] = field(default_factory=dict)
+    functions: FunctionRegistry = field(default_factory=lambda: DEFAULT_FUNCTIONS)
+    monoids: MonoidRegistry = field(default_factory=lambda: DEFAULT_MONOIDS)
+
+    def copy_with(self, values: dict[str, Any]) -> "EvaluationEnvironment":
+        merged = dict(self.values)
+        merged.update(values)
+        return EvaluationEnvironment(self.context, merged, self.functions, self.monoids)
+
+
+class TermEvaluator:
+    """Evaluates comprehension terms against an :class:`EvaluationEnvironment`."""
+
+    def __init__(self, environment: EvaluationEnvironment, trace: list[str] | None = None):
+        self.env = environment
+        self._local_bag_cache: dict[int, list[Any]] = {}
+        #: Human-readable log of plan decisions (joins, group-bys, merges).
+        self.trace: list[str] = trace if trace is not None else []
+
+    # ------------------------------------------------------------------
+    # driver-level evaluation
+    # ------------------------------------------------------------------
+
+    def evaluate(self, term: ir.Term) -> Any:
+        """Evaluate a term at the driver: datasets for bag terms, scalars otherwise."""
+        if isinstance(term, ir.Comprehension):
+            return self.evaluate_comprehension(term)
+        if isinstance(term, ir.Merge):
+            left = self.as_dataset(self.evaluate(term.left))
+            right = self.as_dataset(self.evaluate(term.right))
+            self.trace.append("merge (<|) via coGroup")
+            return left.merge(right)
+        if isinstance(term, ir.MergeWith):
+            left = self.as_dataset(self.evaluate(term.left))
+            right = self.as_dataset(self.evaluate(term.right))
+            monoid = self.env.monoids.get(term.op)
+            self.trace.append(f"merge (<|{term.op}) via coGroup")
+            return left.merge_with(right, monoid.combine)
+        if isinstance(term, ir.RangeTerm):
+            lower = self.evaluate_local(term.lower, {})
+            upper = self.evaluate_local(term.upper, {})
+            return self.env.context.range_dataset(int(lower), int(upper))
+        if isinstance(term, ir.EmptyBag):
+            return self.env.context.empty()
+        if isinstance(term, ir.CVar):
+            return self._lookup(term.name, {})
+        return self.evaluate_local(term, {})
+
+    def evaluate_bag(self, term: ir.Term) -> Dataset:
+        """Evaluate a term that denotes a bag, coercing the result to a Dataset."""
+        return self.as_dataset(self.evaluate(term))
+
+    def as_dataset(self, value: Any) -> Dataset:
+        """Coerce a driver value to a Dataset."""
+        if isinstance(value, Dataset):
+            return value
+        if isinstance(value, dict):
+            return self.env.context.parallelize_pairs(value)
+        if isinstance(value, (list, tuple, set)):
+            return self.env.context.parallelize(list(value))
+        raise ExecutionError(f"expected a collection, got {value!r}")
+
+    # ------------------------------------------------------------------
+    # comprehension evaluation
+    # ------------------------------------------------------------------
+
+    def evaluate_comprehension(self, comp: ir.Comprehension) -> Dataset | list[Any]:
+        """Build the dataflow for one comprehension.
+
+        Returns a Dataset when the comprehension ranges over at least one
+        dataset generator, or a plain list for purely local comprehensions
+        (e.g. singleton bags).
+        """
+        rows: Dataset | None = None
+        bound_order: list[str] = []
+        driver_bindings: dict[str, Any] = {}
+        driver_alive = True
+        consumed: set[int] = set()
+        qualifiers = list(comp.qualifiers)
+
+        for position, qualifier in enumerate(qualifiers):
+            if position in consumed:
+                continue
+            if not driver_alive:
+                break
+            if isinstance(qualifier, ir.Generator):
+                rows, bound_order, driver_bindings = self._generator(
+                    qualifier, qualifiers, position, consumed, rows, bound_order, driver_bindings
+                )
+                if rows is not None and rows.is_empty():
+                    # Nothing left to do; the result is empty regardless of the
+                    # remaining qualifiers.
+                    return self.env.context.empty()
+            elif isinstance(qualifier, ir.LetBinding):
+                rows, bound_order, driver_bindings = self._let(
+                    qualifier, rows, bound_order, driver_bindings
+                )
+            elif isinstance(qualifier, ir.Condition):
+                rows, driver_alive = self._condition(qualifier, rows, driver_bindings, driver_alive)
+            elif isinstance(qualifier, ir.GroupBy):
+                rows, bound_order = self._group_by(
+                    qualifier, qualifiers[position + 1 :], comp.head, rows, bound_order, driver_bindings
+                )
+            else:
+                raise CompilationError(f"unknown qualifier {qualifier!r}")
+
+        if not driver_alive:
+            return []
+        if rows is None:
+            return [self.evaluate_local(comp.head, dict(driver_bindings))]
+        head = comp.head
+        base = dict(driver_bindings)
+        return rows.map(lambda row: self.evaluate_local(head, {**base, **row}))
+
+    # -- generators -----------------------------------------------------------
+
+    def _generator(
+        self,
+        qualifier: ir.Generator,
+        qualifiers: list[ir.Qualifier],
+        position: int,
+        consumed: set[int],
+        rows: Dataset | None,
+        bound_order: list[str],
+        driver_bindings: dict[str, Any],
+    ) -> tuple[Dataset | None, list[str], dict[str, Any]]:
+        pattern = qualifier.pattern
+        domain = qualifier.domain
+        domain_variables = ir.free_variables(domain)
+        row_dependent = rows is not None and any(name in bound_order for name in domain_variables)
+
+        if row_dependent:
+            # The domain depends on per-row values: expand it locally per row.
+            base = dict(driver_bindings)
+            evaluator = self
+
+            def expand(row: dict[str, Any]) -> list[dict[str, Any]]:
+                local = {**base, **row}
+                bag = evaluator._as_local_bag(evaluator.evaluate_local(domain, local))
+                out = []
+                for element in bag:
+                    binding = _bind_pattern(pattern, element)
+                    out.append({**row, **binding})
+                return out
+
+            self.trace.append(f"per-row expansion of generator over {domain}")
+            new_rows = rows.flat_map(expand)
+            return new_rows, bound_order + list(pattern.variables()), driver_bindings
+
+        dataset = self._domain_dataset(domain, driver_bindings)
+        if dataset is None:
+            # The domain is a local (driver) bag: bind it per element.
+            bag = self._as_local_bag(self.evaluate_local(domain, dict(driver_bindings)))
+            if rows is None:
+                if len(bag) == 1:
+                    binding = _bind_pattern(pattern, bag[0])
+                    return None, bound_order, {**driver_bindings, **binding}
+                dataset = self.env.context.parallelize(bag)
+            else:
+                base = dict(driver_bindings)
+
+                def expand_local(row: dict[str, Any]) -> list[dict[str, Any]]:
+                    return [{**row, **_bind_pattern(pattern, element)} for element in bag]
+
+                new_rows = rows.flat_map(expand_local)
+                return new_rows, bound_order + list(pattern.variables()), driver_bindings
+
+        if rows is None:
+            base = dict(driver_bindings)
+            new_rows = dataset.map(lambda element: {**_bind_pattern(pattern, element)})
+            self.trace.append(f"scan {domain}")
+            return new_rows, bound_order + list(pattern.variables()), driver_bindings
+
+        # Try to find equi-join conditions linking the new pattern to the rows
+        # built so far.
+        join_conditions = self._find_join_conditions(
+            qualifiers, position, consumed, set(bound_order), set(pattern.variables()), driver_bindings
+        )
+        if join_conditions:
+            new_rows = self._hash_join(rows, dataset, pattern, join_conditions, driver_bindings)
+            for condition_position, _left, _right in join_conditions:
+                consumed.add(condition_position)
+            self.trace.append(
+                f"hash join on {len(join_conditions)} key(s) with {domain}"
+            )
+        else:
+            new_rows = self._broadcast_product(rows, dataset, pattern)
+            self.trace.append(f"broadcast nested-loop join with {domain} (no join key)")
+        return new_rows, bound_order + list(pattern.variables()), driver_bindings
+
+    def _domain_dataset(self, domain: ir.Term, driver_bindings: dict[str, Any]) -> Dataset | None:
+        """Return the domain as a Dataset when it is naturally one, else None."""
+        if isinstance(domain, ir.CVar):
+            value = self._lookup(domain.name, driver_bindings)
+            if isinstance(value, Dataset):
+                return value
+            if isinstance(value, dict):
+                return self.env.context.parallelize_pairs(value)
+            if isinstance(value, (list, tuple, set)):
+                return self.env.context.parallelize(list(value))
+            return None
+        if isinstance(domain, ir.RangeTerm):
+            lower = self.evaluate_local(domain.lower, dict(driver_bindings))
+            upper = self.evaluate_local(domain.upper, dict(driver_bindings))
+            return self.env.context.range_dataset(int(lower), int(upper))
+        if isinstance(domain, (ir.Comprehension, ir.Merge, ir.MergeWith)):
+            value = self.evaluate(domain)
+            if isinstance(value, Dataset):
+                return value
+            if isinstance(value, list):
+                return None if len(value) <= 1 else self.env.context.parallelize(value)
+        return None
+
+    def _find_join_conditions(
+        self,
+        qualifiers: list[ir.Qualifier],
+        position: int,
+        consumed: set[int],
+        bound: set[str],
+        new_variables: set[str],
+        driver_bindings: dict[str, Any],
+    ) -> list[tuple[int, ir.Term, ir.Term]]:
+        """Equality conditions usable as join keys for the generator at ``position``.
+
+        Returns (condition position, left-key term over bound rows, right-key
+        term over the new pattern variables).
+        """
+        available = bound | set(driver_bindings) | self._scalar_names()
+        conditions: list[tuple[int, ir.Term, ir.Term]] = []
+        for later_position in range(position + 1, len(qualifiers)):
+            if later_position in consumed:
+                continue
+            qualifier = qualifiers[later_position]
+            if isinstance(qualifier, ir.GroupBy):
+                break
+            if not isinstance(qualifier, ir.Condition):
+                # Conditions that refer to variables bound by later qualifiers
+                # are filtered out by the availability checks below, so other
+                # qualifier kinds can simply be skipped here.
+                continue
+            term = qualifier.term
+            if not (isinstance(term, ir.CBinOp) and term.op == "=="):
+                continue
+            sides = [(term.left, term.right), (term.right, term.left)]
+            for bound_side, new_side in sides:
+                bound_side_vars = ir.free_variables(bound_side)
+                new_side_vars = ir.free_variables(new_side)
+                if not bound_side_vars <= available:
+                    continue
+                if bound_side_vars & new_variables:
+                    continue
+                if not (new_side_vars & new_variables):
+                    continue
+                if not new_side_vars <= (new_variables | set(driver_bindings) | self._scalar_names()):
+                    continue
+                conditions.append((later_position, bound_side, new_side))
+                break
+        return conditions
+
+    def _scalar_names(self) -> set[str]:
+        return {name for name, value in self.env.values.items() if not isinstance(value, Dataset)}
+
+    def _hash_join(
+        self,
+        rows: Dataset,
+        dataset: Dataset,
+        pattern: ir.Pattern,
+        join_conditions: list[tuple[int, ir.Term, ir.Term]],
+        driver_bindings: dict[str, Any],
+    ) -> Dataset:
+        base = dict(driver_bindings)
+        left_terms = [left for _, left, _ in join_conditions]
+        right_terms = [right for _, _, right in join_conditions]
+        evaluator = self
+
+        def left_key(row: dict[str, Any]) -> tuple[Any, ...]:
+            local = {**base, **row}
+            return tuple(evaluator.evaluate_local(term, local) for term in left_terms)
+
+        def right_key(element: Any) -> tuple[Any, ...]:
+            local = {**base, **_bind_pattern(pattern, element)}
+            return tuple(evaluator.evaluate_local(term, local) for term in right_terms)
+
+        keyed_rows = rows.map(lambda row: (left_key(row), row))
+        keyed_elements = dataset.map(lambda element: (right_key(element), element))
+        joined = keyed_rows.join(keyed_elements)
+        return joined.map(lambda pair: {**pair[1][0], **_bind_pattern(pattern, pair[1][1])})
+
+    def _broadcast_product(self, rows: Dataset, dataset: Dataset, pattern: ir.Pattern) -> Dataset:
+        """Cartesian combination, broadcasting the smaller side when possible."""
+        dataset_size = dataset.count()
+        rows_size = rows.count()
+        if dataset_size <= rows_size and dataset_size <= BROADCAST_THRESHOLD:
+            elements = dataset.collect()
+            self.env.context.metrics.record_broadcast()
+            return rows.flat_map(
+                lambda row: [{**row, **_bind_pattern(pattern, element)} for element in elements]
+            )
+        if rows_size < dataset_size and rows_size <= BROADCAST_THRESHOLD:
+            row_list = rows.collect()
+            self.env.context.metrics.record_broadcast()
+            return dataset.flat_map(
+                lambda element: [{**row, **_bind_pattern(pattern, element)} for row in row_list]
+            )
+        product = rows.cartesian(dataset)
+        return product.map(lambda pair: {**pair[0], **_bind_pattern(pattern, pair[1])})
+
+    # -- let bindings and conditions ----------------------------------------------
+
+    def _let(
+        self,
+        qualifier: ir.LetBinding,
+        rows: Dataset | None,
+        bound_order: list[str],
+        driver_bindings: dict[str, Any],
+    ) -> tuple[Dataset | None, list[str], dict[str, Any]]:
+        pattern = qualifier.pattern
+        term = qualifier.term
+        if rows is None:
+            value = self.evaluate_local_or_dataset(term, dict(driver_bindings))
+            binding = _bind_pattern(pattern, value)
+            return None, bound_order, {**driver_bindings, **binding}
+        base = dict(driver_bindings)
+        evaluator = self
+
+        def add_binding(row: dict[str, Any]) -> dict[str, Any]:
+            local = {**base, **row}
+            value = evaluator.evaluate_local(term, local)
+            return {**row, **_bind_pattern(pattern, value)}
+
+        return rows.map(add_binding), bound_order + list(pattern.variables()), driver_bindings
+
+    def _condition(
+        self,
+        qualifier: ir.Condition,
+        rows: Dataset | None,
+        driver_bindings: dict[str, Any],
+        driver_alive: bool,
+    ) -> tuple[Dataset | None, bool]:
+        if rows is None:
+            value = self.evaluate_local(qualifier.term, dict(driver_bindings))
+            return None, driver_alive and bool(value)
+        base = dict(driver_bindings)
+        term = qualifier.term
+        evaluator = self
+        return rows.filter(lambda row: bool(evaluator.evaluate_local(term, {**base, **row}))), driver_alive
+
+    # -- group-by -------------------------------------------------------------------
+
+    def _group_by(
+        self,
+        qualifier: ir.GroupBy,
+        post_qualifiers: list[ir.Qualifier],
+        head: ir.Term,
+        rows: Dataset | None,
+        bound_order: list[str],
+        driver_bindings: dict[str, Any],
+    ) -> tuple[Dataset | None, list[str]]:
+        if rows is None:
+            # With no generators the group-by degenerates to a let of the key;
+            # every "lifted" variable is already a single value.
+            key_value = self.evaluate_local(qualifier.key_term(), dict(driver_bindings))
+            driver_bindings.update(_bind_pattern(qualifier.pattern, key_value))
+            return None, bound_order
+        base = dict(driver_bindings)
+        key_term = qualifier.key_term()
+        pattern = qualifier.pattern
+        pattern_variables = list(pattern.variables())
+        lifted = [name for name in bound_order if name not in pattern_variables]
+        evaluator = self
+
+        aggregation = self._aggregation_only_plan(head, post_qualifiers, pattern_variables, lifted)
+        if aggregation is not None:
+            op, value_name = aggregation
+            monoid = self.env.monoids.get(op)
+            keyed = rows.map(
+                lambda row: (
+                    evaluator.evaluate_local(key_term, {**base, **row}),
+                    row.get(value_name),
+                )
+            )
+            reduced = keyed.reduce_by_key(monoid.combine)
+            self.trace.append(f"group-by on {key_term} compiled to reduceByKey({op})")
+            aggregate_marker = f"__aggregate_{value_name}"
+
+            def rebuild(pair: Any) -> dict[str, Any]:
+                key, value = pair
+                row = _bind_pattern(pattern, key)
+                row[aggregate_marker] = value
+                # The lifted variable is represented by its already-reduced
+                # aggregate; local evaluation of Aggregate(op, var) will pick
+                # it up through the marker.
+                row[value_name] = _PreAggregated(value)
+                return row
+
+            return reduced.map(rebuild), pattern_variables + lifted
+
+        keyed_rows = rows.map(lambda row: (evaluator.evaluate_local(key_term, {**base, **row}), row))
+        grouped = keyed_rows.group_by_key()
+        self.trace.append(f"group-by on {key_term} compiled to groupByKey")
+
+        def lift(pair: Any) -> dict[str, Any]:
+            key, group_rows = pair
+            row = _bind_pattern(pattern, key)
+            for name in lifted:
+                row[name] = [member.get(name) for member in group_rows]
+            return row
+
+        return grouped.map(lift), pattern_variables + lifted
+
+    @staticmethod
+    def _aggregation_only_plan(
+        head: ir.Term,
+        post_qualifiers: list[ir.Qualifier],
+        pattern_variables: list[str],
+        lifted: list[str],
+    ) -> tuple[str, str] | None:
+        """Detect the canonical aggregation head ``(key, ⊕/v)``.
+
+        Returns ``(op, lifted variable)`` when the group-by can be compiled to
+        a reduceByKey, or None when a general groupByKey is needed.
+        """
+        if post_qualifiers:
+            return None
+        if not isinstance(head, ir.CTuple) or len(head.elements) != 2:
+            return None
+        key_part, value_part = head.elements
+        if not isinstance(value_part, ir.Aggregate):
+            return None
+        if not isinstance(value_part.operand, ir.CVar):
+            return None
+        value_name = value_part.operand.name
+        if value_name not in lifted:
+            return None
+        key_variables = ir.free_variables(key_part)
+        if not key_variables <= set(pattern_variables):
+            return None
+        # No lifted variable other than the aggregated one may be referenced.
+        for name in ir.free_variables(key_part):
+            if name in lifted:
+                return None
+        return value_part.op, value_name
+
+    # ------------------------------------------------------------------
+    # local (per-task) evaluation
+    # ------------------------------------------------------------------
+
+    def evaluate_local_or_dataset(self, term: ir.Term, bindings: dict[str, Any]) -> Any:
+        """Evaluate locally, but allow the result to be a driver Dataset."""
+        if isinstance(term, ir.CVar) and term.name not in bindings:
+            return self._lookup(term.name, bindings)
+        if isinstance(term, (ir.Comprehension, ir.Merge, ir.MergeWith, ir.RangeTerm)):
+            free = ir.free_variables(term)
+            if not (free & set(bindings)):
+                return self.evaluate(term)
+        return self.evaluate_local(term, bindings)
+
+    def evaluate_local(self, term: ir.Term, bindings: dict[str, Any]) -> Any:
+        """Evaluate a scalar (or local-bag) term under per-row bindings."""
+        if isinstance(term, ir.CVar):
+            return self._lookup(term.name, bindings)
+        if isinstance(term, ir.CConst):
+            return term.value
+        if isinstance(term, ir.CTuple):
+            return tuple(self.evaluate_local(e, bindings) for e in term.elements)
+        if isinstance(term, ir.CRecord):
+            return {name: self.evaluate_local(e, bindings) for name, e in term.fields}
+        if isinstance(term, ir.CProject):
+            return operators.project_value(self.evaluate_local(term.base, bindings), term.attribute)
+        if isinstance(term, ir.CBinOp):
+            if term.op == "&&":
+                return bool(self.evaluate_local(term.left, bindings)) and bool(
+                    self.evaluate_local(term.right, bindings)
+                )
+            if term.op == "||":
+                return bool(self.evaluate_local(term.left, bindings)) or bool(
+                    self.evaluate_local(term.right, bindings)
+                )
+            left = self.evaluate_local(term.left, bindings)
+            right = self.evaluate_local(term.right, bindings)
+            return operators.apply_binary(term.op, left, right, self.env.monoids)
+        if isinstance(term, ir.CUnaryOp):
+            return operators.apply_unary(term.op, self.evaluate_local(term.operand, bindings))
+        if isinstance(term, ir.CCall):
+            if term.function == "_update_field":
+                record = self.evaluate_local(term.arguments[0], bindings)
+                attribute = self.evaluate_local(term.arguments[1], bindings)
+                value = self.evaluate_local(term.arguments[2], bindings)
+                return operators.update_field(record, str(attribute), value)
+            if term.function not in self.env.functions:
+                raise ExecutionError(f"unknown function {term.function!r}")
+            function = self.env.functions.get(term.function)
+            arguments = [self.evaluate_local(a, bindings) for a in term.arguments]
+            return function(*arguments)
+        if isinstance(term, ir.Aggregate):
+            operand = self.evaluate_local(term.operand, bindings)
+            return self._aggregate(term.op, operand)
+        if isinstance(term, ir.InRange):
+            value = self.evaluate_local(term.value, bindings)
+            lower = self.evaluate_local(term.lower, bindings)
+            upper = self.evaluate_local(term.upper, bindings)
+            return lower <= value <= upper
+        if isinstance(term, ir.RangeTerm):
+            lower = int(self.evaluate_local(term.lower, bindings))
+            upper = int(self.evaluate_local(term.upper, bindings))
+            return list(range(lower, upper + 1))
+        if isinstance(term, ir.Comprehension):
+            return self._local_comprehension(term, bindings)
+        if isinstance(term, ir.EmptyBag):
+            return []
+        raise ExecutionError(f"cannot evaluate term {term!r} locally")
+
+    def _aggregate(self, op: str, operand: Any) -> Any:
+        if isinstance(operand, _PreAggregated):
+            return operand.value
+        monoid = self.env.monoids.get(op)
+        bag = self._as_local_bag(operand)
+        return monoid.reduce(bag)
+
+    def _local_comprehension(self, comp: ir.Comprehension, bindings: dict[str, Any]) -> list[Any]:
+        """Evaluate a comprehension entirely locally (no dataset operations)."""
+        rows: list[dict[str, Any]] = [dict(bindings)]
+        for qualifier in comp.qualifiers:
+            if isinstance(qualifier, ir.Generator):
+                next_rows: list[dict[str, Any]] = []
+                for row in rows:
+                    bag = self._as_local_bag(self.evaluate_local_or_dataset(qualifier.domain, row))
+                    for element in bag:
+                        next_rows.append({**row, **_bind_pattern(qualifier.pattern, element)})
+                rows = next_rows
+            elif isinstance(qualifier, ir.LetBinding):
+                rows = [
+                    {**row, **_bind_pattern(qualifier.pattern, self.evaluate_local_or_dataset(qualifier.term, row))}
+                    for row in rows
+                ]
+            elif isinstance(qualifier, ir.Condition):
+                rows = [row for row in rows if bool(self.evaluate_local(qualifier.term, row))]
+            elif isinstance(qualifier, ir.GroupBy):
+                rows = self._local_group_by(qualifier, rows, bindings)
+            else:
+                raise ExecutionError(f"unknown qualifier {qualifier!r}")
+        return [self.evaluate_local(comp.head, row) for row in rows]
+
+    def _local_group_by(
+        self, qualifier: ir.GroupBy, rows: list[dict[str, Any]], outer: dict[str, Any]
+    ) -> list[dict[str, Any]]:
+        key_term = qualifier.key_term()
+        pattern_variables = set(qualifier.pattern.variables())
+        groups: dict[Any, list[dict[str, Any]]] = {}
+        order: list[Any] = []
+        for row in rows:
+            key = self.evaluate_local(key_term, row)
+            if key not in groups:
+                groups[key] = []
+                order.append(key)
+            groups[key].append(row)
+        lifted_names: list[str] = []
+        for row in rows:
+            for name in row:
+                if name not in outer and name not in pattern_variables and name not in lifted_names:
+                    lifted_names.append(name)
+        result: list[dict[str, Any]] = []
+        for key in order:
+            members = groups[key]
+            new_row = dict(outer)
+            new_row.update(_bind_pattern(qualifier.pattern, key))
+            for name in lifted_names:
+                new_row[name] = [member.get(name) for member in members]
+            result.append(new_row)
+        return result
+
+    def _as_local_bag(self, value: Any) -> list[Any]:
+        if isinstance(value, Dataset):
+            cache_key = id(value)
+            if cache_key not in self._local_bag_cache:
+                self._local_bag_cache[cache_key] = value.collect()
+            return self._local_bag_cache[cache_key]
+        if isinstance(value, dict):
+            return list(value.items())
+        if isinstance(value, (list, tuple, set)):
+            return list(value)
+        return [value]
+
+    def _lookup(self, name: str, bindings: dict[str, Any]) -> Any:
+        if name in bindings:
+            return bindings[name]
+        if name in self.env.values:
+            return self.env.values[name]
+        raise ExecutionError(f"undefined variable {name!r}")
+
+
+@dataclass
+class _PreAggregated:
+    """Marker wrapper for a lifted variable that was already reduced by
+    reduceByKey; ``Aggregate`` over it returns the value unchanged."""
+
+    value: Any
+
+
+def _bind_pattern(pattern: ir.Pattern, value: Any) -> dict[str, Any]:
+    """Destructure ``value`` according to ``pattern``, producing bindings."""
+    if isinstance(pattern, ir.PVar):
+        return {pattern.name: value}
+    if isinstance(pattern, ir.PWildcard):
+        return {}
+    if isinstance(pattern, ir.PTuple):
+        if not isinstance(value, (tuple, list)) or len(value) != len(pattern.elements):
+            raise ExecutionError(f"cannot bind pattern {pattern} to value {value!r}")
+        bindings: dict[str, Any] = {}
+        for sub_pattern, sub_value in zip(pattern.elements, value):
+            bindings.update(_bind_pattern(sub_pattern, sub_value))
+        return bindings
+    raise ExecutionError(f"unknown pattern {pattern!r}")

@@ -1,0 +1,132 @@
+"""Plan explanation: which DISC operations a comprehension compiles to.
+
+``explain_term`` performs a *dry* structural analysis of a term (no data is
+needed) and reports the shuffle-relevant operations the evaluator will emit:
+dataset scans, hash joins, broadcast nested-loop joins, group-bys /
+reduceByKeys and coGroup merges.  Tests and EXPERIMENTS.md use it to show that
+the generated plans have the shapes the paper describes (e.g. matrix multiply
+= one join + one reduceByKey; the DIABLO KMeans step contains a join with the
+centroid array that the hand-written version avoids by broadcasting).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.comprehension import ir
+
+
+@dataclass
+class PlanSummary:
+    """Structural summary of the dataflow for one term."""
+
+    scans: list[str] = field(default_factory=list)
+    hash_joins: int = 0
+    broadcast_joins: int = 0
+    group_bys: int = 0
+    reduce_by_keys: int = 0
+    merges: int = 0
+    ranges: int = 0
+
+    @property
+    def shuffle_operations(self) -> int:
+        """Operations that move data across partitions."""
+        return self.hash_joins + self.group_bys + self.reduce_by_keys + self.merges
+
+    def lines(self) -> list[str]:
+        entries = [f"scan {name}" for name in self.scans]
+        entries += [f"hash joins: {self.hash_joins}"]
+        entries += [f"broadcast joins: {self.broadcast_joins}"]
+        entries += [f"groupByKey: {self.group_bys}", f"reduceByKey: {self.reduce_by_keys}"]
+        entries += [f"coGroup merges: {self.merges}", f"range scans: {self.ranges}"]
+        return entries
+
+    def __str__(self) -> str:
+        return "\n".join(self.lines())
+
+
+def explain_term(term: ir.Term, array_variables: set[str]) -> PlanSummary:
+    """Statically summarize the dataflow the evaluator will build for ``term``."""
+    summary = PlanSummary()
+    _explain(term, array_variables, summary)
+    return summary
+
+
+def _explain(term: ir.Term, arrays: set[str], summary: PlanSummary) -> None:
+    if isinstance(term, ir.Merge) or isinstance(term, ir.MergeWith):
+        summary.merges += 1
+        _explain(term.left, arrays, summary)
+        _explain(term.right, arrays, summary)
+        return
+    if isinstance(term, ir.Comprehension):
+        _explain_comprehension(term, arrays, summary)
+        return
+    for child in term.children():
+        _explain(child, arrays, summary)
+
+
+def _explain_comprehension(comp: ir.Comprehension, arrays: set[str], summary: PlanSummary) -> None:
+    bound: set[str] = set()
+    dataset_generators = 0
+    qualifiers = list(comp.qualifiers)
+    for position, qualifier in enumerate(qualifiers):
+        if isinstance(qualifier, ir.Generator):
+            domain = qualifier.domain
+            _explain(domain, arrays, summary)
+            is_dataset = isinstance(domain, ir.CVar) and domain.name in arrays
+            if isinstance(domain, ir.RangeTerm):
+                summary.ranges += 1
+                is_dataset = True
+            if is_dataset:
+                if isinstance(domain, ir.CVar):
+                    summary.scans.append(domain.name)
+                dataset_generators += 1
+                if dataset_generators > 1:
+                    if _has_join_condition(qualifiers, position, bound, set(qualifier.pattern.variables())):
+                        summary.hash_joins += 1
+                    else:
+                        summary.broadcast_joins += 1
+            bound.update(qualifier.pattern.variables())
+        elif isinstance(qualifier, ir.LetBinding):
+            _explain(qualifier.term, arrays, summary)
+            bound.update(qualifier.pattern.variables())
+        elif isinstance(qualifier, ir.Condition):
+            _explain(qualifier.term, arrays, summary)
+        elif isinstance(qualifier, ir.GroupBy):
+            post = qualifiers[position + 1 :]
+            if _is_aggregation_only(comp.head, post, qualifier, bound):
+                summary.reduce_by_keys += 1
+            else:
+                summary.group_bys += 1
+            bound.update(qualifier.pattern.variables())
+    _explain(comp.head, arrays, summary)
+
+
+def _has_join_condition(
+    qualifiers: list[ir.Qualifier], position: int, bound: set[str], new_variables: set[str]
+) -> bool:
+    for later in qualifiers[position + 1 :]:
+        if isinstance(later, ir.GroupBy):
+            return False
+        if not isinstance(later, ir.Condition):
+            continue
+        term = later.term
+        if not (isinstance(term, ir.CBinOp) and term.op == "=="):
+            continue
+        left_vars = ir.free_variables(term.left)
+        right_vars = ir.free_variables(term.right)
+        for one, other in ((left_vars, right_vars), (right_vars, left_vars)):
+            if one & bound and other & new_variables and not (one & new_variables):
+                return True
+    return False
+
+
+def _is_aggregation_only(
+    head: ir.Term, post: list[ir.Qualifier], group_by: ir.GroupBy, bound: set[str]
+) -> bool:
+    if post:
+        return False
+    if not isinstance(head, ir.CTuple) or len(head.elements) != 2:
+        return False
+    value_part = head.elements[1]
+    return isinstance(value_part, ir.Aggregate) and isinstance(value_part.operand, ir.CVar)

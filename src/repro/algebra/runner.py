@@ -1,0 +1,202 @@
+"""Execution of translated target programs over the DISC runtime.
+
+A :class:`ProgramRunner` binds a :class:`~repro.translate.target.TargetProgram`
+to caller-supplied inputs and executes its statements in order: bulk
+assignments are evaluated by the :class:`~repro.algebra.evaluator.TermEvaluator`
+and stored back into the variable environment; ``while`` statements loop in the
+driver, re-evaluating their (scalar) condition between iterations.
+
+Inputs may be given as runtime Datasets, as Python dicts (sparse arrays), as
+lists (plain collections -- automatically indexed), or as scalars.  Results
+are returned in the same spirit: arrays come back as Datasets (use
+``collect_state`` for plain dicts), scalars as Python values.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.algebra.evaluator import EvaluationEnvironment, TermEvaluator
+from repro.comprehension.monoids import DEFAULT_MONOIDS, MonoidRegistry
+from repro.errors import ExecutionError
+from repro.functions import DEFAULT_FUNCTIONS, FunctionRegistry
+from repro.runtime.context import DistributedContext
+from repro.runtime.dataset import Dataset
+from repro.translate.target import TargetAssign, TargetProgram, TargetStatement, TargetWhile
+
+#: Safety valve for while-loops in target programs.
+MAX_WHILE_ITERATIONS = 1_000_000
+
+
+@dataclass
+class ProgramResult:
+    """The outcome of running a target program.
+
+    Attributes:
+        values: final value of every program variable (Datasets for arrays).
+        wall_seconds: execution time.
+        trace: the plan decisions logged by the evaluator (joins, group-bys).
+    """
+
+    values: dict[str, Any]
+    wall_seconds: float
+    trace: list[str] = field(default_factory=list)
+
+    def __getitem__(self, name: str) -> Any:
+        return self.values[name]
+
+    def scalar(self, name: str) -> Any:
+        """A scalar result variable."""
+        return self.values[name]
+
+    def array(self, name: str) -> dict[Any, Any]:
+        """An array result variable as a plain dict."""
+        value = self.values[name]
+        if isinstance(value, Dataset):
+            return value.collect_as_map()
+        if isinstance(value, dict):
+            return dict(value)
+        raise ExecutionError(f"variable {name!r} is not an array")
+
+
+class ProgramRunner:
+    """Runs translated target programs on a :class:`DistributedContext`."""
+
+    def __init__(
+        self,
+        context: DistributedContext,
+        functions: FunctionRegistry | None = None,
+        monoids: MonoidRegistry | None = None,
+    ):
+        self.context = context
+        self.functions = functions or DEFAULT_FUNCTIONS
+        self.monoids = monoids or DEFAULT_MONOIDS
+
+    def run(self, program: TargetProgram, inputs: dict[str, Any] | None = None) -> ProgramResult:
+        """Execute ``program`` with the given input variables."""
+        started = time.perf_counter()
+        values = self._prepare_inputs(program, inputs or {})
+        environment = EvaluationEnvironment(self.context, values, self.functions, self.monoids)
+        trace: list[str] = []
+        self._execute_block(program.statements, program, environment, trace)
+        elapsed = time.perf_counter() - started
+        return ProgramResult(environment.values, elapsed, trace)
+
+    # -- input preparation ------------------------------------------------------
+
+    def _prepare_inputs(self, program: TargetProgram, inputs: dict[str, Any]) -> dict[str, Any]:
+        values: dict[str, Any] = {}
+        for name, value in inputs.items():
+            info = program.variables.get(name)
+            if info is not None and info.is_collection:
+                values[name] = self._to_dataset(value)
+            else:
+                values[name] = value
+        missing = [
+            name
+            for name, info in program.variables.items()
+            if info.is_input and name not in values
+        ]
+        if missing:
+            raise ExecutionError(f"missing program inputs: {', '.join(sorted(missing))}")
+        return values
+
+    def _to_dataset(self, value: Any) -> Dataset:
+        if isinstance(value, Dataset):
+            return value
+        if isinstance(value, dict):
+            return self.context.parallelize_pairs(value)
+        if isinstance(value, (list, tuple)):
+            # Plain sequences become indexed collections: (position, element).
+            # Pass a dict or a Dataset of pairs to supply explicit keys.
+            return self.context.indexed(list(value))
+        raise ExecutionError(f"cannot convert {type(value).__name__} to a dataset")
+
+    # -- statement execution -----------------------------------------------------
+
+    def _execute_block(
+        self,
+        statements: tuple[TargetStatement, ...],
+        program: TargetProgram,
+        environment: EvaluationEnvironment,
+        trace: list[str],
+    ) -> None:
+        for statement in statements:
+            if isinstance(statement, TargetAssign):
+                self._execute_assign(statement, program, environment, trace)
+            elif isinstance(statement, TargetWhile):
+                self._execute_while(statement, program, environment, trace)
+            else:
+                raise ExecutionError(f"unknown target statement {statement!r}")
+
+    def _execute_assign(
+        self,
+        statement: TargetAssign,
+        program: TargetProgram,
+        environment: EvaluationEnvironment,
+        trace: list[str],
+    ) -> None:
+        evaluator = TermEvaluator(environment, trace)
+        result = evaluator.evaluate(statement.term)
+        info = program.variables.get(statement.variable)
+        is_collection = info is not None and info.is_collection
+        if statement.scalar:
+            value = self._extract_scalar(result, statement, environment)
+            if is_collection and not isinstance(value, Dataset):
+                value = self._coerce_collection(value)
+            environment.values[statement.variable] = value
+        else:
+            if not isinstance(result, Dataset):
+                result = evaluator.as_dataset(result)
+            environment.values[statement.variable] = result
+
+    def _extract_scalar(
+        self, result: Any, statement: TargetAssign, environment: EvaluationEnvironment
+    ) -> Any:
+        if isinstance(result, Dataset):
+            values = result.take(1)
+        elif isinstance(result, list):
+            values = result[:1]
+        else:
+            return result
+        if values:
+            return values[0]
+        # An empty bag means "no update" (e.g. an incremental update over an
+        # empty collection); keep the current value when one exists.
+        if statement.variable in environment.values:
+            return environment.values[statement.variable]
+        return None
+
+    def _coerce_collection(self, value: Any) -> Any:
+        if isinstance(value, dict):
+            return self.context.parallelize_pairs(value)
+        if isinstance(value, (list, tuple)):
+            return self.context.parallelize_raw(list(value))
+        return value
+
+    def _execute_while(
+        self,
+        statement: TargetWhile,
+        program: TargetProgram,
+        environment: EvaluationEnvironment,
+        trace: list[str],
+    ) -> None:
+        iterations = 0
+        while True:
+            evaluator = TermEvaluator(environment, trace)
+            condition = evaluator.evaluate(statement.condition)
+            if isinstance(condition, Dataset):
+                condition_values = condition.take(1)
+            elif isinstance(condition, list):
+                condition_values = condition[:1]
+            else:
+                condition_values = [condition]
+            alive = bool(condition_values[0]) if condition_values else False
+            if not alive:
+                return
+            self._execute_block(statement.body, program, environment, trace)
+            iterations += 1
+            if iterations > MAX_WHILE_ITERATIONS:
+                raise ExecutionError("while loop exceeded the iteration limit")

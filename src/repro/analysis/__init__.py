@@ -1,0 +1,40 @@
+"""Dependence analysis and parallelization restrictions (Section 3.2).
+
+* :mod:`repro.analysis.lvalues` -- readers / writers / aggregators of a
+  statement, L-value overlap, loop contexts and destination indexes.
+* :mod:`repro.analysis.affine` -- affine expressions and affine destinations.
+* :mod:`repro.analysis.restrictions` -- the Definition 3.1 checker that
+  decides whether a for-loop is parallelizable and produces actionable
+  diagnostics when it is not.
+"""
+
+from repro.analysis.lvalues import (
+    StatementAccess,
+    aggregators,
+    lvalue_overlap,
+    lvalue_root_name,
+    readers,
+    writers,
+)
+from repro.analysis.affine import is_affine_expression, is_affine_destination
+from repro.analysis.restrictions import (
+    RestrictionChecker,
+    RestrictionViolation,
+    check_program,
+    check_statement,
+)
+
+__all__ = [
+    "StatementAccess",
+    "aggregators",
+    "readers",
+    "writers",
+    "lvalue_overlap",
+    "lvalue_root_name",
+    "is_affine_expression",
+    "is_affine_destination",
+    "RestrictionChecker",
+    "RestrictionViolation",
+    "check_program",
+    "check_statement",
+]

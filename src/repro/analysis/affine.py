@@ -1,0 +1,95 @@
+"""Affine expressions and affine destinations (Section 3.2).
+
+An *affine expression* has the form ``c0 + c1*i1 + ... + ck*ik`` where the
+``i``s are loop index variables and the ``c``s are constants.  Loop-invariant
+variables (such as matrix dimensions ``n``, ``m``) are treated as symbolic
+constants, exactly as the programs in the paper use them (``for i = 0, n-1``).
+
+A destination ``d`` is affine in statement ``s`` -- ``affine(d, s)`` -- when
+
+* ``d`` is a plain variable and no for-loop encloses ``s`` (a scalar written
+  inside a loop is stored at the *same* location on every iteration, which is
+  what the restriction is designed to reject);
+* ``d`` is a projection ``d'.A`` with ``affine(d', s)``; or
+* ``d`` is an array indexing ``v[e1, ..., en]`` where every index ``ei`` is an
+  affine expression and the loop indexes used in ``d`` cover *all* loop
+  indexes in ``context(s)``.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.lvalues import lvalue_indexes
+from repro.loop_lang import ast
+
+
+def is_affine_expression(expr: ast.Expr, loop_indexes: frozenset[str]) -> bool:
+    """True when ``expr`` is affine in the given loop index variables."""
+    return _affine(expr, loop_indexes, allow_index=True)
+
+
+def _affine(expr: ast.Expr, loop_indexes: frozenset[str], allow_index: bool) -> bool:
+    if isinstance(expr, ast.Const):
+        return isinstance(expr.value, (int, float)) and not isinstance(expr.value, bool)
+    if isinstance(expr, ast.Var):
+        # Either a loop index (coefficient 1 term) or a symbolic constant.
+        if expr.name in loop_indexes:
+            return allow_index
+        return True
+    if isinstance(expr, ast.UnaryOp) and expr.op == "-":
+        return _affine(expr.operand, loop_indexes, allow_index)
+    if isinstance(expr, ast.BinOp):
+        if expr.op in ("+", "-"):
+            return _affine(expr.left, loop_indexes, allow_index) and _affine(
+                expr.right, loop_indexes, allow_index
+            )
+        if expr.op == "*":
+            left_has = _mentions_index(expr.left, loop_indexes)
+            right_has = _mentions_index(expr.right, loop_indexes)
+            if left_has and right_has:
+                return False
+            if left_has:
+                return _affine(expr.left, loop_indexes, allow_index) and _constant_only(
+                    expr.right, loop_indexes
+                )
+            if right_has:
+                return _affine(expr.right, loop_indexes, allow_index) and _constant_only(
+                    expr.left, loop_indexes
+                )
+            return _constant_only(expr.left, loop_indexes) and _constant_only(expr.right, loop_indexes)
+        if expr.op in ("/", "%"):
+            # Divisions by constants keep locations distinct only in special
+            # cases; be conservative.
+            return False
+    return False
+
+
+def _mentions_index(expr: ast.Expr, loop_indexes: frozenset[str]) -> bool:
+    return any(
+        isinstance(node, ast.Var) and node.name in loop_indexes for node in ast.walk_expressions(expr)
+    )
+
+
+def _constant_only(expr: ast.Expr, loop_indexes: frozenset[str]) -> bool:
+    """True when ``expr`` contains no loop indexes and no array accesses."""
+    for node in ast.walk_expressions(expr):
+        if isinstance(node, ast.Var) and node.name in loop_indexes:
+            return False
+        if isinstance(node, ast.Index):
+            return False
+    return True
+
+
+def is_affine_destination(dest: ast.Expr, context: frozenset[str]) -> bool:
+    """``affine(d, s)`` for a destination ``d`` of a statement with loop context
+    ``context`` (the loop indexes of the enclosing for-loops)."""
+    if isinstance(dest, ast.Var):
+        return not context
+    if isinstance(dest, ast.Project):
+        return is_affine_destination(dest.base, context)
+    if isinstance(dest, ast.Index):
+        for index in dest.indices:
+            if not is_affine_expression(index, context):
+                return False
+        used = lvalue_indexes(dest, context)
+        return context <= used
+    return False

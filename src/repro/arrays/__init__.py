@@ -1,0 +1,20 @@
+"""Sparse and packed array representations (Sections 3.4 and 5).
+
+* :mod:`repro.arrays.sparse` -- sparse vectors and matrices as key-value
+  datasets, with the array-merging operations ⊳ and ⊳⊕ and conversions to and
+  from dense (NumPy-style nested list) form.
+* :mod:`repro.arrays.tiles` -- tiled (packed) matrices: fixed-size dense tiles
+  keyed by tile coordinates, with the ``pack`` / ``unpack`` conversions of
+  Section 5 and a shuffle-free tile merge (the ⊳′ of the paper).
+"""
+
+from repro.arrays.sparse import SparseMatrix, SparseVector
+from repro.arrays.tiles import TiledMatrix, pack_matrix, unpack_tiles
+
+__all__ = [
+    "SparseVector",
+    "SparseMatrix",
+    "TiledMatrix",
+    "pack_matrix",
+    "unpack_tiles",
+]

@@ -1,0 +1,54 @@
+"""Hand-written baseline programs (the "hand-written" series of Figure 3).
+
+Each module implements one workload twice:
+
+* ``distributed(context, inputs)`` -- the expert-written plan against the
+  runtime Dataset API, transcribed from the Spark programs in Appendix B of
+  the paper (broadcast KMeans, join+reduceByKey matrix multiply, and so on);
+* ``sequential(inputs)`` -- a plain-Python reference implementation used as an
+  independent correctness oracle and by the Table 2 comparison.
+
+Both take the same input dictionaries produced by
+:func:`repro.workloads.workload_for_program` and return the same output
+variables as the corresponding DIABLO program, so tests and benchmarks can
+compare the three execution paths directly.
+"""
+
+from repro.baselines import (
+    conditional_sum,
+    equal,
+    group_by,
+    histogram,
+    kmeans,
+    linear_regression,
+    matrix_addition,
+    matrix_factorization,
+    matrix_multiplication,
+    pagerank,
+    string_match,
+    word_count,
+)
+
+#: Baseline modules keyed by benchmark program name.
+BASELINES = {
+    "conditional_sum": conditional_sum,
+    "equal": equal,
+    "string_match": string_match,
+    "word_count": word_count,
+    "histogram": histogram,
+    "linear_regression": linear_regression,
+    "group_by": group_by,
+    "matrix_addition": matrix_addition,
+    "matrix_multiplication": matrix_multiplication,
+    "pagerank": pagerank,
+    "kmeans": kmeans,
+    "matrix_factorization": matrix_factorization,
+}
+
+
+def get_baseline(name: str):
+    """The baseline module for a benchmark program name."""
+    return BASELINES[name]
+
+
+__all__ = ["BASELINES", "get_baseline"] + sorted(BASELINES)

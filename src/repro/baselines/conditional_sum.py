@@ -1,0 +1,24 @@
+"""Hand-written Conditional Sum (Figure 3.A).
+
+Spark original: ``V.filter(_ < 100).reduce(_+_)``.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.runtime.context import DistributedContext
+
+THRESHOLD = 100.0
+
+
+def distributed(context: DistributedContext, inputs: dict[str, Any]) -> dict[str, Any]:
+    """Filter below the threshold and reduce with addition."""
+    values = context.parallelize(inputs["V"])
+    total = values.filter(lambda value: value < THRESHOLD).fold(0.0, lambda a, b: a + b)
+    return {"sum": total}
+
+
+def sequential(inputs: dict[str, Any]) -> dict[str, Any]:
+    """Plain-Python reference implementation."""
+    return {"sum": sum(value for value in inputs["V"] if value < THRESHOLD)}

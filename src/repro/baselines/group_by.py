@@ -1,0 +1,26 @@
+"""Hand-written Group By (Figure 3.G).
+
+Spark original: ``V.map(v => (v.K, v.A)).reduceByKey(_ + _)``.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Any
+
+from repro.runtime.context import DistributedContext
+
+
+def distributed(context: DistributedContext, inputs: dict[str, Any]) -> dict[str, Any]:
+    """Key by K and sum A per key."""
+    records = context.parallelize(inputs["V"])
+    sums = records.map(lambda record: (record["K"], record["A"])).reduce_by_key(lambda a, b: a + b)
+    return {"C": sums.collect_as_map()}
+
+
+def sequential(inputs: dict[str, Any]) -> dict[str, Any]:
+    """Plain-Python reference implementation."""
+    sums: dict[Any, float] = defaultdict(float)
+    for record in inputs["V"]:
+        sums[record["K"]] += record["A"]
+    return {"C": dict(sums)}

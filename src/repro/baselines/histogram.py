@@ -1,0 +1,30 @@
+"""Hand-written Histogram (Figure 3.E).
+
+Spark original (per channel): ``P.map(_.red).countByValue()``.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Any
+
+from repro.runtime.context import DistributedContext
+
+
+def distributed(context: DistributedContext, inputs: dict[str, Any]) -> dict[str, Any]:
+    """One countByValue per color channel."""
+    pixels = context.parallelize(inputs["P"])
+    red = pixels.map(lambda pixel: pixel["red"]).count_by_value()
+    green = pixels.map(lambda pixel: pixel["green"]).count_by_value()
+    blue = pixels.map(lambda pixel: pixel["blue"]).count_by_value()
+    return {"R": red, "G": green, "B": blue}
+
+
+def sequential(inputs: dict[str, Any]) -> dict[str, Any]:
+    """Plain-Python reference implementation."""
+    pixels = inputs["P"]
+    return {
+        "R": dict(Counter(pixel["red"] for pixel in pixels)),
+        "G": dict(Counter(pixel["green"] for pixel in pixels)),
+        "B": dict(Counter(pixel["blue"] for pixel in pixels)),
+    }

@@ -1,0 +1,69 @@
+"""Hand-written KMeans clustering step (Figure 3.K).
+
+Spark original: broadcast the current centroids to every worker, map each
+point to its closest centroid paired with an ``Avg`` accumulator, reduceByKey
+to merge the accumulators, and collect the new centroids.  Only a small,
+constant amount of data is shuffled -- this is exactly the plan the paper
+contrasts with the join-based plan DIABLO generates.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import defaultdict
+from typing import Any
+
+from repro.runtime.context import DistributedContext
+
+
+def _distance(point: tuple[float, float], centroid: tuple[float, float]) -> float:
+    return math.sqrt((point[0] - centroid[0]) ** 2 + (point[1] - centroid[1]) ** 2)
+
+
+def _closest(point: tuple[float, float], centroids: dict[int, tuple[float, float]]) -> int:
+    best_index = 0
+    best_distance = float("inf")
+    for index, centroid in centroids.items():
+        distance = _distance(point, centroid)
+        if distance < best_distance:
+            best_distance = distance
+            best_index = index
+    return best_index
+
+
+def distributed(
+    context: DistributedContext, inputs: dict[str, Any], num_steps: int = 1
+) -> dict[str, Any]:
+    """Broadcast centroids, assign points, reduce per-centroid sums."""
+    points = context.parallelize(inputs["P"])
+    centroids = dict(inputs["C"])
+    for _ in range(num_steps):
+        broadcast = context.broadcast(centroids)
+        assigned = points.map(
+            lambda point: (_closest(point, broadcast.value), (point[0], point[1], 1))
+        )
+        sums = assigned.reduce_by_key(lambda a, b: (a[0] + b[0], a[1] + b[1], a[2] + b[2]))
+        updates = sums.map_values(lambda total: (total[0] / total[2], total[1] / total[2]))
+        new_centroids = dict(centroids)
+        new_centroids.update(updates.collect_as_map())
+        centroids = new_centroids
+    return {"C": centroids}
+
+
+def sequential(inputs: dict[str, Any], num_steps: int = 1) -> dict[str, Any]:
+    """Plain-Python reference implementation."""
+    centroids = dict(inputs["C"])
+    points = inputs["P"]
+    for _ in range(num_steps):
+        sums: dict[int, list[float]] = defaultdict(lambda: [0.0, 0.0, 0.0])
+        for point in points:
+            index = _closest(point, centroids)
+            accumulator = sums[index]
+            accumulator[0] += point[0]
+            accumulator[1] += point[1]
+            accumulator[2] += 1.0
+        updated = dict(centroids)
+        for index, (x_total, y_total, count) in sums.items():
+            updated[index] = (x_total / count, y_total / count)
+        centroids = updated
+    return {"C": centroids}

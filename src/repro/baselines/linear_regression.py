@@ -1,0 +1,36 @@
+"""Hand-written simple Linear Regression (Figure 3.F).
+
+Spark original: map/reduce passes computing the coordinate means, the centered
+second moments and the slope / intercept of the least-squares line.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.runtime.context import DistributedContext
+
+
+def distributed(context: DistributedContext, inputs: dict[str, Any]) -> dict[str, Any]:
+    """Two aggregation passes over the point dataset."""
+    points = context.parallelize(inputs["P"])
+    count = inputs["n"]
+    x_bar = points.map(lambda p: p[0]).fold(0.0, lambda a, b: a + b) / count
+    y_bar = points.map(lambda p: p[1]).fold(0.0, lambda a, b: a + b) / count
+    xx_bar = points.map(lambda p: (p[0] - x_bar) * (p[0] - x_bar)).fold(0.0, lambda a, b: a + b)
+    xy_bar = points.map(lambda p: (p[0] - x_bar) * (p[1] - y_bar)).fold(0.0, lambda a, b: a + b)
+    slope = xy_bar / xx_bar
+    intercept = y_bar - slope * x_bar
+    return {"slope": slope, "intercept": intercept}
+
+
+def sequential(inputs: dict[str, Any]) -> dict[str, Any]:
+    """Plain-Python reference implementation."""
+    points = inputs["P"]
+    count = inputs["n"]
+    x_bar = sum(p[0] for p in points) / count
+    y_bar = sum(p[1] for p in points) / count
+    xx_bar = sum((p[0] - x_bar) ** 2 for p in points)
+    xy_bar = sum((p[0] - x_bar) * (p[1] - y_bar) for p in points)
+    slope = xy_bar / xx_bar
+    return {"slope": slope, "intercept": y_bar - slope * x_bar}

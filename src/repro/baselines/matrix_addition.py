@@ -1,0 +1,25 @@
+"""Hand-written Matrix Addition (Figure 3.H).
+
+Spark original: ``M.join(N).mapValues { case (m, n) => m + n }``.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.runtime.context import DistributedContext
+
+
+def distributed(context: DistributedContext, inputs: dict[str, Any]) -> dict[str, Any]:
+    """Join the two coordinate datasets and add the values."""
+    left = context.parallelize_pairs(inputs["M"])
+    right = context.parallelize_pairs(inputs["N"])
+    summed = left.join(right).map_values(lambda pair: pair[0] + pair[1])
+    return {"R": summed.collect_as_map()}
+
+
+def sequential(inputs: dict[str, Any]) -> dict[str, Any]:
+    """Plain-Python reference implementation (entries present in both)."""
+    left = inputs["M"]
+    right = inputs["N"]
+    return {"R": {key: value + right[key] for key, value in left.items() if key in right}}

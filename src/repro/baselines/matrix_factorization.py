@@ -1,0 +1,84 @@
+"""Hand-written Matrix Factorization gradient-descent step (Figure 3.L).
+
+Spark original (Appendix B): element-wise operations expressed as joins and
+matrix products expressed as join + reduceByKey::
+
+    E = R - P x Q
+    P = P + a * (2 * E x Qᵀ - b * P)
+    Q = Q + a * (2 * (Eᵀ x P)ᵀ - b * Q)
+
+The error matrix ``E`` only has entries where ``R`` does (the element-wise
+operations are inner joins), exactly like the DIABLO program, which evaluates
+the update only on the provided ratings.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Any
+
+from repro.arrays.sparse import SparseMatrix
+from repro.runtime.context import DistributedContext
+
+
+def distributed(context: DistributedContext, inputs: dict[str, Any]) -> dict[str, Any]:
+    """One gradient-descent step with join-based matrix algebra."""
+    learning_rate = inputs["a"]
+    regularization = inputs["b"]
+    ratings = SparseMatrix.from_dict(context, inputs["R"])
+    factors_p = SparseMatrix.from_dict(context, inputs["Pp"])
+    factors_q = SparseMatrix.from_dict(context, inputs["Qp"])
+
+    predicted = factors_p.multiply(factors_q)
+    # E = R - P x Q on the support of R (inner join).
+    error = SparseMatrix(
+        ratings.data.join(predicted.data).map_values(lambda pair: pair[0] - pair[1])
+    )
+
+    gradient_p = error.multiply(factors_q.transpose())
+    gradient_q = error.transpose().multiply(factors_p).transpose()
+
+    def apply_update(factors: SparseMatrix, gradient: SparseMatrix) -> SparseMatrix:
+        # new = old + a * (2 * gradient - b * old); entries without a gradient
+        # contribution only get the regularization shrinkage.
+        shrunk = factors.map_values(lambda value: value * (1 - learning_rate * regularization))
+        step = gradient.map_values(lambda value: 2 * learning_rate * value)
+        return shrunk.merge_with(step, lambda a_value, b_value: a_value + b_value)
+
+    new_p = apply_update(factors_p, gradient_p)
+    new_q = apply_update(factors_q, gradient_q)
+    return {"P": new_p.to_dict(), "Q": new_q.to_dict(), "E": error.to_dict()}
+
+
+def sequential(inputs: dict[str, Any]) -> dict[str, Any]:
+    """Plain-Python reference implementation of the same step."""
+    learning_rate = inputs["a"]
+    regularization = inputs["b"]
+    ratings = inputs["R"]
+    factors_p = dict(inputs["Pp"])
+    factors_q = dict(inputs["Qp"])
+    rank = inputs["l"]
+
+    error: dict[tuple[int, int], float] = {}
+    for (i, j), rating in ratings.items():
+        predicted = sum(
+            factors_p.get((i, k), 0.0) * factors_q.get((k, j), 0.0) for k in range(rank)
+        )
+        error[(i, j)] = rating - predicted
+
+    gradient_p: dict[tuple[int, int], float] = defaultdict(float)
+    gradient_q: dict[tuple[int, int], float] = defaultdict(float)
+    for (i, j), err in error.items():
+        for k in range(rank):
+            gradient_p[(i, k)] += err * factors_q.get((k, j), 0.0)
+            gradient_q[(k, j)] += err * factors_p.get((i, k), 0.0)
+
+    new_p = {
+        key: value * (1 - learning_rate * regularization) + 2 * learning_rate * gradient_p.get(key, 0.0)
+        for key, value in factors_p.items()
+    }
+    new_q = {
+        key: value * (1 - learning_rate * regularization) + 2 * learning_rate * gradient_q.get(key, 0.0)
+        for key, value in factors_q.items()
+    }
+    return {"P": new_p, "Q": new_q, "E": error}

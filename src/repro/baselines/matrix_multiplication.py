@@ -1,0 +1,44 @@
+"""Hand-written Matrix Multiplication (Figure 3.I).
+
+Spark original::
+
+    M.map { case ((i, j), m) => (j, (i, m)) }
+     .join(N.map { case ((i, j), n) => (i, (j, n)) })
+     .map { case (k, ((i, m), (j, n))) => ((i, j), m * n) }
+     .reduceByKey(_ + _)
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Any
+
+from repro.runtime.context import DistributedContext
+
+
+def distributed(context: DistributedContext, inputs: dict[str, Any]) -> dict[str, Any]:
+    """Join on the shared dimension, multiply, and reduce by output coordinate."""
+    left = context.parallelize_pairs(inputs["M"]).map(
+        lambda record: (record[0][1], (record[0][0], record[1]))
+    )
+    right = context.parallelize_pairs(inputs["N"]).map(
+        lambda record: (record[0][0], (record[0][1], record[1]))
+    )
+    joined = left.join(right)
+    products = joined.map(
+        lambda record: ((record[1][0][0], record[1][1][0]), record[1][0][1] * record[1][1][1])
+    )
+    result = products.reduce_by_key(lambda a, b: a + b)
+    return {"R": result.collect_as_map()}
+
+
+def sequential(inputs: dict[str, Any]) -> dict[str, Any]:
+    """Plain-Python reference implementation over the sparse representation."""
+    by_column: dict[int, list[tuple[int, float]]] = defaultdict(list)
+    for (i, k), value in inputs["M"].items():
+        by_column[k].append((i, value))
+    result: dict[tuple[int, int], float] = defaultdict(float)
+    for (k, j), right_value in inputs["N"].items():
+        for i, left_value in by_column.get(k, []):
+            result[(i, j)] += left_value * right_value
+    return {"R": dict(result)}

@@ -1,0 +1,26 @@
+"""Hand-written String Match (Figure 3.C).
+
+Spark original::
+
+    words.map(w => (w == key1) || (w == key2) || (w == key3)).reduce(_ || _)
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.runtime.context import DistributedContext
+
+
+def distributed(context: DistributedContext, inputs: dict[str, Any]) -> dict[str, Any]:
+    """Map each word to a match flag and reduce with logical or."""
+    words = context.parallelize(inputs["words"])
+    keys = (inputs["key1"], inputs["key2"], inputs["key3"])
+    matched = words.map(lambda word: word in keys).fold(False, lambda a, b: a or b)
+    return {"c": matched}
+
+
+def sequential(inputs: dict[str, Any]) -> dict[str, Any]:
+    """Plain-Python reference implementation."""
+    keys = (inputs["key1"], inputs["key2"], inputs["key3"])
+    return {"c": any(word in keys for word in inputs["words"])}

@@ -1,0 +1,23 @@
+"""Hand-written Word Count (Figure 3.D).
+
+Spark original: ``words.map((_, 1)).reduceByKey(_ + _)``.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Any
+
+from repro.runtime.context import DistributedContext
+
+
+def distributed(context: DistributedContext, inputs: dict[str, Any]) -> dict[str, Any]:
+    """Classic map + reduceByKey word count."""
+    words = context.parallelize(inputs["words"])
+    counts = words.map(lambda word: (word, 1)).reduce_by_key(lambda a, b: a + b)
+    return {"C": counts.collect_as_map()}
+
+
+def sequential(inputs: dict[str, Any]) -> dict[str, Any]:
+    """Plain-Python reference implementation."""
+    return {"C": dict(Counter(inputs["words"]))}

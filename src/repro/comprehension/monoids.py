@@ -1,0 +1,170 @@
+"""Commutative monoids used by incremental updates and aggregations.
+
+Section 3.5 of the paper restricts incremental updates to the form
+``d ⊕= e`` where ⊕ is a *commutative* operation: the translation groups the
+``e`` values by the destination index and reduces each group with ⊕, and a
+DISC group-by does not preserve the original order of the data, so a
+non-commutative ⊕ could change the result.
+
+A :class:`Monoid` bundles the operator symbol used in the source program, the
+identity element (used when an incremental update targets an array entry that
+does not exist yet -- the paper assumes zero-initialized arrays), and the
+binary combine function.  The :class:`MonoidRegistry` maps operator symbols to
+monoids; programs such as KMeans register custom monoids (``^`` for the
+arg-min record, ``^^`` for the running average).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+
+@dataclass(frozen=True)
+class Monoid:
+    """A commutative monoid ``(combine, zero)`` named by an operator symbol.
+
+    Attributes:
+        symbol: the operator spelling in the loop language (``+``, ``*``, ...).
+        zero: the identity element, or a zero-argument callable producing it
+            (use a callable for mutable identities).
+        combine: the associative, commutative binary operation.
+        commutative: monoids must be commutative to be used in incremental
+            updates; the flag exists so tests can construct counter-examples.
+    """
+
+    symbol: str
+    zero: Any
+    combine: Callable[[Any, Any], Any]
+    commutative: bool = True
+
+    def identity(self) -> Any:
+        """Return a fresh identity element."""
+        if callable(self.zero):
+            return self.zero()
+        return self.zero
+
+    def reduce(self, values: Any) -> Any:
+        """Fold ``values`` with the combine function, starting from identity."""
+        result = self.identity()
+        for value in values:
+            result = self.combine(result, value)
+        return result
+
+
+def _logical_and(a: Any, b: Any) -> Any:
+    return bool(a) and bool(b)
+
+
+def _logical_or(a: Any, b: Any) -> Any:
+    return bool(a) or bool(b)
+
+
+def builtin_monoids() -> dict[str, Monoid]:
+    """The monoids that every compiler / interpreter instance knows about."""
+    return {
+        "+": Monoid("+", 0, lambda a, b: a + b),
+        "*": Monoid("*", 1, lambda a, b: a * b),
+        "min": Monoid("min", float("inf"), min),
+        "max": Monoid("max", float("-inf"), max),
+        "&&": Monoid("&&", True, _logical_and),
+        "||": Monoid("||", False, _logical_or),
+    }
+
+
+class MonoidRegistry:
+    """A mutable mapping from operator symbols to :class:`Monoid` instances."""
+
+    def __init__(self, extra: dict[str, Monoid] | None = None):
+        self._monoids: dict[str, Monoid] = builtin_monoids()
+        if extra:
+            self._monoids.update(extra)
+
+    def register(self, monoid: Monoid) -> None:
+        """Register (or replace) a monoid under its symbol."""
+        self._monoids[monoid.symbol] = monoid
+
+    def get(self, symbol: str) -> Monoid:
+        """Look up the monoid for ``symbol``; raises ``KeyError`` if unknown."""
+        return self._monoids[symbol]
+
+    def __contains__(self, symbol: str) -> bool:
+        return symbol in self._monoids
+
+    def is_commutative(self, symbol: str) -> bool:
+        """True when ``symbol`` names a registered commutative monoid."""
+        monoid = self._monoids.get(symbol)
+        return monoid is not None and monoid.commutative
+
+    def symbols(self) -> list[str]:
+        """All registered operator symbols."""
+        return sorted(self._monoids)
+
+    def copy(self) -> "MonoidRegistry":
+        """A shallow copy that can be extended without affecting the original."""
+        clone = MonoidRegistry()
+        clone._monoids = dict(self._monoids)
+        return clone
+
+
+# A process-wide default registry used when callers do not supply their own.
+DEFAULT_MONOIDS = MonoidRegistry()
+
+
+@dataclass
+class ArgMin:
+    """The arg-min record used by the KMeans programs (Appendix B).
+
+    ``ArgMin(index, distance)`` combines with another arg-min by keeping the
+    record with the smaller distance -- the ``^`` operator of the paper.
+    """
+
+    index: int
+    distance: float
+
+    def combine(self, other: "ArgMin") -> "ArgMin":
+        return self if self.distance <= other.distance else other
+
+
+@dataclass
+class Avg:
+    """The running-average record used by the KMeans programs (Appendix B).
+
+    ``Avg(total, count)`` combines with another by component-wise sum -- the
+    ``^^`` operator of the paper.  ``value()`` returns the mean.
+    """
+
+    sum: Any
+    count: int
+
+    def combine(self, other: "Avg") -> "Avg":
+        if isinstance(self.sum, tuple):
+            merged = tuple(a + b for a, b in zip(self.sum, other.sum))
+        else:
+            merged = self.sum + other.sum
+        return Avg(merged, self.count + other.count)
+
+    def value(self) -> Any:
+        if self.count == 0:
+            return self.sum
+        if isinstance(self.sum, tuple):
+            return tuple(component / self.count for component in self.sum)
+        return self.sum / self.count
+
+
+def argmin_monoid(large_distance: float = 1e12) -> Monoid:
+    """The ``^`` monoid: pick the :class:`ArgMin` with the smaller distance."""
+    return Monoid(
+        "^",
+        lambda: ArgMin(0, large_distance),
+        lambda a, b: a.combine(b) if isinstance(a, ArgMin) else b,
+    )
+
+
+def avg_monoid() -> Monoid:
+    """The ``^^`` monoid: merge :class:`Avg` accumulators."""
+    return Monoid(
+        "^^",
+        lambda: Avg((0.0, 0.0), 0),
+        lambda a, b: a.combine(b) if isinstance(a, Avg) and a.count else b,
+    )

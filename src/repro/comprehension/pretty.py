@@ -1,0 +1,28 @@
+"""Pretty printer for comprehension terms.
+
+Renders terms in a notation close to the paper's:
+``{ (i, j, +/v) | (i, k, m) <- M, (k2, j, n) <- N, k == k2, let v = (m * n), group by (i, j) }``.
+"""
+
+from __future__ import annotations
+
+from repro.comprehension import ir
+
+
+def pretty_term(term: ir.Term) -> str:
+    """Render a comprehension term as a single line."""
+    return str(term)
+
+
+def pretty_comprehension(comp: ir.Comprehension, indent: int = 0, width: int = 100) -> str:
+    """Render a comprehension, splitting qualifiers over lines when long."""
+    single = str(comp)
+    if len(single) <= width:
+        return single
+    pad = " " * (indent + 2)
+    lines = [f"{{ {comp.head} |"]
+    for index, qualifier in enumerate(comp.qualifiers):
+        suffix = "," if index < len(comp.qualifiers) - 1 else ""
+        lines.append(f"{pad}{qualifier}{suffix}")
+    lines.append(" " * indent + "}")
+    return "\n".join(lines)

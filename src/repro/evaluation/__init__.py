@@ -1,0 +1,45 @@
+"""Experiment harness: regenerates every table and figure of the paper.
+
+* :mod:`repro.evaluation.harness` -- shared helpers (build a configured
+  Diablo instance per program, timed runs of the translated program, the
+  hand-written baseline and the sequential interpreter).
+* :mod:`repro.evaluation.table1` -- translator-time comparison (Table 1).
+* :mod:`repro.evaluation.table2` -- parallel vs sequential evaluation (Table 2).
+* :mod:`repro.evaluation.figure3` -- DIABLO vs hand-written runtime sweeps
+  (Figure 3, panels A-L).
+* :mod:`repro.evaluation.reporting` -- plain-text table rendering.
+
+Run from the command line::
+
+    python -m repro.evaluation table1
+    python -m repro.evaluation table2
+    python -m repro.evaluation figure3
+"""
+
+from repro.evaluation.harness import (
+    diablo_for,
+    run_baseline,
+    run_sequential_baseline,
+    run_sequential_interpreter,
+    run_translated,
+)
+from repro.evaluation.table1 import Table1Row, run_table1
+from repro.evaluation.table2 import Table2Row, run_table2
+from repro.evaluation.figure3 import Figure3Point, run_figure3_panel, run_figure3
+from repro.evaluation.reporting import format_table
+
+__all__ = [
+    "diablo_for",
+    "run_translated",
+    "run_baseline",
+    "run_sequential_baseline",
+    "run_sequential_interpreter",
+    "Table1Row",
+    "run_table1",
+    "Table2Row",
+    "run_table2",
+    "Figure3Point",
+    "run_figure3_panel",
+    "run_figure3",
+    "format_table",
+]

@@ -1,0 +1,60 @@
+"""Command-line entry point: regenerate the paper's tables and figures.
+
+Usage::
+
+    python -m repro.evaluation table1
+    python -m repro.evaluation table2
+    python -m repro.evaluation figure3 [program ...]
+    python -m repro.evaluation all
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.evaluation.figure3 import format_figure3, run_figure3
+from repro.evaluation.table1 import format_table1, run_table1
+from repro.evaluation.table2 import format_table2, run_table2
+from repro.programs import figure3_program_names
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.evaluation",
+        description="Regenerate the paper's tables and figures on the local DISC runtime.",
+    )
+    parser.add_argument(
+        "experiment",
+        choices=["table1", "table2", "figure3", "all"],
+        help="which experiment to run",
+    )
+    parser.add_argument(
+        "programs",
+        nargs="*",
+        help="optional subset of figure3 programs (panel names such as 'pagerank')",
+    )
+    parser.add_argument(
+        "--no-comparators",
+        action="store_true",
+        help="skip the MOLD/Casper comparator simulations in table1",
+    )
+    arguments = parser.parse_args(argv)
+
+    if arguments.experiment in ("table1", "all"):
+        rows = run_table1(include_comparators=not arguments.no_comparators)
+        print(format_table1(rows))
+        print()
+    if arguments.experiment in ("table2", "all"):
+        rows = run_table2()
+        print(format_table2(rows))
+        print()
+    if arguments.experiment in ("figure3", "all"):
+        programs = arguments.programs or figure3_program_names()
+        panels = run_figure3(programs)
+        print(format_figure3(panels))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,137 @@
+"""Figure 3 reproduction: DIABLO vs hand-written runtime over input-size sweeps.
+
+Each panel (A-L) runs the DIABLO-translated program and the hand-written
+baseline over the same synthetic datasets at increasing sizes, on the same
+local DISC runtime, and reports wall-clock seconds plus the structural shuffle
+metrics.  The Casper series is included where the Casper comparator can
+synthesize the program (panels A-D in the paper).
+
+The shape to reproduce: DIABLO tracks the hand-written programs closely on the
+simple aggregations and the matrix workloads and falls behind on KMeans and
+Matrix Factorization, where the generated plans contain joins the hand-written
+plans avoid (broadcast of the centroids, fused element-wise updates).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.evaluation.harness import default_inputs, run_baseline, run_translated
+from repro.evaluation.reporting import format_table
+from repro.programs import figure3_program_names, get_program
+from repro.runtime.context import DistributedContext
+
+#: Input-size sweeps per panel, scaled to laptop runtimes.
+DEFAULT_SWEEPS: dict[str, list[int]] = {
+    "conditional_sum": [5_000, 20_000, 50_000],
+    "equal": [5_000, 20_000, 50_000],
+    "string_match": [5_000, 20_000, 50_000],
+    "word_count": [2_000, 10_000, 30_000],
+    "histogram": [2_000, 5_000, 15_000],
+    "linear_regression": [2_000, 10_000, 30_000],
+    "group_by": [2_000, 10_000, 30_000],
+    "matrix_addition": [20, 40, 60],
+    "matrix_multiplication": [8, 12, 18],
+    "pagerank": [60, 120, 240],
+    "kmeans": [200, 400, 800],
+    "matrix_factorization": [10, 16, 24],
+}
+
+
+@dataclass
+class Figure3Point:
+    """One measurement: program, input size, and seconds per system."""
+
+    program: str
+    size: int
+    diablo_seconds: float
+    handwritten_seconds: float
+    diablo_shuffled_records: int = 0
+    handwritten_shuffled_records: int = 0
+
+    @property
+    def slowdown(self) -> float:
+        """How much slower DIABLO is than the hand-written program (>= 0)."""
+        if self.handwritten_seconds == 0:
+            return float("inf")
+        return self.diablo_seconds / self.handwritten_seconds
+
+
+@dataclass
+class Figure3Panel:
+    """All measurements for one panel (one program)."""
+
+    program: str
+    title: str
+    points: list[Figure3Point] = field(default_factory=list)
+
+    def rows(self) -> list[list[str]]:
+        return [
+            [
+                str(point.size),
+                f"{point.diablo_seconds:.3f}",
+                f"{point.handwritten_seconds:.3f}",
+                f"{point.slowdown:.2f}x",
+                str(point.diablo_shuffled_records),
+                str(point.handwritten_shuffled_records),
+            ]
+            for point in self.points
+        ]
+
+
+def run_figure3_panel(
+    name: str, sizes: list[int] | None = None, num_partitions: int = 4
+) -> Figure3Panel:
+    """Run one Figure 3 panel (DIABLO and hand-written series)."""
+    spec = get_program(name)
+    panel = Figure3Panel(name, spec.title)
+    for size in sizes or DEFAULT_SWEEPS[name]:
+        inputs = default_inputs(name, size)
+
+        diablo_context = DistributedContext(num_partitions=num_partitions)
+        diablo_run = run_translated(name, inputs, diablo_context)
+        diablo_shuffled = diablo_context.metrics.shuffled_records
+
+        baseline_context = DistributedContext(num_partitions=num_partitions)
+        baseline_run = run_baseline(name, inputs, baseline_context)
+        baseline_shuffled = baseline_context.metrics.shuffled_records
+
+        panel.points.append(
+            Figure3Point(
+                program=name,
+                size=size,
+                diablo_seconds=diablo_run.seconds,
+                handwritten_seconds=baseline_run.seconds,
+                diablo_shuffled_records=diablo_shuffled,
+                handwritten_shuffled_records=baseline_shuffled,
+            )
+        )
+    return panel
+
+
+def run_figure3(
+    programs: list[str] | None = None,
+    sweeps: dict[str, list[int]] | None = None,
+    num_partitions: int = 4,
+) -> list[Figure3Panel]:
+    """Run every Figure 3 panel."""
+    names = programs or figure3_program_names()
+    chosen = dict(DEFAULT_SWEEPS)
+    if sweeps:
+        chosen.update(sweeps)
+    return [run_figure3_panel(name, chosen[name], num_partitions) for name in names]
+
+
+def format_figure3(panels: list[Figure3Panel]) -> str:
+    """Render all panels as text tables."""
+    sections = []
+    for index, panel in enumerate(panels):
+        letter = chr(ord("A") + index)
+        sections.append(
+            format_table(
+                ["size", "DIABLO (s)", "hand-written (s)", "ratio", "DIABLO shuffled", "hand shuffled"],
+                panel.rows(),
+                title=f"Figure 3.{letter}: {panel.title}",
+            )
+        )
+    return "\n\n".join(sections)

@@ -1,0 +1,43 @@
+"""Plain-text rendering of experiment results (tables and series)."""
+
+from __future__ import annotations
+
+from typing import Any, Sequence
+
+
+def format_table(headers: Sequence[str], rows: Sequence[Sequence[Any]], title: str = "") -> str:
+    """Render rows as an aligned plain-text table."""
+    columns = [[str(h)] + [_cell(row[i]) for row in rows] for i, h in enumerate(headers)]
+    widths = [max(len(value) for value in column) for column in columns]
+    lines = []
+    if title:
+        lines.append(title)
+    header_line = "  ".join(str(h).ljust(width) for h, width in zip(headers, widths))
+    lines.append(header_line)
+    lines.append("  ".join("-" * width for width in widths))
+    for row in rows:
+        lines.append("  ".join(_cell(value).ljust(width) for value, width in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def _cell(value: Any) -> str:
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        if abs(value) >= 100:
+            return f"{value:.1f}"
+        if abs(value) >= 0.01:
+            return f"{value:.3f}"
+        return f"{value:.5f}"
+    return str(value)
+
+
+def format_series(
+    title: str, x_label: str, series: dict[str, list[tuple[Any, float]]]
+) -> str:
+    """Render one figure panel: per-series (x, seconds) points."""
+    lines = [title]
+    for name, points in series.items():
+        rendered = ", ".join(f"{x}: {seconds:.3f}s" for x, seconds in points)
+        lines.append(f"  {name:<14} {x_label}: {rendered}")
+    return "\n".join(lines)

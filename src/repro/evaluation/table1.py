@@ -1,0 +1,98 @@
+"""Table 1 reproduction: translator running time per benchmark program.
+
+The paper compares the time MOLD, Casper and DIABLO take to *translate* each
+of sixteen loop programs (not to run them).  Here the DIABLO column measures
+this package's compiler; the MOLD and Casper columns run the comparator
+simulators of :mod:`repro.comparators` (see DESIGN.md for the substitution
+rationale).  The shape to reproduce: DIABLO succeeds on every program and is
+orders of magnitude faster; the comparators are slower and fail on the complex
+programs (matrices, iterative algorithms).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.comparators.casper import CasperTranslator
+from repro.comparators.mold import MoldTranslator
+from repro.evaluation.harness import diablo_for
+from repro.evaluation.reporting import format_table
+from repro.programs import get_program, table1_program_names
+from repro.workloads import workload_for_program
+
+
+@dataclass
+class Table1Row:
+    """One row of Table 1: per-translator time (seconds) or a failure marker."""
+
+    program: str
+    mold_seconds: float | None
+    casper_seconds: float | None
+    diablo_seconds: float
+    mold_failed: bool = False
+    casper_failed: bool = False
+
+    def cells(self) -> list[str]:
+        def render(seconds: float | None, failed: bool) -> str:
+            if seconds is None:
+                return "-"
+            if failed:
+                return f"fail ({seconds:.2f}s)"
+            return f"{seconds:.3f}"
+
+        return [
+            self.program,
+            render(self.mold_seconds, self.mold_failed),
+            render(self.casper_seconds, self.casper_failed),
+            f"{self.diablo_seconds:.4f}",
+        ]
+
+
+def run_table1(
+    programs: list[str] | None = None,
+    mold_budget: int = 50_000,
+    casper_budget: int = 8_000,
+    include_comparators: bool = True,
+) -> list[Table1Row]:
+    """Measure translation time for every Table 1 program."""
+    names = programs or table1_program_names()
+    mold = MoldTranslator(search_budget=mold_budget)
+    casper = CasperTranslator(candidate_budget=casper_budget)
+    rows: list[Table1Row] = []
+    for name in names:
+        spec = get_program(name)
+        diablo = diablo_for(spec)
+        translation = diablo.compiler.compile(spec.source)
+        mold_seconds: float | None = None
+        casper_seconds: float | None = None
+        mold_failed = False
+        casper_failed = False
+        if include_comparators:
+            mold_result = mold.translate(spec.source, name)
+            mold_seconds = mold_result.seconds
+            mold_failed = not mold_result.succeeded
+            casper_result = casper.translate(
+                spec.source, name, workload=lambda size, _n=name: workload_for_program(_n, size)
+            )
+            casper_seconds = casper_result.seconds
+            casper_failed = not casper_result.succeeded
+        rows.append(
+            Table1Row(
+                program=spec.title,
+                mold_seconds=mold_seconds,
+                casper_seconds=casper_seconds,
+                diablo_seconds=translation.translation_seconds,
+                mold_failed=mold_failed,
+                casper_failed=casper_failed,
+            )
+        )
+    return rows
+
+
+def format_table1(rows: list[Table1Row]) -> str:
+    """Render Table 1 as text."""
+    return format_table(
+        ["test program", "MOLD (sim)", "Casper (sim)", "DIABLO"],
+        [row.cells() for row in rows],
+        title="Table 1: translation time in seconds (comparators are simulated stand-ins)",
+    )

@@ -1,0 +1,87 @@
+"""Scalar function registry shared by the interpreter and the DISC executor.
+
+The loop language has no user-defined functions; calls such as ``sqrt(x)``,
+``distance(p, c)`` or record constructors such as ``ArgMin(j, d)`` refer to
+functions registered here.  The same registry instance is consulted by the
+sequential interpreter (the correctness oracle) and by the distributed plan
+executor, so both evaluation paths see identical semantics.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any, Callable
+
+from repro.comprehension.monoids import ArgMin, Avg
+
+
+def _distance(p: Any, c: Any) -> float:
+    """Euclidean distance between two 2-D points given as pairs."""
+    px, py = _point(p)
+    cx, cy = _point(c)
+    return math.sqrt((px - cx) * (px - cx) + (py - cy) * (py - cy))
+
+
+def _point(value: Any) -> tuple[float, float]:
+    if isinstance(value, dict):
+        return value["_1"], value["_2"]
+    return value[0], value[1]
+
+
+def builtin_functions() -> dict[str, Callable[..., Any]]:
+    """Functions that every compiler / interpreter instance knows about."""
+    return {
+        "sqrt": math.sqrt,
+        "abs": abs,
+        "exp": math.exp,
+        "log": math.log,
+        "pow": math.pow,
+        "floor": math.floor,
+        "ceil": math.ceil,
+        "min": min,
+        "max": max,
+        "distance": _distance,
+        # Record constructors used by the KMeans programs of Appendix B.
+        "ArgMin": lambda index, distance: ArgMin(int(index), float(distance)),
+        "Avg": lambda value, count: Avg(_point(value), int(count)),
+        # Empty-collection initializers used in declarations.
+        "vector": lambda *args: {},
+        "matrix": lambda *args: {},
+        "map": lambda *args: {},
+        "bag": lambda *args: [],
+        "array": lambda *args: {},
+    }
+
+
+class FunctionRegistry:
+    """A mutable mapping from function names to Python callables."""
+
+    def __init__(self, extra: dict[str, Callable[..., Any]] | None = None):
+        self._functions: dict[str, Callable[..., Any]] = builtin_functions()
+        if extra:
+            self._functions.update(extra)
+
+    def register(self, name: str, function: Callable[..., Any]) -> None:
+        """Register (or replace) a function under ``name``."""
+        self._functions[name] = function
+
+    def get(self, name: str) -> Callable[..., Any]:
+        """Look up a function; raises ``KeyError`` for unknown names."""
+        return self._functions[name]
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._functions
+
+    def names(self) -> list[str]:
+        """All registered function names."""
+        return sorted(self._functions)
+
+    def copy(self) -> "FunctionRegistry":
+        """A shallow copy that can be extended without affecting the original."""
+        clone = FunctionRegistry()
+        clone._functions = dict(self._functions)
+        return clone
+
+
+# A process-wide default registry used when callers do not supply their own.
+DEFAULT_FUNCTIONS = FunctionRegistry()

@@ -1,0 +1,35 @@
+"""The loop-based source language of the paper (Figure 1).
+
+This package contains everything needed to go from the textual form of an
+array-based loop program to an abstract syntax tree and back, plus a reference
+sequential interpreter used as the correctness oracle for the translator:
+
+* :mod:`repro.loop_lang.ast` -- AST node definitions (types, expressions,
+  L-values, statements).
+* :mod:`repro.loop_lang.lexer` / :mod:`repro.loop_lang.parser` -- concrete
+  syntax (the syntax used by the programs in Appendix B of the paper).
+* :mod:`repro.loop_lang.pretty` -- pretty printer (round-trips with the
+  parser).
+* :mod:`repro.loop_lang.interpreter` -- sequential reference semantics.
+* :mod:`repro.loop_lang.python_frontend` -- builds loop ASTs from a restricted
+  subset of Python functions using the standard :mod:`ast` module.
+"""
+
+from repro.loop_lang import ast
+from repro.loop_lang.parser import parse_program, parse_expression
+from repro.loop_lang.pretty import pretty_program, pretty_expr, pretty_stmt
+from repro.loop_lang.interpreter import Interpreter, interpret_program
+from repro.loop_lang.python_frontend import from_python_function, from_python_source
+
+__all__ = [
+    "ast",
+    "parse_program",
+    "parse_expression",
+    "pretty_program",
+    "pretty_expr",
+    "pretty_stmt",
+    "Interpreter",
+    "interpret_program",
+    "from_python_function",
+    "from_python_source",
+]

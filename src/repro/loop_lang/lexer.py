@@ -1,0 +1,226 @@
+"""Tokenizer for the concrete syntax of the loop-based language.
+
+The concrete syntax follows the programs listed in Appendix B of the paper:
+statements are terminated by ``;``, assignment is ``:=``, incremental updates
+are written ``+=``, ``*=``, ``^=`` and so on, and for-loops use the
+``for i = lo, hi do`` and ``for x in V do`` forms.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator
+
+from repro.errors import LexerError, SourceLocation
+
+#: Reserved words of the language.
+KEYWORDS = frozenset(
+    {
+        "var",
+        "for",
+        "in",
+        "do",
+        "while",
+        "if",
+        "else",
+        "true",
+        "false",
+    }
+)
+
+#: Multi-character operators / punctuation, longest first so that the longest
+#: match wins during scanning.
+MULTI_CHAR_SYMBOLS = [
+    "^^=",
+    ":=",
+    "+=",
+    "-=",
+    "*=",
+    "/=",
+    "^=",
+    "^^",
+    "==",
+    "!=",
+    "<=",
+    ">=",
+    "&&",
+    "||",
+]
+
+#: Single-character symbols.
+SINGLE_CHAR_SYMBOLS = "+-*/%^<>=!(){}[],;:."
+
+
+@dataclass(frozen=True)
+class Token:
+    """A single lexical token.
+
+    Attributes:
+        kind: one of ``ident``, ``int``, ``float``, ``string``, ``keyword``,
+            ``symbol`` or ``eof``.
+        text: the matched source text (or canonical spelling for symbols).
+        location: position of the first character of the token.
+    """
+
+    kind: str
+    text: str
+    location: SourceLocation
+
+    def is_symbol(self, text: str) -> bool:
+        return self.kind == "symbol" and self.text == text
+
+    def is_keyword(self, text: str) -> bool:
+        return self.kind == "keyword" and self.text == text
+
+    def __str__(self) -> str:
+        return f"{self.kind}({self.text!r})"
+
+
+def _is_ident_start(ch: str) -> bool:
+    return ch.isalpha() or ch == "_"
+
+
+def _is_ident_char(ch: str) -> bool:
+    return ch.isalnum() or ch == "_"
+
+
+class Lexer:
+    """Converts loop-language source text into a stream of :class:`Token`."""
+
+    def __init__(self, source: str):
+        self.source = source
+        self.position = 0
+        self.line = 1
+        self.column = 1
+
+    def _location(self) -> SourceLocation:
+        return SourceLocation(self.line, self.column)
+
+    def _advance(self, count: int = 1) -> None:
+        for _ in range(count):
+            if self.position >= len(self.source):
+                return
+            if self.source[self.position] == "\n":
+                self.line += 1
+                self.column = 1
+            else:
+                self.column += 1
+            self.position += 1
+
+    def _peek(self, offset: int = 0) -> str:
+        index = self.position + offset
+        if index < len(self.source):
+            return self.source[index]
+        return ""
+
+    def _skip_whitespace_and_comments(self) -> None:
+        while self.position < len(self.source):
+            ch = self._peek()
+            if ch in " \t\r\n":
+                self._advance()
+            elif ch == "/" and self._peek(1) == "/":
+                while self.position < len(self.source) and self._peek() != "\n":
+                    self._advance()
+            elif ch == "/" and self._peek(1) == "*":
+                self._advance(2)
+                while self.position < len(self.source) and not (
+                    self._peek() == "*" and self._peek(1) == "/"
+                ):
+                    self._advance()
+                if self.position >= len(self.source):
+                    raise LexerError("unterminated block comment", self._location())
+                self._advance(2)
+            elif ch == "#":
+                while self.position < len(self.source) and self._peek() != "\n":
+                    self._advance()
+            else:
+                return
+
+    def _scan_number(self) -> Token:
+        location = self._location()
+        start = self.position
+        while self._peek().isdigit():
+            self._advance()
+        is_float = False
+        if self._peek() == "." and self._peek(1).isdigit():
+            is_float = True
+            self._advance()
+            while self._peek().isdigit():
+                self._advance()
+        if self._peek() in "eE" and (
+            self._peek(1).isdigit() or (self._peek(1) in "+-" and self._peek(2).isdigit())
+        ):
+            is_float = True
+            self._advance()
+            if self._peek() in "+-":
+                self._advance()
+            while self._peek().isdigit():
+                self._advance()
+        text = self.source[start : self.position]
+        return Token("float" if is_float else "int", text, location)
+
+    def _scan_identifier(self) -> Token:
+        location = self._location()
+        start = self.position
+        while _is_ident_char(self._peek()):
+            self._advance()
+        text = self.source[start : self.position]
+        kind = "keyword" if text in KEYWORDS else "ident"
+        return Token(kind, text, location)
+
+    def _scan_string(self) -> Token:
+        location = self._location()
+        quote = self._peek()
+        self._advance()
+        chars: list[str] = []
+        while True:
+            ch = self._peek()
+            if ch == "":
+                raise LexerError("unterminated string literal", location)
+            if ch == quote:
+                self._advance()
+                break
+            if ch == "\\":
+                self._advance()
+                escaped = self._peek()
+                escapes = {"n": "\n", "t": "\t", "\\": "\\", '"': '"', "'": "'"}
+                chars.append(escapes.get(escaped, escaped))
+                self._advance()
+            else:
+                chars.append(ch)
+                self._advance()
+        return Token("string", "".join(chars), location)
+
+    def _scan_symbol(self) -> Token:
+        location = self._location()
+        for symbol in MULTI_CHAR_SYMBOLS:
+            if self.source.startswith(symbol, self.position):
+                self._advance(len(symbol))
+                return Token("symbol", symbol, location)
+        ch = self._peek()
+        if ch in SINGLE_CHAR_SYMBOLS:
+            self._advance()
+            return Token("symbol", ch, location)
+        raise LexerError(f"unexpected character {ch!r}", location)
+
+    def tokens(self) -> Iterator[Token]:
+        """Yield tokens until end of input, ending with a single ``eof``."""
+        while True:
+            self._skip_whitespace_and_comments()
+            if self.position >= len(self.source):
+                yield Token("eof", "", self._location())
+                return
+            ch = self._peek()
+            if ch.isdigit():
+                yield self._scan_number()
+            elif _is_ident_start(ch):
+                yield self._scan_identifier()
+            elif ch in "\"'":
+                yield self._scan_string()
+            else:
+                yield self._scan_symbol()
+
+
+def tokenize(source: str) -> list[Token]:
+    """Tokenize ``source`` and return the full token list (including ``eof``)."""
+    return list(Lexer(source).tokens())

@@ -1,0 +1,83 @@
+"""Pretty printer for loop-language programs.
+
+The printer produces text in the same concrete syntax accepted by the parser,
+so ``parse_program(pretty_program(p))`` round-trips (module formatting).
+"""
+
+from __future__ import annotations
+
+from repro.loop_lang import ast
+
+_INDENT = "  "
+
+
+def pretty_type(typ: ast.Type) -> str:
+    """Render a type."""
+    return str(typ)
+
+
+def pretty_expr(expr: ast.Expr) -> str:
+    """Render an expression in concrete syntax."""
+    if isinstance(expr, ast.Const):
+        if isinstance(expr.value, bool):
+            return "true" if expr.value else "false"
+        if isinstance(expr.value, str):
+            return '"' + expr.value.replace("\\", "\\\\").replace('"', '\\"') + '"'
+        return repr(expr.value)
+    if isinstance(expr, ast.Var):
+        return expr.name
+    if isinstance(expr, ast.Project):
+        return f"{pretty_expr(expr.base)}.{expr.attribute}"
+    if isinstance(expr, ast.Index):
+        indices = ", ".join(pretty_expr(i) for i in expr.indices)
+        return f"{pretty_expr(expr.array)}[{indices}]"
+    if isinstance(expr, ast.BinOp):
+        return f"({pretty_expr(expr.left)} {expr.op} {pretty_expr(expr.right)})"
+    if isinstance(expr, ast.UnaryOp):
+        return f"{expr.op}{pretty_expr(expr.operand)}"
+    if isinstance(expr, ast.TupleExpr):
+        return "(" + ", ".join(pretty_expr(e) for e in expr.elements) + ")"
+    if isinstance(expr, ast.RecordExpr):
+        inner = ", ".join(f"{name} = {pretty_expr(e)}" for name, e in expr.fields)
+        return f"<{inner}>"
+    if isinstance(expr, ast.Call):
+        args = ", ".join(pretty_expr(a) for a in expr.arguments)
+        return f"{expr.function}({args})"
+    raise TypeError(f"unknown expression node: {expr!r}")
+
+
+def pretty_stmt(stmt: ast.Stmt, indent: int = 0) -> str:
+    """Render a statement with the given indentation level."""
+    pad = _INDENT * indent
+    if isinstance(stmt, ast.IncrementalUpdate):
+        return f"{pad}{pretty_expr(stmt.destination)} {stmt.op}= {pretty_expr(stmt.value)};"
+    if isinstance(stmt, ast.Assign):
+        return f"{pad}{pretty_expr(stmt.destination)} := {pretty_expr(stmt.value)};"
+    if isinstance(stmt, ast.VarDecl):
+        return f"{pad}var {stmt.name}: {pretty_type(stmt.type)} = {pretty_expr(stmt.init)};"
+    if isinstance(stmt, ast.ForRange):
+        header = f"{pad}for {stmt.variable} = {pretty_expr(stmt.lower)}, {pretty_expr(stmt.upper)} do"
+        return header + "\n" + pretty_stmt(stmt.body, indent + 1)
+    if isinstance(stmt, ast.ForIn):
+        header = f"{pad}for {stmt.variable} in {pretty_expr(stmt.source)} do"
+        return header + "\n" + pretty_stmt(stmt.body, indent + 1)
+    if isinstance(stmt, ast.While):
+        header = f"{pad}while ({pretty_expr(stmt.condition)})"
+        return header + "\n" + pretty_stmt(stmt.body, indent + 1)
+    if isinstance(stmt, ast.If):
+        text = f"{pad}if ({pretty_expr(stmt.condition)})\n" + pretty_stmt(stmt.then_branch, indent + 1)
+        if stmt.else_branch is not None:
+            text += f"\n{pad}else\n" + pretty_stmt(stmt.else_branch, indent + 1)
+        return text
+    if isinstance(stmt, ast.Block):
+        lines = [f"{pad}{{"]
+        for inner in stmt.statements:
+            lines.append(pretty_stmt(inner, indent + 1))
+        lines.append(f"{pad}}}")
+        return "\n".join(lines)
+    raise TypeError(f"unknown statement node: {stmt!r}")
+
+
+def pretty_program(program: ast.Program) -> str:
+    """Render a complete program."""
+    return "\n".join(pretty_stmt(s) for s in program.statements) + "\n"

@@ -1,0 +1,297 @@
+"""Builds loop-language ASTs from a restricted subset of Python.
+
+The paper's loop language is "a proof-of-concept loop-based language; many
+other languages, such as Java or C, can be used instead" (Section 3.1).  This
+frontend plays that role for Python: a function written with plain loops,
+array indexing and incremental updates is converted -- via the standard
+:mod:`ast` module -- into the same loop-language AST that the textual parser
+produces, after which the whole DIABLO pipeline (restriction checking,
+translation, optimization, DISC execution) applies unchanged.
+
+Supported Python constructs:
+
+* ``for i in range(a, b)`` / ``range(n)``  -> range iteration (upper bound is
+  exclusive in Python, inclusive in the loop language; the frontend adjusts);
+* ``for x in V:``                           -> collection traversal;
+* ``while cond:`` and ``if/else``;
+* assignments ``x = e``, ``A[i] = e``, ``A[i, j] = e`` and annotated
+  declarations ``x: float = 0.0``;
+* augmented assignments ``+=``, ``*=`` (incremental updates);
+* arithmetic / comparison / boolean operators, function calls, tuples,
+  attribute access and constants.
+
+Anything else (nested functions, comprehensions, ``return`` with a value,
+``break``/``continue``) is rejected with a :class:`FrontendError`.
+"""
+
+from __future__ import annotations
+
+import ast as python_ast
+import inspect
+import textwrap
+from typing import Callable
+
+from repro.errors import DiabloError
+from repro.loop_lang import ast as loop_ast
+
+
+class FrontendError(DiabloError):
+    """Raised when a Python function uses constructs outside the supported subset."""
+
+
+_BINOP_SYMBOLS = {
+    python_ast.Add: "+",
+    python_ast.Sub: "-",
+    python_ast.Mult: "*",
+    python_ast.Div: "/",
+    python_ast.Mod: "%",
+    python_ast.BitXor: "^",
+    python_ast.Pow: "**",
+}
+
+_COMPARE_SYMBOLS = {
+    python_ast.Eq: "==",
+    python_ast.NotEq: "!=",
+    python_ast.Lt: "<",
+    python_ast.LtE: "<=",
+    python_ast.Gt: ">",
+    python_ast.GtE: ">=",
+}
+
+_TYPE_NAMES = {
+    "int": loop_ast.INT,
+    "float": loop_ast.DOUBLE,
+    "bool": loop_ast.BOOL,
+    "str": loop_ast.STRING,
+}
+
+
+def from_python_function(function: Callable) -> loop_ast.Program:
+    """Convert a Python function into a loop-language program.
+
+    The function's parameters become free (input) variables of the loop
+    program; its body becomes the program statements.
+    """
+    source = textwrap.dedent(inspect.getsource(function))
+    return from_python_source(source)
+
+
+def from_python_source(source: str) -> loop_ast.Program:
+    """Convert Python source text (a module or single function) into a program."""
+    module = python_ast.parse(textwrap.dedent(source))
+    body = module.body
+    if len(body) == 1 and isinstance(body[0], python_ast.FunctionDef):
+        statements = body[0].body
+    else:
+        statements = body
+    converted = [_convert_statement(stmt) for stmt in statements]
+    flattened = [s for s in converted if s is not None]
+    return loop_ast.Program(tuple(flattened))
+
+
+# ---------------------------------------------------------------------------
+# statements
+# ---------------------------------------------------------------------------
+
+
+def _convert_statement(node: python_ast.stmt) -> loop_ast.Stmt | None:
+    if isinstance(node, python_ast.AnnAssign):
+        return _convert_declaration(node)
+    if isinstance(node, python_ast.Assign):
+        return _convert_assignment(node)
+    if isinstance(node, python_ast.AugAssign):
+        return _convert_augmented(node)
+    if isinstance(node, python_ast.For):
+        return _convert_for(node)
+    if isinstance(node, python_ast.While):
+        return _convert_while(node)
+    if isinstance(node, python_ast.If):
+        return _convert_if(node)
+    if isinstance(node, python_ast.Expr) and isinstance(node.value, python_ast.Constant):
+        # A bare docstring; ignore.
+        return None
+    if isinstance(node, python_ast.Pass):
+        return None
+    if isinstance(node, python_ast.Return) and node.value is None:
+        return None
+    raise FrontendError(f"unsupported Python statement: {python_ast.dump(node)[:80]}")
+
+
+def _convert_body(body: list[python_ast.stmt]) -> loop_ast.Stmt:
+    converted = [_convert_statement(s) for s in body]
+    statements = tuple(s for s in converted if s is not None)
+    if len(statements) == 1:
+        return statements[0]
+    return loop_ast.Block(statements)
+
+
+def _convert_declaration(node: python_ast.AnnAssign) -> loop_ast.Stmt:
+    if not isinstance(node.target, python_ast.Name):
+        raise FrontendError("annotated declarations must target a simple name")
+    if node.value is None:
+        raise FrontendError("annotated declarations must have an initializer")
+    return loop_ast.VarDecl(
+        node.target.id, _convert_annotation(node.annotation), _convert_expression(node.value)
+    )
+
+
+def _convert_annotation(node: python_ast.expr) -> loop_ast.Type:
+    if isinstance(node, python_ast.Name):
+        if node.id in _TYPE_NAMES:
+            return _TYPE_NAMES[node.id]
+        if node.id == "dict":
+            return loop_ast.map_of(loop_ast.LONG, loop_ast.DOUBLE)
+        return loop_ast.BasicType(node.id.lower())
+    if isinstance(node, python_ast.Subscript) and isinstance(node.value, python_ast.Name):
+        constructor = node.value.id.lower()
+        inner = node.slice
+        parameters: list[loop_ast.Type] = []
+        if isinstance(inner, python_ast.Tuple):
+            parameters = [_convert_annotation(e) for e in inner.elts]
+        else:
+            parameters = [_convert_annotation(inner)]
+        if constructor == "dict":
+            constructor = "map"
+        return loop_ast.ParametricType(constructor, tuple(parameters))
+    if isinstance(node, python_ast.Constant) and isinstance(node.value, str):
+        return loop_ast.BasicType(node.value.lower())
+    raise FrontendError(f"unsupported type annotation: {python_ast.dump(node)[:80]}")
+
+
+def _convert_assignment(node: python_ast.Assign) -> loop_ast.Stmt:
+    if len(node.targets) != 1:
+        raise FrontendError("chained assignments are not supported")
+    destination = _convert_expression(node.targets[0])
+    if not loop_ast.is_destination(destination):
+        raise FrontendError(f"invalid assignment destination: {destination}")
+    value = _convert_expression(node.value)
+    # dict() / {} initializers become variable declarations for key-value maps.
+    if isinstance(node.value, python_ast.Dict) and not node.value.keys:
+        return loop_ast.VarDecl(
+            loop_ast.destination_root(destination).name,
+            loop_ast.map_of(loop_ast.LONG, loop_ast.DOUBLE),
+            loop_ast.Call("map", ()),
+        )
+    return loop_ast.Assign(destination, value)
+
+
+def _convert_augmented(node: python_ast.AugAssign) -> loop_ast.Stmt:
+    op_type = type(node.op)
+    if op_type not in _BINOP_SYMBOLS:
+        raise FrontendError(f"unsupported augmented operator: {op_type.__name__}")
+    destination = _convert_expression(node.target)
+    if not loop_ast.is_destination(destination):
+        raise FrontendError(f"invalid update destination: {destination}")
+    return loop_ast.IncrementalUpdate(destination, _BINOP_SYMBOLS[op_type], _convert_expression(node.value))
+
+
+def _convert_for(node: python_ast.For) -> loop_ast.Stmt:
+    if node.orelse:
+        raise FrontendError("for/else is not supported")
+    if not isinstance(node.target, python_ast.Name):
+        raise FrontendError("for-loop targets must be simple names")
+    variable = node.target.id
+    body = _convert_body(node.body)
+    iterator = node.iter
+    if isinstance(iterator, python_ast.Call) and isinstance(iterator.func, python_ast.Name):
+        if iterator.func.id == "range":
+            arguments = [_convert_expression(a) for a in iterator.args]
+            if len(arguments) == 1:
+                lower: loop_ast.Expr = loop_ast.Const(0)
+                upper = arguments[0]
+            elif len(arguments) >= 2:
+                lower, upper = arguments[0], arguments[1]
+            else:
+                raise FrontendError("range() needs at least one argument")
+            # Python's upper bound is exclusive, the loop language's inclusive.
+            inclusive_upper = loop_ast.BinOp("-", upper, loop_ast.Const(1))
+            if isinstance(upper, loop_ast.Const) and isinstance(upper.value, int):
+                inclusive_upper = loop_ast.Const(upper.value - 1)
+            return loop_ast.ForRange(variable, lower, inclusive_upper, body)
+    return loop_ast.ForIn(variable, _convert_expression(iterator), body)
+
+
+def _convert_while(node: python_ast.While) -> loop_ast.Stmt:
+    if node.orelse:
+        raise FrontendError("while/else is not supported")
+    return loop_ast.While(_convert_expression(node.test), _convert_body(node.body))
+
+
+def _convert_if(node: python_ast.If) -> loop_ast.Stmt:
+    then_branch = _convert_body(node.body)
+    else_branch = _convert_body(node.orelse) if node.orelse else None
+    if isinstance(else_branch, loop_ast.Block) and not else_branch.statements:
+        else_branch = None
+    return loop_ast.If(_convert_expression(node.test), then_branch, else_branch)
+
+
+# ---------------------------------------------------------------------------
+# expressions
+# ---------------------------------------------------------------------------
+
+
+def _convert_expression(node: python_ast.expr) -> loop_ast.Expr:
+    if isinstance(node, python_ast.Constant):
+        if node.value is None:
+            raise FrontendError("None has no loop-language equivalent")
+        return loop_ast.Const(node.value)
+    if isinstance(node, python_ast.Name):
+        return loop_ast.Var(node.id)
+    if isinstance(node, python_ast.Attribute):
+        return loop_ast.Project(_convert_expression(node.value), node.attr)
+    if isinstance(node, python_ast.Subscript):
+        array = _convert_expression(node.value)
+        index = node.slice
+        if isinstance(index, python_ast.Tuple):
+            indices = tuple(_convert_expression(e) for e in index.elts)
+        else:
+            indices = (_convert_expression(index),)
+        return loop_ast.Index(array, indices)
+    if isinstance(node, python_ast.BinOp):
+        op_type = type(node.op)
+        if op_type not in _BINOP_SYMBOLS:
+            raise FrontendError(f"unsupported binary operator: {op_type.__name__}")
+        return loop_ast.BinOp(
+            _BINOP_SYMBOLS[op_type], _convert_expression(node.left), _convert_expression(node.right)
+        )
+    if isinstance(node, python_ast.UnaryOp):
+        if isinstance(node.op, python_ast.USub):
+            operand = _convert_expression(node.operand)
+            if isinstance(operand, loop_ast.Const) and isinstance(operand.value, (int, float)):
+                return loop_ast.Const(-operand.value)
+            return loop_ast.UnaryOp("-", operand)
+        if isinstance(node.op, python_ast.Not):
+            return loop_ast.UnaryOp("!", _convert_expression(node.operand))
+        raise FrontendError(f"unsupported unary operator: {type(node.op).__name__}")
+    if isinstance(node, python_ast.BoolOp):
+        symbol = "&&" if isinstance(node.op, python_ast.And) else "||"
+        result = _convert_expression(node.values[0])
+        for value in node.values[1:]:
+            result = loop_ast.BinOp(symbol, result, _convert_expression(value))
+        return result
+    if isinstance(node, python_ast.Compare):
+        if len(node.ops) != 1 or len(node.comparators) != 1:
+            raise FrontendError("chained comparisons are not supported")
+        op_type = type(node.ops[0])
+        if op_type not in _COMPARE_SYMBOLS:
+            raise FrontendError(f"unsupported comparison: {op_type.__name__}")
+        return loop_ast.BinOp(
+            _COMPARE_SYMBOLS[op_type],
+            _convert_expression(node.left),
+            _convert_expression(node.comparators[0]),
+        )
+    if isinstance(node, python_ast.Call):
+        if isinstance(node.func, python_ast.Name):
+            name = node.func.id
+        elif isinstance(node.func, python_ast.Attribute):
+            name = node.func.attr
+        else:
+            raise FrontendError("unsupported call target")
+        if name == "dict":
+            name = "map"
+        return loop_ast.Call(name, tuple(_convert_expression(a) for a in node.args))
+    if isinstance(node, python_ast.Tuple):
+        return loop_ast.TupleExpr(tuple(_convert_expression(e) for e in node.elts))
+    if isinstance(node, python_ast.Dict) and not node.keys:
+        return loop_ast.Call("map", ())
+    raise FrontendError(f"unsupported Python expression: {python_ast.dump(node)[:80]}")

@@ -1,0 +1,27 @@
+"""The loop-language programs used throughout the paper's evaluation.
+
+:mod:`repro.programs.sources` holds the Appendix B DIABLO programs for the
+twelve Figure 3 workloads, plus the additional small programs that appear in
+the Table 1 translator comparison (Average, Count, Sum, Conditional Count,
+Equal Frequency, PCA).  Each program is packaged as a
+:class:`~repro.programs.sources.ProgramSpec` together with the scalar
+functions and custom monoids it needs.
+"""
+
+from repro.programs.sources import (
+    PROGRAMS,
+    ProgramSpec,
+    figure3_program_names,
+    get_program,
+    table1_program_names,
+    table2_program_names,
+)
+
+__all__ = [
+    "PROGRAMS",
+    "ProgramSpec",
+    "get_program",
+    "figure3_program_names",
+    "table1_program_names",
+    "table2_program_names",
+]

@@ -1,0 +1,31 @@
+"""A local DISC (data-intensive scalable computing) runtime.
+
+This package is the substrate that plays the role of Spark Core in the paper:
+a partitioned, RDD-like :class:`~repro.runtime.dataset.Dataset` with the usual
+narrow operations (map, flatMap, filter, mapValues, zipPartitions) and shuffle
+operations (reduceByKey, groupByKey, aggregateByKey, join, coGroup, distinct,
+sortBy), a :class:`~repro.runtime.context.DistributedContext` that creates
+datasets and broadcasts, hash partitioners, and per-context metrics that count
+shuffles and shuffled records so benchmarks can make machine-independent
+assertions about plan *shape*.
+
+The runtime executes locally (optionally with a thread pool per partition) but
+preserves the data-movement structure of a cluster: every shuffle operation
+redistributes records by key across partitions and is counted as such.
+"""
+
+from repro.runtime.context import DistributedContext
+from repro.runtime.dataset import Dataset
+from repro.runtime.broadcast import Broadcast
+from repro.runtime.metrics import Metrics
+from repro.runtime.partitioner import HashPartitioner, Partitioner, RangePartitioner
+
+__all__ = [
+    "DistributedContext",
+    "Dataset",
+    "Broadcast",
+    "Metrics",
+    "HashPartitioner",
+    "RangePartitioner",
+    "Partitioner",
+]

@@ -1,0 +1,153 @@
+"""The driver-side entry point of the local DISC runtime.
+
+A :class:`DistributedContext` plays the role of Spark's ``SparkContext``: it
+creates datasets from driver data, creates broadcast variables, owns the
+metrics counters, and decides how narrow tasks are executed (sequentially or
+with a thread pool, one task per partition).
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import ThreadPoolExecutor
+from typing import Any, Callable, Iterable, Mapping
+
+from repro.errors import ExecutionError
+from repro.runtime.broadcast import Broadcast
+from repro.runtime.dataset import Dataset
+from repro.runtime.metrics import Metrics
+from repro.runtime.partitioner import HashPartitioner
+
+
+class DistributedContext:
+    """Creates and executes datasets on the local DISC runtime.
+
+    Args:
+        num_partitions: default number of partitions for new datasets.
+        executor: ``"sequential"`` runs one partition after another in the
+            driver; ``"threads"`` runs partitions concurrently in a thread
+            pool (``num_threads`` workers).
+        num_threads: size of the thread pool when ``executor="threads"``.
+    """
+
+    def __init__(
+        self,
+        num_partitions: int = 8,
+        executor: str = "sequential",
+        num_threads: int | None = None,
+    ):
+        if num_partitions <= 0:
+            raise ValueError("num_partitions must be positive")
+        if executor not in ("sequential", "threads"):
+            raise ValueError(f"unknown executor {executor!r}")
+        self.num_partitions = num_partitions
+        self.executor = executor
+        self.num_threads = num_threads or num_partitions
+        self.metrics = Metrics()
+        self._broadcast_counter = 0
+        self._pool: ThreadPoolExecutor | None = None
+
+    # -- dataset creation -------------------------------------------------------
+
+    def parallelize(self, data: Iterable[Any], num_partitions: int | None = None) -> Dataset:
+        """Create a dataset from driver-side data, split into partitions."""
+        records = list(data)
+        return Dataset(self, self._split(records, num_partitions or self.num_partitions))
+
+    def parallelize_raw(self, records: list[Any], num_partitions: int | None = None) -> Dataset:
+        """Like :meth:`parallelize` but without copying an already-built list."""
+        return Dataset(self, self._split(records, num_partitions or self.num_partitions))
+
+    def parallelize_pairs(
+        self, data: Mapping[Any, Any] | Iterable[tuple[Any, Any]], num_partitions: int | None = None
+    ) -> Dataset:
+        """Create a key-value dataset from a mapping or an iterable of pairs."""
+        if isinstance(data, Mapping):
+            records = list(data.items())
+        else:
+            records = list(data)
+        return self.parallelize_raw(records, num_partitions)
+
+    from_dict = parallelize_pairs
+
+    def indexed(self, data: Iterable[Any], num_partitions: int | None = None) -> Dataset:
+        """Create a key-value dataset ``(position, element)`` from a plain sequence.
+
+        The translator represents every collection as an indexed (sparse
+        array) dataset; this is the canonical way to feed it a plain list.
+        """
+        records = list(enumerate(data))
+        return self.parallelize_raw(records, num_partitions)
+
+    def range_dataset(self, lower: int, upper: int, num_partitions: int | None = None) -> Dataset:
+        """The dataset of integers ``lower..upper`` (both bounds inclusive)."""
+        if upper < lower:
+            return self.empty()
+        return self.parallelize_raw(list(range(lower, upper + 1)), num_partitions)
+
+    def empty(self) -> Dataset:
+        """A dataset with no records."""
+        return Dataset(self, [[] for _ in range(self.num_partitions)])
+
+    def broadcast(self, value: Any) -> Broadcast:
+        """Create a broadcast variable holding ``value``."""
+        self._broadcast_counter += 1
+        self.metrics.record_broadcast()
+        return Broadcast(value, self._broadcast_counter)
+
+    def hash_partitioner(self, num_partitions: int | None = None) -> HashPartitioner:
+        return HashPartitioner(num_partitions or self.num_partitions)
+
+    # -- task execution -----------------------------------------------------------
+
+    def run_tasks(
+        self, task: Callable[[list[Any]], list[Any]], partitions: list[list[Any]]
+    ) -> list[list[Any]]:
+        """Run ``task`` over every partition, honoring the executor mode."""
+        if self.executor == "sequential" or len(partitions) <= 1:
+            return [task(partition) for partition in partitions]
+        pool = self._thread_pool()
+        futures = [pool.submit(task, partition) for partition in partitions]
+        results: list[list[Any]] = []
+        errors: list[BaseException] = []
+        for future in futures:
+            error = future.exception()
+            if error is not None:
+                errors.append(error)
+            else:
+                results.append(future.result())
+        if errors:
+            raise ExecutionError(f"{len(errors)} task(s) failed: {errors[0]}") from errors[0]
+        return results
+
+    def _thread_pool(self) -> ThreadPoolExecutor:
+        if self._pool is None:
+            self._pool = ThreadPoolExecutor(max_workers=self.num_threads)
+        return self._pool
+
+    def shutdown(self) -> None:
+        """Stop the thread pool (if one was started)."""
+        if self._pool is not None:
+            self._pool.shutdown(wait=True)
+            self._pool = None
+
+    def __enter__(self) -> "DistributedContext":
+        return self
+
+    def __exit__(self, *_exc: Any) -> None:
+        self.shutdown()
+
+    # -- helpers --------------------------------------------------------------------
+
+    @staticmethod
+    def _split(records: list[Any], num_partitions: int) -> list[list[Any]]:
+        if num_partitions <= 0:
+            raise ValueError("num_partitions must be positive")
+        total = len(records)
+        base, extra = divmod(total, num_partitions)
+        partitions: list[list[Any]] = []
+        start = 0
+        for index in range(num_partitions):
+            size = base + (1 if index < extra else 0)
+            partitions.append(records[start : start + size])
+            start += size
+        return partitions

@@ -1,0 +1,511 @@
+"""An RDD-like partitioned dataset.
+
+:class:`Dataset` mirrors the part of the Spark Core API that the paper's
+generated and hand-written programs use.  Data lives in a list of partitions;
+*narrow* operations transform each partition independently, *shuffle*
+operations redistribute records across partitions by key (and are counted by
+the context's :class:`~repro.runtime.metrics.Metrics`).
+
+Operations are eager: each call materializes its result.  This keeps the
+engine easy to reason about while preserving the data-movement structure that
+determines relative performance on a real cluster (numbers of shuffles and
+shuffled records).
+"""
+
+from __future__ import annotations
+
+import itertools
+from collections import defaultdict
+from typing import Any, Callable, Iterable, Iterator, TYPE_CHECKING
+
+from repro.errors import ExecutionError
+from repro.runtime.partitioner import HashPartitioner, Partitioner
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.runtime.context import DistributedContext
+
+
+class Dataset:
+    """A partitioned collection of records.
+
+    Datasets are created through a :class:`~repro.runtime.context.DistributedContext`
+    (``parallelize``, ``range_dataset``, ``from_dict``) and transformed through
+    the methods below.  Key-value datasets are simply datasets of 2-tuples.
+    """
+
+    def __init__(
+        self,
+        context: "DistributedContext",
+        partitions: list[list[Any]],
+        partitioner: Partitioner | None = None,
+    ):
+        self.context = context
+        self.partitions = partitions
+        self.partitioner = partitioner
+        context.metrics.record_dataset()
+
+    # -- basic properties -----------------------------------------------------
+
+    @property
+    def num_partitions(self) -> int:
+        return len(self.partitions)
+
+    def collect(self) -> list[Any]:
+        """All records as a single list (driver side)."""
+        return [record for partition in self.partitions for record in partition]
+
+    def count(self) -> int:
+        """Number of records."""
+        return sum(len(partition) for partition in self.partitions)
+
+    def is_empty(self) -> bool:
+        return all(not partition for partition in self.partitions)
+
+    def first(self) -> Any:
+        """The first record; raises if the dataset is empty."""
+        for partition in self.partitions:
+            if partition:
+                return partition[0]
+        raise ExecutionError("first() on an empty dataset")
+
+    def take(self, count: int) -> list[Any]:
+        """Up to ``count`` records."""
+        taken: list[Any] = []
+        for partition in self.partitions:
+            for record in partition:
+                if len(taken) >= count:
+                    return taken
+                taken.append(record)
+        return taken
+
+    def cache(self) -> "Dataset":
+        """No-op locally; kept for API parity with Spark."""
+        return self
+
+    persist = cache
+
+    def __iter__(self) -> Iterator[Any]:
+        for partition in self.partitions:
+            yield from partition
+
+    def __len__(self) -> int:
+        return self.count()
+
+    def __repr__(self) -> str:
+        return f"Dataset(partitions={self.num_partitions}, records={self.count()})"
+
+    # -- narrow transformations --------------------------------------------------
+
+    def _narrow(self, transform: Callable[[list[Any]], list[Any]], keep_partitioner: bool = False) -> "Dataset":
+        new_partitions = self.context.run_tasks(transform, self.partitions)
+        self.context.metrics.record_narrow(self.num_partitions, self.count())
+        partitioner = self.partitioner if keep_partitioner else None
+        return Dataset(self.context, new_partitions, partitioner)
+
+    def map(self, function: Callable[[Any], Any]) -> "Dataset":
+        """Apply ``function`` to every record."""
+        return self._narrow(lambda part: [function(record) for record in part])
+
+    def flat_map(self, function: Callable[[Any], Iterable[Any]]) -> "Dataset":
+        """Apply ``function`` and concatenate the resulting iterables."""
+        return self._narrow(lambda part: [out for record in part for out in function(record)])
+
+    flatMap = flat_map
+
+    def filter(self, predicate: Callable[[Any], bool]) -> "Dataset":
+        """Keep the records for which ``predicate`` is true."""
+        return self._narrow(
+            lambda part: [record for record in part if predicate(record)], keep_partitioner=True
+        )
+
+    def map_values(self, function: Callable[[Any], Any]) -> "Dataset":
+        """Apply ``function`` to the value of every key-value record."""
+        return self._narrow(
+            lambda part: [(key, function(value)) for key, value in part], keep_partitioner=True
+        )
+
+    mapValues = map_values
+
+    def map_partitions(self, function: Callable[[list[Any]], Iterable[Any]]) -> "Dataset":
+        """Apply ``function`` to whole partitions."""
+        return self._narrow(lambda part: list(function(part)))
+
+    mapPartitions = map_partitions
+
+    def key_by(self, function: Callable[[Any], Any]) -> "Dataset":
+        """Turn records into ``(function(record), record)`` pairs."""
+        return self.map(lambda record: (function(record), record))
+
+    keyBy = key_by
+
+    def keys(self) -> "Dataset":
+        return self.map(lambda pair: pair[0])
+
+    def values(self) -> "Dataset":
+        return self.map(lambda pair: pair[1])
+
+    def zip_with_index(self) -> "Dataset":
+        """Pair every record with its global index: ``(record, index)``."""
+        offsets = list(itertools.accumulate([0] + [len(p) for p in self.partitions[:-1]]))
+        new_partitions = [
+            [(record, offset + position) for position, record in enumerate(partition)]
+            for offset, partition in zip(offsets, self.partitions)
+        ]
+        self.context.metrics.record_narrow(self.num_partitions, self.count())
+        return Dataset(self.context, new_partitions)
+
+    zipWithIndex = zip_with_index
+
+    def zip_partitions(self, other: "Dataset", function: Callable[[list[Any], list[Any]], Iterable[Any]]) -> "Dataset":
+        """Combine co-partitioned datasets partition by partition (no shuffle)."""
+        if self.num_partitions != other.num_partitions:
+            raise ExecutionError(
+                "zip_partitions requires both datasets to have the same number of partitions"
+            )
+        new_partitions = [
+            list(function(left, right)) for left, right in zip(self.partitions, other.partitions)
+        ]
+        self.context.metrics.record_narrow(self.num_partitions, self.count() + other.count())
+        return Dataset(self.context, new_partitions, self.partitioner)
+
+    zipPartitions = zip_partitions
+
+    def union(self, other: "Dataset") -> "Dataset":
+        """Concatenate two datasets (no shuffle)."""
+        return Dataset(self.context, self.partitions + other.partitions)
+
+    def cartesian(self, other: "Dataset") -> "Dataset":
+        """All pairs of records; a shuffle in any distributed implementation."""
+        left = self.collect()
+        right = other.collect()
+        self.context.metrics.record_shuffle("cartesian", len(left) + len(right))
+        pairs = [(a, b) for a in left for b in right]
+        return self.context.parallelize_raw(pairs)
+
+    def sample(self, fraction: float, seed: int = 17) -> "Dataset":
+        """A deterministic pseudo-random sample of ``fraction`` of the records."""
+        import random
+
+        generator = random.Random(seed)
+        return self.filter(lambda _record: generator.random() < fraction)
+
+    # -- actions -------------------------------------------------------------------
+
+    def reduce(self, function: Callable[[Any, Any], Any]) -> Any:
+        """Reduce all records with an associative, commutative function."""
+        partial_results = [
+            _reduce_list(partition, function) for partition in self.partitions if partition
+        ]
+        if not partial_results:
+            raise ExecutionError("reduce() on an empty dataset")
+        return _reduce_list(partial_results, function)
+
+    def fold(self, zero: Any, function: Callable[[Any, Any], Any]) -> Any:
+        """Like :meth:`reduce` but with an identity value for empty datasets."""
+        result = zero
+        for partition in self.partitions:
+            for record in partition:
+                result = function(result, record)
+        return result
+
+    def aggregate(self, zero: Any, seq_op: Callable[[Any, Any], Any], comb_op: Callable[[Any, Any], Any]) -> Any:
+        """Two-level aggregation: ``seq_op`` within partitions, ``comb_op`` across."""
+        partials = []
+        for partition in self.partitions:
+            accumulator = zero
+            for record in partition:
+                accumulator = seq_op(accumulator, record)
+            partials.append(accumulator)
+        result = zero
+        for partial in partials:
+            result = comb_op(result, partial)
+        return result
+
+    def sum(self) -> Any:
+        return self.fold(0, lambda a, b: a + b)
+
+    def count_by_value(self) -> dict[Any, int]:
+        """Count occurrences of each distinct record (a shuffle)."""
+        counts = self.map(lambda record: (record, 1)).reduce_by_key(lambda a, b: a + b)
+        return dict(counts.collect())
+
+    countByValue = count_by_value
+
+    def count_by_key(self) -> dict[Any, int]:
+        counts = self.map(lambda pair: (pair[0], 1)).reduce_by_key(lambda a, b: a + b)
+        return dict(counts.collect())
+
+    countByKey = count_by_key
+
+    def collect_as_map(self) -> dict[Any, Any]:
+        """Collect a key-value dataset into a dict (later keys win)."""
+        return dict(self.collect())
+
+    collectAsMap = collect_as_map
+
+    def to_dict(self) -> dict[Any, Any]:
+        return self.collect_as_map()
+
+    # -- shuffle transformations ------------------------------------------------------
+
+    def _shuffle_by_key(
+        self, operation: str, partitioner: Partitioner | None = None
+    ) -> tuple[list[list[Any]], Partitioner]:
+        """Redistribute key-value records by key; returns new raw partitions."""
+        chosen = partitioner or self.partitioner or HashPartitioner(self.context.num_partitions)
+        buckets: list[list[Any]] = [[] for _ in range(chosen.num_partitions)]
+        moved = 0
+        for partition in self.partitions:
+            for record in partition:
+                key = record[0]
+                buckets[chosen.partition(key)].append(record)
+                moved += 1
+        self.context.metrics.record_shuffle(operation, moved)
+        return buckets, chosen
+
+    def partition_by(self, partitioner: Partitioner) -> "Dataset":
+        """Repartition a key-value dataset with an explicit partitioner."""
+        if self.partitioner == partitioner:
+            return self
+        buckets, chosen = self._shuffle_by_key("partitionBy", partitioner)
+        return Dataset(self.context, buckets, chosen)
+
+    partitionBy = partition_by
+
+    def repartition(self, num_partitions: int) -> "Dataset":
+        """Redistribute records round-robin into ``num_partitions`` partitions."""
+        records = self.collect()
+        self.context.metrics.record_shuffle("repartition", len(records))
+        partitions: list[list[Any]] = [[] for _ in range(num_partitions)]
+        for index, record in enumerate(records):
+            partitions[index % num_partitions].append(record)
+        return Dataset(self.context, partitions)
+
+    def group_by_key(self, partitioner: Partitioner | None = None) -> "Dataset":
+        """Group a key-value dataset into ``(key, [values])`` (a shuffle)."""
+        buckets, chosen = self._shuffle_by_key("groupByKey", partitioner)
+        grouped_partitions: list[list[Any]] = []
+        for bucket in buckets:
+            groups: dict[Any, list[Any]] = defaultdict(list)
+            for key, value in bucket:
+                groups[key].append(value)
+            grouped_partitions.append(list(groups.items()))
+        return Dataset(self.context, grouped_partitions, chosen)
+
+    groupByKey = group_by_key
+
+    def group_by(self, key_function: Callable[[Any], Any]) -> "Dataset":
+        """Group records by ``key_function`` into ``(key, [records])``."""
+        return self.map(lambda record: (key_function(record), record)).group_by_key()
+
+    groupBy = group_by
+
+    def reduce_by_key(
+        self, function: Callable[[Any, Any], Any], partitioner: Partitioner | None = None
+    ) -> "Dataset":
+        """Combine values per key with map-side pre-aggregation, then shuffle.
+
+        This mirrors Spark: each partition first combines its own values per
+        key, so only one record per (partition, key) crosses the shuffle.
+        """
+        combined_partitions: list[list[Any]] = []
+        for partition in self.partitions:
+            accumulator: dict[Any, Any] = {}
+            for key, value in partition:
+                if key in accumulator:
+                    accumulator[key] = function(accumulator[key], value)
+                else:
+                    accumulator[key] = value
+            combined_partitions.append(list(accumulator.items()))
+        self.context.metrics.record_narrow(self.num_partitions, self.count())
+        pre_aggregated = Dataset(self.context, combined_partitions)
+        buckets, chosen = pre_aggregated._shuffle_by_key("reduceByKey", partitioner)
+        final_partitions: list[list[Any]] = []
+        for bucket in buckets:
+            accumulator = {}
+            for key, value in bucket:
+                if key in accumulator:
+                    accumulator[key] = function(accumulator[key], value)
+                else:
+                    accumulator[key] = value
+            final_partitions.append(list(accumulator.items()))
+        return Dataset(self.context, final_partitions, chosen)
+
+    reduceByKey = reduce_by_key
+
+    def aggregate_by_key(
+        self,
+        zero: Any,
+        seq_op: Callable[[Any, Any], Any],
+        comb_op: Callable[[Any, Any], Any],
+        partitioner: Partitioner | None = None,
+    ) -> "Dataset":
+        """Per-key aggregation with a zero element (Spark's aggregateByKey)."""
+        combined_partitions: list[list[Any]] = []
+        for partition in self.partitions:
+            accumulator: dict[Any, Any] = {}
+            for key, value in partition:
+                current = accumulator.get(key, zero)
+                accumulator[key] = seq_op(current, value)
+            combined_partitions.append(list(accumulator.items()))
+        self.context.metrics.record_narrow(self.num_partitions, self.count())
+        pre_aggregated = Dataset(self.context, combined_partitions)
+        buckets, chosen = pre_aggregated._shuffle_by_key("aggregateByKey", partitioner)
+        final_partitions: list[list[Any]] = []
+        for bucket in buckets:
+            accumulator = {}
+            for key, value in bucket:
+                if key in accumulator:
+                    accumulator[key] = comb_op(accumulator[key], value)
+                else:
+                    accumulator[key] = value
+            final_partitions.append(list(accumulator.items()))
+        return Dataset(self.context, final_partitions, chosen)
+
+    aggregateByKey = aggregate_by_key
+
+    def distinct(self) -> "Dataset":
+        """Remove duplicate records (a shuffle)."""
+        keyed = self.map(lambda record: (record, None))
+        return keyed.reduce_by_key(lambda a, _b: a).keys()
+
+    def sort_by(self, key_function: Callable[[Any], Any], ascending: bool = True) -> "Dataset":
+        """Globally sort records (a shuffle)."""
+        records = sorted(self.collect(), key=key_function, reverse=not ascending)
+        self.context.metrics.record_shuffle("sortBy", len(records))
+        return self.context.parallelize_raw(records)
+
+    sortBy = sort_by
+
+    def sort_by_key(self, ascending: bool = True) -> "Dataset":
+        return self.sort_by(lambda pair: pair[0], ascending)
+
+    sortByKey = sort_by_key
+
+    # -- joins ---------------------------------------------------------------------
+
+    def co_group(self, other: "Dataset", partitioner: Partitioner | None = None) -> "Dataset":
+        """Group two key-value datasets by key: ``(key, ([left values], [right values]))``."""
+        chosen = partitioner or HashPartitioner(self.context.num_partitions)
+        left_buckets, _ = self._shuffle_by_key("coGroup", chosen)
+        right_buckets, _ = other._shuffle_by_key("coGroup", chosen)
+        result_partitions: list[list[Any]] = []
+        for left_bucket, right_bucket in zip(left_buckets, right_buckets):
+            left_groups: dict[Any, list[Any]] = defaultdict(list)
+            right_groups: dict[Any, list[Any]] = defaultdict(list)
+            for key, value in left_bucket:
+                left_groups[key].append(value)
+            for key, value in right_bucket:
+                right_groups[key].append(value)
+            merged: list[Any] = []
+            for key in left_groups.keys() | right_groups.keys():
+                merged.append((key, (left_groups.get(key, []), right_groups.get(key, []))))
+            result_partitions.append(merged)
+        return Dataset(self.context, result_partitions, chosen)
+
+    coGroup = co_group
+    cogroup = co_group
+
+    def join(self, other: "Dataset", partitioner: Partitioner | None = None) -> "Dataset":
+        """Inner equi-join of key-value datasets: ``(key, (left, right))``."""
+        grouped = self.co_group(other, partitioner)
+        return grouped.flat_map(
+            lambda record: [
+                (record[0], (left, right)) for left in record[1][0] for right in record[1][1]
+            ]
+        )
+
+    def left_outer_join(self, other: "Dataset", partitioner: Partitioner | None = None) -> "Dataset":
+        """Left outer join: right side is ``None`` when the key is missing."""
+        grouped = self.co_group(other, partitioner)
+
+        def expand(record: Any) -> list[Any]:
+            key, (left_values, right_values) = record
+            if not right_values:
+                return [(key, (left, None)) for left in left_values]
+            return [(key, (left, right)) for left in left_values for right in right_values]
+
+        return grouped.flat_map(expand)
+
+    leftOuterJoin = left_outer_join
+
+    def right_outer_join(self, other: "Dataset", partitioner: Partitioner | None = None) -> "Dataset":
+        grouped = self.co_group(other, partitioner)
+
+        def expand(record: Any) -> list[Any]:
+            key, (left_values, right_values) = record
+            if not left_values:
+                return [(key, (None, right)) for right in right_values]
+            return [(key, (left, right)) for left in left_values for right in right_values]
+
+        return grouped.flat_map(expand)
+
+    rightOuterJoin = right_outer_join
+
+    def full_outer_join(self, other: "Dataset", partitioner: Partitioner | None = None) -> "Dataset":
+        grouped = self.co_group(other, partitioner)
+
+        def expand(record: Any) -> list[Any]:
+            key, (left_values, right_values) = record
+            if not left_values:
+                return [(key, (None, right)) for right in right_values]
+            if not right_values:
+                return [(key, (left, None)) for left in left_values]
+            return [(key, (left, right)) for left in left_values for right in right_values]
+
+        return grouped.flat_map(expand)
+
+    fullOuterJoin = full_outer_join
+
+    def broadcast_join(self, other: "Dataset") -> "Dataset":
+        """Map-side join: the other dataset is collected and broadcast.
+
+        Use when ``other`` is small (e.g. the centroid table in KMeans); no
+        shuffle of the left side is needed.
+        """
+        lookup: dict[Any, list[Any]] = defaultdict(list)
+        for key, value in other.collect():
+            lookup[key].append(value)
+        self.context.metrics.record_broadcast()
+        return self.flat_map(
+            lambda record: [(record[0], (record[1], right)) for right in lookup.get(record[0], [])]
+        )
+
+    # -- array-merge helpers (Section 3.4) ------------------------------------------
+
+    def merge(self, other: "Dataset") -> "Dataset":
+        """The ⊳ operation: union of two key-value datasets, right side wins."""
+        grouped = self.co_group(other)
+
+        def choose(record: Any) -> list[Any]:
+            key, (left_values, right_values) = record
+            if right_values:
+                return [(key, right_values[-1])]
+            return [(key, left_values[-1])]
+
+        return grouped.flat_map(choose)
+
+    def merge_with(self, other: "Dataset", function: Callable[[Any, Any], Any]) -> "Dataset":
+        """The ⊕-aware merge ⊳⊕: combine values present on both sides with ``function``."""
+        grouped = self.co_group(other)
+
+        def combine(record: Any) -> list[Any]:
+            key, (left_values, right_values) = record
+            if not right_values:
+                return [(key, left_values[-1])]
+            merged = right_values[0]
+            for value in right_values[1:]:
+                merged = function(merged, value)
+            if left_values:
+                merged = function(left_values[-1], merged)
+            return [(key, merged)]
+
+        return grouped.flat_map(combine)
+
+
+def _reduce_list(values: list[Any], function: Callable[[Any, Any], Any]) -> Any:
+    iterator = iter(values)
+    result = next(iterator)
+    for value in iterator:
+        result = function(result, value)
+    return result

@@ -1,0 +1,70 @@
+"""Execution metrics for the local DISC runtime.
+
+Wall-clock numbers vary from machine to machine, so the benchmark suite also
+asserts on *structural* metrics: how many shuffle stages a query ran and how
+many records crossed the (simulated) network.  These are the quantities that
+determine the relative performance shapes the paper reports (e.g. the DIABLO
+KMeans shuffles far more data than the hand-written broadcast version).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class Metrics:
+    """Counters accumulated by a :class:`~repro.runtime.context.DistributedContext`."""
+
+    #: Number of shuffle stages executed (groupByKey / reduceByKey / join / ...).
+    shuffles: int = 0
+    #: Number of records written to the simulated shuffle.
+    shuffled_records: int = 0
+    #: Number of narrow (per-partition) tasks executed.
+    narrow_tasks: int = 0
+    #: Number of datasets materialized.
+    datasets_created: int = 0
+    #: Number of broadcast variables created.
+    broadcasts: int = 0
+    #: Records scanned by narrow operations (a proxy for compute volume).
+    records_processed: int = 0
+    #: Per-operation shuffle counts (operation name -> count).
+    shuffle_operations: dict[str, int] = field(default_factory=dict)
+
+    def record_shuffle(self, operation: str, records: int) -> None:
+        """Account for one shuffle stage moving ``records`` records."""
+        self.shuffles += 1
+        self.shuffled_records += records
+        self.shuffle_operations[operation] = self.shuffle_operations.get(operation, 0) + 1
+
+    def record_narrow(self, tasks: int, records: int) -> None:
+        """Account for a narrow stage of ``tasks`` tasks over ``records`` records."""
+        self.narrow_tasks += tasks
+        self.records_processed += records
+
+    def record_dataset(self) -> None:
+        self.datasets_created += 1
+
+    def record_broadcast(self) -> None:
+        self.broadcasts += 1
+
+    def reset(self) -> None:
+        """Zero every counter (benchmarks call this between runs)."""
+        self.shuffles = 0
+        self.shuffled_records = 0
+        self.narrow_tasks = 0
+        self.datasets_created = 0
+        self.broadcasts = 0
+        self.records_processed = 0
+        self.shuffle_operations = {}
+
+    def snapshot(self) -> dict[str, int]:
+        """A plain-dict copy of the counters (handy for reporting)."""
+        return {
+            "shuffles": self.shuffles,
+            "shuffled_records": self.shuffled_records,
+            "narrow_tasks": self.narrow_tasks,
+            "datasets_created": self.datasets_created,
+            "broadcasts": self.broadcasts,
+            "records_processed": self.records_processed,
+        }

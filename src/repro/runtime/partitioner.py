@@ -1,0 +1,61 @@
+"""Partitioners: how keys are mapped to partitions during a shuffle."""
+
+from __future__ import annotations
+
+from typing import Any, Sequence
+
+
+class Partitioner:
+    """Base class: maps a key to a partition index in ``[0, num_partitions)``."""
+
+    def __init__(self, num_partitions: int):
+        if num_partitions <= 0:
+            raise ValueError("num_partitions must be positive")
+        self.num_partitions = num_partitions
+
+    def partition(self, key: Any) -> int:
+        raise NotImplementedError
+
+    def __eq__(self, other: object) -> bool:
+        return type(self) is type(other) and self.num_partitions == other.num_partitions  # type: ignore[attr-defined]
+
+    def __hash__(self) -> int:
+        return hash((type(self).__name__, self.num_partitions))
+
+
+class HashPartitioner(Partitioner):
+    """Spark's default: ``hash(key) mod num_partitions``.
+
+    Python's built-in ``hash`` is randomized for strings between interpreter
+    runs; that is fine here because partition placement never affects results,
+    only which partition processes a record.
+    """
+
+    def partition(self, key: Any) -> int:
+        return hash(key) % self.num_partitions
+
+
+class RangePartitioner(Partitioner):
+    """Partitions ordered keys into contiguous ranges given split points."""
+
+    def __init__(self, num_partitions: int, bounds: Sequence[Any]):
+        super().__init__(num_partitions)
+        self.bounds = list(bounds)
+        if len(self.bounds) != num_partitions - 1:
+            raise ValueError("expected num_partitions - 1 bounds")
+
+    def partition(self, key: Any) -> int:
+        for index, bound in enumerate(self.bounds):
+            if key <= bound:
+                return index
+        return self.num_partitions - 1
+
+    def __eq__(self, other: object) -> bool:
+        return (
+            isinstance(other, RangePartitioner)
+            and self.num_partitions == other.num_partitions
+            and self.bounds == other.bounds
+        )
+
+    def __hash__(self) -> int:
+        return hash(("RangePartitioner", self.num_partitions, tuple(self.bounds)))

@@ -1,0 +1,27 @@
+"""Translation of loop-based programs to comprehension-based target code.
+
+* :mod:`repro.translate.target` -- the target language (bulk assignments,
+  while-loops, code blocks) of Section 3.8.
+* :mod:`repro.translate.rules` -- the semantic functions E / K / D / U / S of
+  Figure 2.
+* :mod:`repro.translate.canonicalize` -- rewrites ``d := d ⊕ e`` into the
+  incremental form ``d ⊕= e`` for registered commutative monoids.
+* :mod:`repro.translate.translator` -- the DIABLO compiler driver: parse,
+  check restrictions, translate, normalize, optimize.
+"""
+
+from repro.translate.target import TargetAssign, TargetWhile, TargetProgram, VariableInfo
+from repro.translate.rules import TranslationRules
+from repro.translate.canonicalize import canonicalize_increments
+from repro.translate.translator import DiabloCompiler, TranslationResult
+
+__all__ = [
+    "TargetAssign",
+    "TargetWhile",
+    "TargetProgram",
+    "VariableInfo",
+    "TranslationRules",
+    "canonicalize_increments",
+    "DiabloCompiler",
+    "TranslationResult",
+]

@@ -1,0 +1,57 @@
+"""Canonicalization of incremental updates.
+
+The programs in Appendix B of the paper often spell incremental updates in the
+explicit form ``d := d ⊕ e`` (for example ``eq := eq && (w == x)`` in Equal, or
+``closest[i] := closest[i] ^ ArgMin(...)`` in KMeans).  By definition
+``d ⊕= e`` *is* ``d := d ⊕ e`` (Section 3.1), so before dependence analysis and
+translation we rewrite such assignments into the incremental form whenever ⊕
+is a registered commutative monoid.  Both operand orders are accepted because
+the monoid is commutative (``d := e ⊕ d`` also qualifies).
+"""
+
+from __future__ import annotations
+
+from repro.comprehension.monoids import DEFAULT_MONOIDS, MonoidRegistry
+from repro.loop_lang import ast
+
+
+def canonicalize_increments(
+    program: ast.Program, monoids: MonoidRegistry | None = None
+) -> ast.Program:
+    """Rewrite ``d := d ⊕ e`` assignments into ``d ⊕= e`` throughout ``program``."""
+    registry = monoids or DEFAULT_MONOIDS
+    statements = tuple(_canonicalize_stmt(s, registry) for s in program.statements)
+    return ast.Program(statements)
+
+
+def _canonicalize_stmt(stmt: ast.Stmt, monoids: MonoidRegistry) -> ast.Stmt:
+    if isinstance(stmt, ast.Assign):
+        rewritten = _try_rewrite_assignment(stmt, monoids)
+        return rewritten if rewritten is not None else stmt
+    if isinstance(stmt, ast.ForRange):
+        return ast.ForRange(stmt.variable, stmt.lower, stmt.upper, _canonicalize_stmt(stmt.body, monoids))
+    if isinstance(stmt, ast.ForIn):
+        return ast.ForIn(stmt.variable, stmt.source, _canonicalize_stmt(stmt.body, monoids))
+    if isinstance(stmt, ast.While):
+        return ast.While(stmt.condition, _canonicalize_stmt(stmt.body, monoids))
+    if isinstance(stmt, ast.If):
+        else_branch = None
+        if stmt.else_branch is not None:
+            else_branch = _canonicalize_stmt(stmt.else_branch, monoids)
+        return ast.If(stmt.condition, _canonicalize_stmt(stmt.then_branch, monoids), else_branch)
+    if isinstance(stmt, ast.Block):
+        return ast.Block(tuple(_canonicalize_stmt(s, monoids) for s in stmt.statements))
+    return stmt
+
+
+def _try_rewrite_assignment(stmt: ast.Assign, monoids: MonoidRegistry) -> ast.Stmt | None:
+    value = stmt.value
+    if not isinstance(value, ast.BinOp):
+        return None
+    if not monoids.is_commutative(value.op):
+        return None
+    if value.left == stmt.destination:
+        return ast.IncrementalUpdate(stmt.destination, value.op, value.right)
+    if value.right == stmt.destination:
+        return ast.IncrementalUpdate(stmt.destination, value.op, value.left)
+    return None

@@ -1,0 +1,366 @@
+"""The Figure 2 translation rules: semantic functions E, K, D, U and S.
+
+* ``E⟦e⟧``   (:meth:`TranslationRules.expression`) translates an expression of
+  type ``t`` into a comprehension term of type ``{t}`` (Equations 11a-11g).
+* ``K⟦d⟧``   (:meth:`TranslationRules.destination_key`) derives the destination
+  index of an L-value (Equations 12a-12c).
+* ``D⟦d⟧(k)`` (:meth:`TranslationRules.destination_value`) reads the current
+  value stored at destination index ``k`` (Equations 13a-13c).
+* ``U⟦d⟧(x)`` (:meth:`TranslationRules.update`) produces the bulk update that
+  replaces destination ``d`` with the key-value pairs ``x`` (Equations
+  14a-14c).
+* ``S⟦s⟧(q)`` (:meth:`TranslationRules.statement`) translates a statement into
+  target code, threading the enclosing for-loops as the qualifier list ``q``
+  (Equations 15a-15h).
+
+One deliberate deviation from the printed rules is documented here because it
+affects results on sparse data: Equation (15a) reads the *old* value of the
+destination by joining on the group-by key (``w ← D⟦d⟧(k)``), which silently
+drops increments whose destination entry does not exist yet.  The paper's
+examples assume zero-initialized arrays, so this reproduction folds the old
+array in with the ⊕-aware merge ``⊳⊕`` (:class:`repro.comprehension.ir.MergeWith`)
+instead: entries missing from the old array behave as the identity of ⊕, and
+entries not touched by the loop are preserved.  On Spark both formulations are
+a single coGroup; the group-by + aggregation structure of the translation is
+unchanged.
+"""
+
+from __future__ import annotations
+
+from repro.comprehension import ir
+from repro.errors import TranslationError
+from repro.loop_lang import ast
+from repro.translate.target import TargetAssign, TargetStatement, TargetWhile, VariableInfo
+
+
+class TranslationRules:
+    """Implements the semantic functions of Figure 2.
+
+    Args:
+        variables: static information about every program variable (used to
+            decide scalar vs array update semantics).
+        fresh: fresh-name generator shared across one translation run.
+    """
+
+    def __init__(self, variables: dict[str, VariableInfo], fresh: ir.NameGenerator | None = None):
+        self.variables = variables
+        self.fresh = fresh or ir.NameGenerator()
+
+    # ------------------------------------------------------------------
+    # E[e] : expression -> comprehension term (Equations 11a-11g)
+    # ------------------------------------------------------------------
+
+    def expression(self, expr: ast.Expr) -> ir.Term:
+        """``E⟦e⟧``: lift an expression to a term producing a bag."""
+        if isinstance(expr, ast.Var):
+            return ir.singleton(ir.CVar(expr.name))  # (11a)
+        if isinstance(expr, ast.Const):
+            return ir.singleton(ir.CConst(expr.value))  # (11g)
+        if isinstance(expr, ast.Project):
+            value = self.fresh.fresh("v")
+            return ir.Comprehension(
+                ir.CProject(ir.CVar(value), expr.attribute),
+                (ir.Generator(ir.PVar(value), self.expression(expr.base)),),
+            )  # (11b)
+        if isinstance(expr, ast.Index):
+            return self._index_access(expr)  # (11c)
+        if isinstance(expr, ast.BinOp):
+            left = self.fresh.fresh("v")
+            right = self.fresh.fresh("v")
+            return ir.Comprehension(
+                ir.CBinOp(expr.op, ir.CVar(left), ir.CVar(right)),
+                (
+                    ir.Generator(ir.PVar(left), self.expression(expr.left)),
+                    ir.Generator(ir.PVar(right), self.expression(expr.right)),
+                ),
+            )  # (11d)
+        if isinstance(expr, ast.UnaryOp):
+            value = self.fresh.fresh("v")
+            return ir.Comprehension(
+                ir.CUnaryOp(expr.op, ir.CVar(value)),
+                (ir.Generator(ir.PVar(value), self.expression(expr.operand)),),
+            )
+        if isinstance(expr, ast.TupleExpr):
+            return self._tuple_like(expr.elements, lambda parts: ir.CTuple(parts))  # (11e)
+        if isinstance(expr, ast.RecordExpr):
+            names = [n for n, _ in expr.fields]
+            return self._tuple_like(
+                tuple(e for _, e in expr.fields),
+                lambda parts: ir.CRecord(tuple(zip(names, parts))),
+            )  # (11f)
+        if isinstance(expr, ast.Call):
+            return self._tuple_like(
+                expr.arguments, lambda parts: ir.CCall(expr.function, parts)
+            )
+        raise TranslationError(f"cannot translate expression {expr!r}")
+
+    def _tuple_like(self, elements, build) -> ir.Term:
+        qualifiers: list[ir.Qualifier] = []
+        parts: list[ir.Term] = []
+        for element in elements:
+            name = self.fresh.fresh("v")
+            qualifiers.append(ir.Generator(ir.PVar(name), self.expression(element)))
+            parts.append(ir.CVar(name))
+        return ir.Comprehension(build(tuple(parts)), tuple(qualifiers))
+
+    def _index_access(self, expr: ast.Index) -> ir.Term:
+        """Equation (11c): ``E⟦V[e1, ..., en]⟧``."""
+        array = expr.array
+        if not isinstance(array, ast.Var):
+            raise TranslationError(
+                f"array access must index a variable (nested arrays are not supported): {expr}"
+            )
+        qualifiers: list[ir.Qualifier] = []
+        key_names: list[str] = []
+        for index in expr.indices:
+            key = self.fresh.fresh("k")
+            key_names.append(key)
+            qualifiers.append(ir.Generator(ir.PVar(key), self.expression(index)))
+        index_names = [self.fresh.fresh("i") for _ in expr.indices]
+        value = self.fresh.fresh("v")
+        qualifiers.append(
+            ir.Generator(self._array_pattern(index_names, value), ir.CVar(array.name))
+        )
+        for index_name, key_name in zip(index_names, key_names):
+            qualifiers.append(ir.Condition(ir.CBinOp("==", ir.CVar(index_name), ir.CVar(key_name))))
+        return ir.Comprehension(ir.CVar(value), tuple(qualifiers))
+
+    @staticmethod
+    def _array_pattern(index_names: list[str], value_name: str) -> ir.Pattern:
+        """The generator pattern for a sparse array: ``(i, v)`` or ``((i, j), v)``."""
+        if len(index_names) == 1:
+            key_pattern: ir.Pattern = ir.PVar(index_names[0])
+        else:
+            key_pattern = ir.PTuple(tuple(ir.PVar(n) for n in index_names))
+        return ir.PTuple((key_pattern, ir.PVar(value_name)))
+
+    # ------------------------------------------------------------------
+    # K[d] : destination index (Equations 12a-12c)
+    # ------------------------------------------------------------------
+
+    def destination_key(self, dest: ast.Expr) -> ir.Term:
+        """``K⟦d⟧``: the bag holding the destination index of ``d``."""
+        if isinstance(dest, ast.Var):
+            return ir.singleton(ir.CTuple(()))  # (12a): the unit key
+        if isinstance(dest, ast.Project):
+            return self.destination_key(dest.base)  # (12b)
+        if isinstance(dest, ast.Index):
+            if len(dest.indices) == 1:
+                return self.expression(dest.indices[0])  # (12c), single index
+            return self.expression(ast.TupleExpr(dest.indices))  # (12c)
+        raise TranslationError(f"invalid destination {dest!r}")
+
+    # ------------------------------------------------------------------
+    # D[d](k) : current destination value (Equations 13a-13c)
+    # ------------------------------------------------------------------
+
+    def destination_value(self, dest: ast.Expr, key: ir.Term) -> ir.Term:
+        """``D⟦d⟧(k)``: the bag holding the value stored at index ``k``."""
+        if isinstance(dest, ast.Var):
+            return ir.singleton(ir.CVar(dest.name))  # (13a)
+        if isinstance(dest, ast.Project):
+            value = self.fresh.fresh("v")
+            return ir.Comprehension(
+                ir.CProject(ir.CVar(value), dest.attribute),
+                (ir.Generator(ir.PVar(value), self.destination_value(dest.base, key)),),
+            )  # (13b)
+        if isinstance(dest, ast.Index):
+            array = dest.array
+            if not isinstance(array, ast.Var):
+                raise TranslationError(f"invalid destination {dest!r}")
+            index_names = [self.fresh.fresh("i") for _ in dest.indices]
+            value = self.fresh.fresh("v")
+            index_term: ir.Term
+            if len(index_names) == 1:
+                index_term = ir.CVar(index_names[0])
+            else:
+                index_term = ir.CTuple(tuple(ir.CVar(n) for n in index_names))
+            return ir.Comprehension(
+                ir.CVar(value),
+                (
+                    ir.Generator(self._array_pattern(index_names, value), ir.CVar(array.name)),
+                    ir.Condition(ir.CBinOp("==", index_term, key)),
+                ),
+            )  # (13c)
+        raise TranslationError(f"invalid destination {dest!r}")
+
+    # ------------------------------------------------------------------
+    # U[d](x) : bulk update (Equations 14a-14c)
+    # ------------------------------------------------------------------
+
+    def update(self, dest: ast.Expr, update_term: ir.Term) -> list[TargetStatement]:
+        """``U⟦d⟧(x)``: replace destination ``d`` with the key-value pairs ``x``."""
+        if isinstance(dest, ast.Var):
+            key = self.fresh.fresh("k")
+            value = self.fresh.fresh("v")
+            extractor = ir.Comprehension(
+                ir.CVar(value),
+                (ir.Generator(ir.PTuple((ir.PVar(key), ir.PVar(value))), update_term),),
+            )
+            return [TargetAssign(dest.name, extractor, scalar=True)]  # (14a)
+        if isinstance(dest, ast.Project):
+            key = self.fresh.fresh("k")
+            value = self.fresh.fresh("v")
+            old = self.fresh.fresh("w")
+            replaced = ir.Comprehension(
+                ir.CTuple(
+                    (
+                        ir.CVar(key),
+                        ir.CCall(
+                            "_update_field",
+                            (ir.CVar(old), ir.CConst(dest.attribute), ir.CVar(value)),
+                        ),
+                    )
+                ),
+                (
+                    ir.Generator(ir.PTuple((ir.PVar(key), ir.PVar(value))), update_term),
+                    ir.Generator(ir.PVar(old), self.destination_value(dest.base, ir.CVar(key))),
+                ),
+            )
+            return self.update(dest.base, replaced)  # (14b)
+        if isinstance(dest, ast.Index):
+            array = dest.array
+            if not isinstance(array, ast.Var):
+                raise TranslationError(f"invalid destination {dest!r}")
+            merged = ir.Merge(ir.CVar(array.name), update_term)
+            return [TargetAssign(array.name, merged, scalar=False)]  # (14c)
+        raise TranslationError(f"invalid destination {dest!r}")
+
+    # ------------------------------------------------------------------
+    # S[s](q) : statements (Equations 15a-15h)
+    # ------------------------------------------------------------------
+
+    def statement(self, stmt: ast.Stmt, qualifiers: list[ir.Qualifier]) -> list[TargetStatement]:
+        """``S⟦s⟧(q)``: translate a statement under the loop qualifiers ``q``."""
+        if isinstance(stmt, ast.IncrementalUpdate):
+            return self._incremental_update(stmt, qualifiers)  # (15a)
+        if isinstance(stmt, ast.Assign):
+            return self._assignment(stmt, qualifiers)  # (15b)
+        if isinstance(stmt, ast.VarDecl):
+            # (15c): declarations translate like assignments to the variable.
+            return self._assignment(ast.Assign(ast.Var(stmt.name), stmt.init), qualifiers)
+        if isinstance(stmt, ast.ForRange):
+            return self._for_range(stmt, qualifiers)  # (15d)
+        if isinstance(stmt, ast.ForIn):
+            return self._for_in(stmt, qualifiers)  # (15e)
+        if isinstance(stmt, ast.While):
+            return self._while(stmt, qualifiers)  # (15f)
+        if isinstance(stmt, ast.If):
+            return self._conditional(stmt, qualifiers)  # (15g)
+        if isinstance(stmt, ast.Block):
+            statements: list[TargetStatement] = []
+            for inner in stmt.statements:
+                statements.extend(self.statement(inner, qualifiers))  # (15h)
+            return statements
+        raise TranslationError(f"cannot translate statement {stmt!r}")
+
+    def _incremental_update(
+        self, stmt: ast.IncrementalUpdate, qualifiers: list[ir.Qualifier]
+    ) -> list[TargetStatement]:
+        """Equation (15a): group by the destination index and ⊕-reduce each group."""
+        value = self.fresh.fresh("v")
+        key = self.fresh.fresh("k")
+        delta_qualifiers = list(qualifiers) + [
+            ir.Generator(ir.PVar(value), self.expression(stmt.value)),
+            ir.Generator(ir.PVar(key), self.destination_key(stmt.destination)),
+            ir.GroupBy(ir.PVar(key), None),
+        ]
+        delta = ir.Comprehension(
+            ir.CTuple((ir.CVar(key), ir.Aggregate(stmt.op, ir.CVar(value)))),
+            tuple(delta_qualifiers),
+        )
+        dest = stmt.destination
+        if isinstance(dest, ast.Index):
+            array = dest.array
+            if not isinstance(array, ast.Var):
+                raise TranslationError(f"invalid destination {dest!r}")
+            merged = ir.MergeWith(stmt.op, ir.CVar(array.name), delta)
+            return [TargetAssign(array.name, merged, scalar=False, origin=stmt)]
+        # Scalar (or record-component) destination: combine the aggregated
+        # delta with the current value, then store it back through U.
+        group_key = self.fresh.fresh("k")
+        delta_value = self.fresh.fresh("z")
+        old = self.fresh.fresh("w")
+        combined = ir.Comprehension(
+            ir.CTuple((ir.CVar(group_key), ir.CBinOp(stmt.op, ir.CVar(old), ir.CVar(delta_value)))),
+            (
+                ir.Generator(ir.PTuple((ir.PVar(group_key), ir.PVar(delta_value))), delta),
+                ir.Generator(ir.PVar(old), self.destination_value(dest, ir.CVar(group_key))),
+            ),
+        )
+        targets = self.update(dest, combined)
+        return [self._with_origin(t, stmt) for t in targets]
+
+    def _assignment(self, stmt: ast.Assign, qualifiers: list[ir.Qualifier]) -> list[TargetStatement]:
+        """Equation (15b)."""
+        value = self.fresh.fresh("v")
+        key = self.fresh.fresh("k")
+        update_term = ir.Comprehension(
+            ir.CTuple((ir.CVar(key), ir.CVar(value))),
+            tuple(
+                list(qualifiers)
+                + [
+                    ir.Generator(ir.PVar(value), self.expression(stmt.value)),
+                    ir.Generator(ir.PVar(key), self.destination_key(stmt.destination)),
+                ]
+            ),
+        )
+        targets = self.update(stmt.destination, update_term)
+        return [self._with_origin(t, stmt) for t in targets]
+
+    def _for_range(self, stmt: ast.ForRange, qualifiers: list[ir.Qualifier]) -> list[TargetStatement]:
+        """Equation (15d): the loop becomes a range generator."""
+        lower = self.fresh.fresh("lo")
+        upper = self.fresh.fresh("hi")
+        extended = list(qualifiers) + [
+            ir.Generator(ir.PVar(lower), self.expression(stmt.lower)),
+            ir.Generator(ir.PVar(upper), self.expression(stmt.upper)),
+            ir.Generator(ir.PVar(stmt.variable), ir.RangeTerm(ir.CVar(lower), ir.CVar(upper))),
+        ]
+        return self.statement(stmt.body, extended)
+
+    def _for_in(self, stmt: ast.ForIn, qualifiers: list[ir.Qualifier]) -> list[TargetStatement]:
+        """Equation (15e): the traversal becomes a generator over the collection."""
+        collection = self.fresh.fresh("A")
+        index = self.fresh.fresh("i")
+        extended = list(qualifiers) + [
+            ir.Generator(ir.PVar(collection), self.expression(stmt.source)),
+            ir.Generator(
+                ir.PTuple((ir.PVar(index), ir.PVar(stmt.variable))), ir.CVar(collection)
+            ),
+        ]
+        return self.statement(stmt.body, extended)
+
+    def _while(self, stmt: ast.While, qualifiers: list[ir.Qualifier]) -> list[TargetStatement]:
+        """Equation (15f): while-loops remain sequential."""
+        if qualifiers:
+            raise TranslationError(
+                "while-loops nested inside for-loops cannot be parallelized; "
+                "hoist the while-loop or mark the for-loop as sequential"
+            )
+        body = self.statement(stmt.body, [])
+        return [TargetWhile(self.expression(stmt.condition), tuple(body))]
+
+    def _conditional(self, stmt: ast.If, qualifiers: list[ir.Qualifier]) -> list[TargetStatement]:
+        """Equation (15g): conditions join the qualifier list of each branch."""
+        statements: list[TargetStatement] = []
+        predicate = self.fresh.fresh("p")
+        then_qualifiers = list(qualifiers) + [
+            ir.Generator(ir.PVar(predicate), self.expression(stmt.condition)),
+            ir.Condition(ir.CVar(predicate)),
+        ]
+        statements.extend(self.statement(stmt.then_branch, then_qualifiers))
+        if stmt.else_branch is not None:
+            negated = self.fresh.fresh("p")
+            else_qualifiers = list(qualifiers) + [
+                ir.Generator(ir.PVar(negated), self.expression(stmt.condition)),
+                ir.Condition(ir.CUnaryOp("!", ir.CVar(negated))),
+            ]
+            statements.extend(self.statement(stmt.else_branch, else_qualifiers))
+        return statements
+
+    @staticmethod
+    def _with_origin(target: TargetStatement, stmt: ast.Stmt) -> TargetStatement:
+        if isinstance(target, TargetAssign) and target.origin is None:
+            return TargetAssign(target.variable, target.term, target.scalar, origin=stmt)
+        return target

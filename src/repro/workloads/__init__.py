@@ -1,0 +1,36 @@
+"""Synthetic workload generators for the benchmark suite.
+
+* :mod:`repro.workloads.generators` -- seeded random data matching the paper's
+  descriptions (random doubles, 4-character strings, RGB pixels, 2-D points,
+  key-value pairs, dense/sparse matrices, grid-clustered points).
+* :mod:`repro.workloads.rmat` -- the RMAT recursive-matrix graph generator
+  used for the PageRank experiments.
+"""
+
+from repro.workloads.generators import (
+    WorkloadSizes,
+    grouped_pairs,
+    kmeans_grid_points,
+    linear_points,
+    random_doubles,
+    random_matrix,
+    random_pixels,
+    random_strings,
+    sparse_matrix,
+    workload_for_program,
+)
+from repro.workloads.rmat import rmat_graph
+
+__all__ = [
+    "WorkloadSizes",
+    "random_doubles",
+    "random_strings",
+    "random_pixels",
+    "linear_points",
+    "grouped_pairs",
+    "random_matrix",
+    "sparse_matrix",
+    "kmeans_grid_points",
+    "rmat_graph",
+    "workload_for_program",
+]

@@ -1,0 +1,248 @@
+"""Random data generators matching the paper's experimental setup (Section 6).
+
+Every generator takes a seed so that benchmark inputs are reproducible, and a
+size parameter that the benchmark harness sweeps (the paper sweeps dataset
+bytes; here we sweep element counts, which is the same axis at laptop scale).
+
+``workload_for_program`` maps each benchmark program to the inputs the paper
+describes for it:
+
+* Conditional Sum / Sum / Count / Average -- random doubles;
+* Equal / String Match / Word Count / Equal Frequency -- random 4-character
+  strings drawn from a 1000-string vocabulary;
+* Histogram -- random RGB pixels;
+* Linear Regression -- points ``(x + dx, x - dx)``;
+* Group By -- (long, double) pairs with about ten duplicates per key;
+* Matrix Addition / Multiplication / Factorization -- random square matrices;
+* PageRank -- RMAT graphs with ten edges per vertex;
+* KMeans -- points drawn from a 10x10 grid of unit squares with centroids at
+  the square centers.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Any
+
+from repro.workloads.rmat import adjacency_matrix, rmat_graph
+
+#: Vocabulary size used for the string workloads (the paper uses 1000
+#: distinct 4-character strings).
+STRING_VOCABULARY = 1000
+
+
+@dataclass(frozen=True)
+class WorkloadSizes:
+    """Default size sweeps per experiment, scaled down from the paper."""
+
+    small: int = 1_000
+    medium: int = 5_000
+    large: int = 20_000
+
+    def sweep(self) -> list[int]:
+        return [self.small, self.medium, self.large]
+
+
+def _rng(seed: int) -> random.Random:
+    return random.Random(seed)
+
+
+def random_doubles(count: int, low: float = 0.0, high: float = 200.0, seed: int = 11) -> list[float]:
+    """Uniform random doubles in ``[low, high)``."""
+    generator = _rng(seed)
+    return [generator.uniform(low, high) for _ in range(count)]
+
+
+def random_strings(count: int, vocabulary: int = STRING_VOCABULARY, seed: int = 13) -> list[str]:
+    """Random 4-character strings with ``vocabulary`` distinct values."""
+    generator = _rng(seed)
+    alphabet = "abcdefghijklmnopqrstuvwxyz"
+    words = []
+    seen: set[str] = set()
+    while len(words) < vocabulary:
+        word = "".join(generator.choice(alphabet) for _ in range(4))
+        if word not in seen:
+            seen.add(word)
+            words.append(word)
+    return [words[generator.randrange(vocabulary)] for _ in range(count)]
+
+
+def random_pixels(count: int, seed: int = 17) -> list[dict[str, int]]:
+    """Random RGB pixels as records with ``red`` / ``green`` / ``blue`` fields."""
+    generator = _rng(seed)
+    return [
+        {
+            "red": generator.randrange(256),
+            "green": generator.randrange(256),
+            "blue": generator.randrange(256),
+        }
+        for _ in range(count)
+    ]
+
+
+def linear_points(count: int, seed: int = 19) -> list[tuple[float, float]]:
+    """The paper's linear-regression points ``(x + dx, x - dx)``."""
+    generator = _rng(seed)
+    points = []
+    for _ in range(count):
+        x = generator.uniform(0.0, 1000.0)
+        dx = generator.uniform(0.0, 10.0)
+        points.append((x + dx, x - dx))
+    return points
+
+
+def grouped_pairs(count: int, duplicates_per_key: int = 10, seed: int = 23) -> list[dict[str, Any]]:
+    """(key, value) records with roughly ``duplicates_per_key`` values per key."""
+    generator = _rng(seed)
+    num_keys = max(1, count // duplicates_per_key)
+    return [
+        {"K": generator.randrange(num_keys), "A": generator.uniform(0.0, 10.0)}
+        for _ in range(count)
+    ]
+
+
+def random_matrix(rows: int, columns: int, seed: int = 29, low: float = 0.0, high: float = 10.0) -> dict[tuple[int, int], float]:
+    """A fully populated random matrix stored sparsely (all entries provided,
+    random order and values -- matching the paper's matrix workloads)."""
+    generator = _rng(seed)
+    return {(i, j): generator.uniform(low, high) for i in range(rows) for j in range(columns)}
+
+
+def sparse_matrix(
+    rows: int, columns: int, density: float = 0.1, seed: int = 31, low: float = 1.0, high: float = 5.0
+) -> dict[tuple[int, int], float]:
+    """A sparse random matrix with the given fraction of entries present."""
+    generator = _rng(seed)
+    matrix: dict[tuple[int, int], float] = {}
+    for i in range(rows):
+        for j in range(columns):
+            if generator.random() < density:
+                matrix[(i, j)] = generator.uniform(low, high)
+    if not matrix:
+        matrix[(0, 0)] = generator.uniform(low, high)
+    return matrix
+
+
+def kmeans_grid_points(count: int, grid: int = 10, seed: int = 37) -> list[tuple[float, float]]:
+    """Points uniformly distributed in a ``grid x grid`` arrangement of unit squares.
+
+    Square ``(i, j)`` spans ``[i*2+1, i*2+2] x [j*2+1, j*2+2]``; the true
+    centroids are the square centers (Section 6).
+    """
+    generator = _rng(seed)
+    points = []
+    squares = [(i, j) for i in range(grid) for j in range(grid)]
+    for index in range(count):
+        if index < len(squares):
+            # Cover every square at least once so no cluster is empty; this
+            # keeps the one-step KMeans update well defined for every centroid.
+            i, j = squares[index]
+        else:
+            i = generator.randrange(grid)
+            j = generator.randrange(grid)
+        x = generator.uniform(i * 2 + 1, i * 2 + 2)
+        y = generator.uniform(j * 2 + 1, j * 2 + 2)
+        points.append((x, y))
+    return points
+
+
+def kmeans_initial_centroids(grid: int = 10) -> dict[int, tuple[float, float]]:
+    """The paper's initial centroids ``(i*2 + 1.2, j*2 + 1.2)``."""
+    centroids: dict[int, tuple[float, float]] = {}
+    index = 0
+    for i in range(grid):
+        for j in range(grid):
+            centroids[index] = (i * 2 + 1.2, j * 2 + 1.2)
+            index += 1
+    return centroids
+
+
+def kmeans_true_centroids(grid: int = 10) -> list[tuple[float, float]]:
+    """The square centers ``(i*2 + 1.5, j*2 + 1.5)``."""
+    return [(i * 2 + 1.5, j * 2 + 1.5) for i in range(grid) for j in range(grid)]
+
+
+def random_factors(rows: int, rank: int, seed: int = 41) -> dict[tuple[int, int], float]:
+    """Random dense factor matrices for matrix factorization (values in [0, 1))."""
+    generator = _rng(seed)
+    return {(i, k): generator.random() for i in range(rows) for k in range(rank)}
+
+
+# ---------------------------------------------------------------------------
+# Per-program workloads
+# ---------------------------------------------------------------------------
+
+
+def workload_for_program(name: str, size: int, seed: int = 7) -> dict[str, Any]:
+    """Build the input dictionary for benchmark program ``name`` at ``size``.
+
+    ``size`` means "number of input elements" for the flat workloads, the
+    matrix dimension for the matrix workloads, and the number of vertices for
+    PageRank.
+    """
+    if name in ("conditional_sum", "sum", "count", "conditional_count", "average"):
+        return {"V": random_doubles(size, seed=seed)}
+    if name == "equal":
+        value = random_strings(1, seed=seed)[0]
+        return {"words": [value] * size, "x": value}
+    if name == "string_match":
+        words = random_strings(size, seed=seed)
+        return {"words": words, "key1": "key1", "key2": "key2", "key3": words[0] if words else "key3"}
+    if name in ("word_count", "equal_frequency"):
+        return {"words": random_strings(size, vocabulary=min(STRING_VOCABULARY, max(2, size // 10)), seed=seed)}
+    if name == "histogram":
+        return {"P": random_pixels(size, seed=seed)}
+    if name == "linear_regression":
+        points = linear_points(size, seed=seed)
+        return {"P": points, "n": len(points)}
+    if name == "group_by":
+        return {"V": grouped_pairs(size, seed=seed)}
+    if name == "matrix_addition":
+        dimension = max(2, size)
+        return {
+            "M": random_matrix(dimension, dimension, seed=seed),
+            "N": random_matrix(dimension, dimension, seed=seed + 1),
+            "n": dimension,
+            "mm": dimension,
+        }
+    if name == "matrix_multiplication":
+        dimension = max(2, size)
+        return {
+            "M": random_matrix(dimension, dimension, seed=seed),
+            "N": random_matrix(dimension, dimension, seed=seed + 1),
+            "n": dimension,
+            "mm": dimension,
+        }
+    if name == "pagerank":
+        vertices = max(4, size)
+        edges = rmat_graph(vertices, edges_per_vertex=10, seed=seed)
+        return {"E": adjacency_matrix(edges), "N": vertices, "num_steps": 1}
+    if name == "kmeans":
+        points = kmeans_grid_points(max(10, size), seed=seed)
+        centroids = kmeans_initial_centroids()
+        return {
+            "P": points,
+            "C": centroids,
+            "N": len(points),
+            "K": len(centroids),
+        }
+    if name == "matrix_factorization":
+        dimension = max(2, size)
+        rank = 2
+        return {
+            "R": sparse_matrix(dimension, dimension, density=0.1, seed=seed),
+            "Pp": random_factors(dimension, rank, seed=seed + 1),
+            "Qp": {(k, j): v for (j, k), v in random_factors(dimension, rank, seed=seed + 2).items()},
+            "n": dimension,
+            "m": dimension,
+            "l": rank,
+            "a": 0.002,
+            "b": 0.02,
+        }
+    if name == "pca":
+        rows = max(4, size)
+        dimensions = 4
+        matrix = random_matrix(rows, dimensions, seed=seed)
+        return {"X": matrix, "n": rows, "d": dimensions}
+    raise KeyError(f"no workload defined for program {name!r}")

@@ -1,0 +1,98 @@
+"""The RMAT (Recursive MATrix) graph generator.
+
+The paper's PageRank experiments use synthetic graphs produced by the RMAT
+generator of Chakrabarti, Zhan and Faloutsos (SDM 2004) with Kronecker
+parameters ``a=0.30, b=0.25, c=0.25, d=0.20`` and ten edges per vertex.  RMAT
+places each edge by recursively descending into one of the four quadrants of
+the adjacency matrix with those probabilities, which yields the skewed
+power-law-like degree distributions typical of web and social graphs.
+"""
+
+from __future__ import annotations
+
+import random
+
+#: The Kronecker quadrant probabilities used in the paper (Section 6).
+DEFAULT_PROBABILITIES = (0.30, 0.25, 0.25, 0.20)
+
+
+def rmat_graph(
+    num_vertices: int,
+    edges_per_vertex: int = 10,
+    probabilities: tuple[float, float, float, float] = DEFAULT_PROBABILITIES,
+    seed: int = 97,
+    one_based: bool = True,
+    avoid_self_loops: bool = True,
+) -> list[tuple[int, int]]:
+    """Generate an RMAT edge list.
+
+    Args:
+        num_vertices: number of vertices; vertex ids are ``1..n`` when
+            ``one_based`` (the PageRank program of Appendix B iterates
+            ``for i = 1, N``), otherwise ``0..n-1``.
+        edges_per_vertex: average out-degree (the paper uses 10).
+        probabilities: quadrant probabilities (a, b, c, d); must sum to 1.
+        seed: RNG seed, so benchmark inputs are reproducible.
+        one_based: whether vertex ids start at 1.
+        avoid_self_loops: re-draw edges whose endpoints coincide.
+
+    Returns:
+        A list of distinct ``(source, destination)`` edges.
+    """
+    a, b, c, d = probabilities
+    total = a + b + c + d
+    if abs(total - 1.0) > 1e-9:
+        raise ValueError(f"quadrant probabilities must sum to 1, got {total}")
+    # Round the number of vertices up to a power of two for the recursion,
+    # then reject edges that fall outside the requested range.
+    levels = max(1, (num_vertices - 1).bit_length())
+    size = 1 << levels
+    generator = random.Random(seed)
+    target_edges = num_vertices * edges_per_vertex
+    edges: set[tuple[int, int]] = set()
+    attempts = 0
+    max_attempts = target_edges * 50
+    while len(edges) < target_edges and attempts < max_attempts:
+        attempts += 1
+        source, destination = _place_edge(generator, levels, a, b, c)
+        if source >= num_vertices or destination >= num_vertices:
+            continue
+        if avoid_self_loops and source == destination:
+            continue
+        if one_based:
+            edges.add((source + 1, destination + 1))
+        else:
+            edges.add((source, destination))
+    return sorted(edges)
+
+
+def _place_edge(generator: random.Random, levels: int, a: float, b: float, c: float) -> tuple[int, int]:
+    """Recursively pick the quadrant for one edge, ``levels`` times."""
+    row = 0
+    column = 0
+    for level in range(levels):
+        offset = 1 << (levels - level - 1)
+        draw = generator.random()
+        if draw < a:
+            pass  # top-left quadrant
+        elif draw < a + b:
+            column += offset  # top-right
+        elif draw < a + b + c:
+            row += offset  # bottom-left
+        else:
+            row += offset
+            column += offset  # bottom-right
+    return row, column
+
+
+def adjacency_matrix(edges: list[tuple[int, int]]) -> dict[tuple[int, int], bool]:
+    """The sparse boolean adjacency matrix ``E[i, j] = true`` used by PageRank."""
+    return {(source, destination): True for source, destination in edges}
+
+
+def out_degrees(edges: list[tuple[int, int]]) -> dict[int, int]:
+    """Out-degree of every vertex that has at least one outgoing edge."""
+    degrees: dict[int, int] = {}
+    for source, _destination in edges:
+        degrees[source] = degrees.get(source, 0) + 1
+    return degrees

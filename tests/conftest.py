@@ -1,0 +1,38 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import Diablo
+from repro.runtime.context import DistributedContext
+
+
+@pytest.fixture
+def context() -> DistributedContext:
+    """A small local DISC context."""
+    return DistributedContext(num_partitions=4)
+
+
+@pytest.fixture
+def diablo(context: DistributedContext) -> Diablo:
+    """A default Diablo compiler/runner pair."""
+    return Diablo(context)
+
+
+def assert_close(actual, expected, tolerance: float = 1e-9) -> None:
+    """Assert numeric closeness with a relative tolerance."""
+    assert abs(actual - expected) <= tolerance * max(1.0, abs(actual), abs(expected)), (
+        f"{actual} != {expected}"
+    )
+
+
+def assert_dict_close(actual: dict, expected: dict, tolerance: float = 1e-9) -> None:
+    """Assert two numeric dicts have the same keys and close values."""
+    assert set(actual.keys()) == set(expected.keys())
+    for key, value in expected.items():
+        got = actual[key]
+        if isinstance(value, (int, float)) and isinstance(got, (int, float)):
+            assert abs(got - value) <= tolerance * max(1.0, abs(value)), f"{key}: {got} != {value}"
+        else:
+            assert got == value, f"{key}: {got} != {value}"

@@ -1,0 +1,207 @@
+"""Tests for the Section 3.2 dependence analysis and Definition 3.1 checker."""
+
+import pytest
+
+from repro.analysis.affine import is_affine_destination, is_affine_expression
+from repro.analysis.lvalues import (
+    aggregators,
+    collect_accesses,
+    lvalue_indexes,
+    lvalue_overlap,
+    readers,
+    writers,
+)
+from repro.analysis.restrictions import RestrictionChecker, check_program
+from repro.errors import RestrictionError
+from repro.loop_lang.parser import parse_expression, parse_program, parse_statement
+from repro.translate.canonicalize import canonicalize_increments
+from repro.translate.translator import DiabloCompiler
+
+
+class TestAccessSets:
+    def test_paper_example_access_sets(self):
+        # V[W[i]] += n * C[i] * C[i+1]  (Section 3.2)
+        stmt = parse_statement("V[W[i]] += n * C[i] * C[i+1];")
+        loop_indexes = frozenset({"i"})
+        agg = aggregators(stmt, loop_indexes)
+        read = readers(stmt, loop_indexes)
+        written = writers(stmt, loop_indexes)
+        assert [str(a) for a in agg] == ["V[W[i]]"]
+        assert written == []
+        read_strings = {str(r) for r in read}
+        assert read_strings == {"W[i]", "n", "C[i]", "C[(i + 1)]"}
+
+    def test_assignment_is_a_writer(self):
+        stmt = parse_statement("V[i] := W[i];")
+        assert [str(w) for w in writers(stmt)] == ["V[i]"]
+        assert [str(r) for r in readers(stmt, frozenset({"i"}))] == ["W[i]"]
+
+    def test_loop_index_is_not_a_reader(self):
+        stmt = parse_statement("V[i] := i;")
+        assert readers(stmt, frozenset({"i"})) == []
+
+    def test_collect_accesses_orders_and_contexts(self):
+        loop = parse_statement("for i = 0, 9 do { for j = 0, 9 do V[i] += 1; W[i] := V[i]; }")
+        accesses = collect_accesses(loop)
+        assert len(accesses) == 2
+        assert accesses[0].context == {"i", "j"}
+        assert accesses[1].context == {"i"}
+        assert accesses[0].order < accesses[1].order
+
+
+class TestOverlap:
+    def test_same_variable(self):
+        assert lvalue_overlap(parse_expression("x"), parse_expression("x"))
+        assert not lvalue_overlap(parse_expression("x"), parse_expression("y"))
+
+    def test_array_accesses_same_array(self):
+        assert lvalue_overlap(parse_expression("V[i]"), parse_expression("V[j+1]"))
+        assert not lvalue_overlap(parse_expression("V[i]"), parse_expression("W[i]"))
+
+    def test_projections(self):
+        assert lvalue_overlap(parse_expression("p.x"), parse_expression("p.x"))
+        assert not lvalue_overlap(parse_expression("p.x"), parse_expression("p.y"))
+
+    def test_lvalue_indexes(self):
+        expr = parse_expression("M[i, j+1]")
+        assert lvalue_indexes(expr, frozenset({"i", "j", "k"})) == {"i", "j"}
+
+
+class TestAffine:
+    def test_affine_expressions(self):
+        indexes = frozenset({"i", "j"})
+        assert is_affine_expression(parse_expression("i"), indexes)
+        assert is_affine_expression(parse_expression("i + 1"), indexes)
+        assert is_affine_expression(parse_expression("2*i - j"), indexes)
+        assert is_affine_expression(parse_expression("n - 1"), indexes)
+
+    def test_non_affine_expressions(self):
+        indexes = frozenset({"i", "j"})
+        assert not is_affine_expression(parse_expression("i * j"), indexes)
+        assert not is_affine_expression(parse_expression("i / 2"), indexes)
+
+    def test_affine_destination_must_cover_context(self):
+        assert is_affine_destination(parse_expression("M[i, j]"), frozenset({"i", "j"}))
+        assert not is_affine_destination(parse_expression("V[i]"), frozenset({"i", "j"}))
+
+    def test_scalar_destination_affine_only_outside_loops(self):
+        assert is_affine_destination(parse_expression("x"), frozenset())
+        assert not is_affine_destination(parse_expression("x"), frozenset({"i"}))
+
+    def test_indirect_index_is_not_affine(self):
+        assert not is_affine_destination(parse_expression("V[W[i]]"), frozenset({"i"}))
+
+
+class TestRestrictions:
+    def test_recurrence_is_rejected(self):
+        # V[i] := (V[i-1] + V[i+1]) / 2  -- the paper's canonical rejection.
+        violations = check_program(parse_program("for i = 1, 9 do V[i] := (V[i-1] + V[i+1]) / 2;"))
+        assert violations
+
+    def test_incremental_update_reading_same_array_is_rejected(self):
+        violations = check_program(parse_program("for i = 1, 9 do V[i] += V[i+1];"))
+        assert violations
+
+    def test_scalar_temporary_is_rejected(self):
+        # for i do { n := V[i]; W[i] := f(n) }  -- n is not affine.
+        violations = check_program(parse_program("for i = 0, 9 do { n := V[i]; W[i] := sqrt(n); }"))
+        assert violations
+        assert any("affine" in str(v) for v in violations)
+
+    def test_promoted_temporary_is_accepted(self):
+        violations = check_program(
+            parse_program("for i = 0, 9 do { n[i] := V[i]; W[i] := sqrt(n[i]); }")
+        )
+        assert violations == []
+
+    def test_write_then_read_same_location_is_accepted(self):
+        violations = check_program(parse_program("for i = 0, 9 do { V[i] := W[i]; U[i] := V[i]; }"))
+        assert violations == []
+
+    def test_exception_b_example_from_paper(self):
+        # for i do { for j do V[i] += 1; W[i] := V[i] }  -- accepted.
+        source = "for i = 0, 9 do { for j = 0, 9 do V[i] += 1; W[i] := V[i]; }"
+        assert check_program(parse_program(source)) == []
+
+    def test_exception_b_violation_from_paper(self):
+        # Adding M[i,j] := V[i] inside the inner loop violates exception (b).
+        source = "for i = 0, 9 do for j = 0, 9 do { V[i] += 1; M[i,j] := V[i]; }"
+        assert check_program(parse_program(source))
+
+    def test_var_declaration_inside_for_is_rejected(self):
+        violations = check_program(parse_program("for i = 0, 9 do var x: int = 0;"))
+        assert violations
+
+    def test_while_inside_for_is_rejected(self):
+        violations = check_program(parse_program("for i = 0, 9 do while (V[i] > 0) V[i] += -1;"))
+        assert violations
+
+    def test_duplicate_loop_index_is_rejected(self):
+        violations = check_program(parse_program("for i = 0, 9 do for i = 0, 9 do V[i] += 1;"))
+        assert violations
+
+    def test_non_commutative_increment_rejected(self):
+        violations = check_program(parse_program("for i = 0, 9 do V[i] -= 1;"))
+        assert violations
+
+    def test_bubble_sort_style_swap_is_rejected(self):
+        source = """
+        for i = 0, n-1 do {
+          t := V[i];
+          V[i] := V[i+1];
+          V[i+1] := t;
+        };
+        """
+        assert check_program(parse_program(source))
+
+    def test_all_benchmark_programs_pass(self):
+        from repro.programs import PROGRAMS
+        from repro.comprehension.monoids import MonoidRegistry
+
+        for spec in PROGRAMS.values():
+            monoids = MonoidRegistry()
+            for monoid in spec.monoids:
+                monoids.register(monoid)
+            program = canonicalize_increments(parse_program(spec.source), monoids)
+            violations = RestrictionChecker(monoids).check_program(program)
+            assert violations == [], f"{spec.name}: {[str(v) for v in violations]}"
+
+    def test_compiler_raises_restriction_error(self):
+        with pytest.raises(RestrictionError):
+            DiabloCompiler().compile("for i = 1, 9 do V[i] := V[i-1];")
+
+    def test_compiler_can_skip_checks(self):
+        result = DiabloCompiler(check_restrictions=False).compile("for i = 1, 9 do V[i] := V[i-1];")
+        assert result.target.statements
+
+    def test_violation_messages_carry_hints(self):
+        violations = check_program(parse_program("for i = 0, 9 do { n := V[i]; W[i] := n; }"))
+        assert any(v.hint for v in violations)
+
+
+class TestCanonicalization:
+    def test_assignment_rewritten_to_incremental(self):
+        program = canonicalize_increments(parse_program("for w in words do eq := eq && (w == x);"))
+        loop = program.statements[0]
+        from repro.loop_lang import ast
+
+        assert isinstance(loop.body, ast.IncrementalUpdate)
+        assert loop.body.op == "&&"
+
+    def test_reversed_operand_order(self):
+        program = canonicalize_increments(parse_program("x := 1 + x;"))
+        from repro.loop_lang import ast
+
+        assert isinstance(program.statements[0], ast.IncrementalUpdate)
+
+    def test_non_commutative_not_rewritten(self):
+        program = canonicalize_increments(parse_program("x := x - 1;"))
+        from repro.loop_lang import ast
+
+        assert isinstance(program.statements[0], ast.Assign)
+
+    def test_unrelated_assignment_untouched(self):
+        program = canonicalize_increments(parse_program("x := y + 1;"))
+        from repro.loop_lang import ast
+
+        assert isinstance(program.statements[0], ast.Assign)

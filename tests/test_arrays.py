@@ -1,0 +1,157 @@
+"""Tests for sparse vectors/matrices and tiled (packed) matrices."""
+
+import pytest
+
+from repro.arrays.sparse import SparseMatrix, SparseVector
+from repro.arrays.tiles import TiledMatrix, pack_matrix, unpack_tiles
+from repro.errors import ExecutionError
+from repro.runtime.context import DistributedContext
+from repro.workloads.generators import random_matrix
+
+
+@pytest.fixture
+def ctx():
+    return DistributedContext(num_partitions=4)
+
+
+class TestSparseVector:
+    def test_from_dict_and_get(self, ctx):
+        vector = SparseVector.from_dict(ctx, {0: 1.0, 5: 2.5})
+        assert vector.get(5) == 2.5
+        assert vector.get(3) == 0.0
+        assert vector.nonzero_count() == 2
+
+    def test_from_dense_and_back(self, ctx):
+        vector = SparseVector.from_dense(ctx, [1.0, 0.0, 3.0])
+        assert vector.to_dense() == [1.0, 0.0, 3.0]
+        assert len(vector) == 3
+
+    def test_zeros(self, ctx):
+        assert SparseVector.zeros(ctx, 4).to_dense() == [0.0] * 4
+
+    def test_merge_right_wins(self, ctx):
+        left = SparseVector.from_dict(ctx, {1: 1.0, 2: 2.0})
+        right = SparseVector.from_dict(ctx, {2: 9.0})
+        assert left.merge(right).to_dict() == {1: 1.0, 2: 9.0}
+
+    def test_add(self, ctx):
+        left = SparseVector.from_dict(ctx, {1: 1.0})
+        right = SparseVector.from_dict(ctx, {1: 2.0, 3: 3.0})
+        assert left.add(right).to_dict() == {1: 3.0, 3: 3.0}
+
+    def test_dot(self, ctx):
+        left = SparseVector.from_dict(ctx, {0: 2.0, 1: 3.0})
+        right = SparseVector.from_dict(ctx, {1: 4.0, 2: 5.0})
+        assert left.dot(right) == 12.0
+
+    def test_sum_and_map_values(self, ctx):
+        vector = SparseVector.from_dict(ctx, {0: 1.0, 1: 2.0})
+        assert vector.sum() == 3.0
+        assert vector.map_values(lambda v: v * 10).to_dict() == {0: 10.0, 1: 20.0}
+
+
+class TestSparseMatrix:
+    def test_shape_and_get(self, ctx):
+        matrix = SparseMatrix.from_dict(ctx, {(0, 0): 1.0, (2, 3): 5.0})
+        assert matrix.shape == (3, 4)
+        assert matrix.get(2, 3) == 5.0
+        assert matrix.get(1, 1) == 0.0
+
+    def test_from_dense_round_trip(self, ctx):
+        rows = [[1.0, 2.0], [3.0, 4.0]]
+        matrix = SparseMatrix.from_dense(ctx, rows)
+        assert matrix.to_dense() == rows
+
+    def test_transpose(self, ctx):
+        matrix = SparseMatrix.from_dict(ctx, {(0, 1): 7.0})
+        assert matrix.transpose().to_dict() == {(1, 0): 7.0}
+
+    def test_add(self, ctx):
+        left = SparseMatrix.from_dict(ctx, {(0, 0): 1.0, (0, 1): 2.0})
+        right = SparseMatrix.from_dict(ctx, {(0, 0): 3.0, (1, 1): 4.0})
+        assert left.add(right).to_dict() == {(0, 0): 4.0, (0, 1): 2.0, (1, 1): 4.0}
+
+    def test_multiply_matches_numpy(self, ctx):
+        numpy = pytest.importorskip("numpy")
+        size = 5
+        a = random_matrix(size, size, seed=1)
+        b = random_matrix(size, size, seed=2)
+        product = SparseMatrix.from_dict(ctx, a).multiply(SparseMatrix.from_dict(ctx, b)).to_dict()
+        expected = numpy.array([[a[(i, k)] for k in range(size)] for i in range(size)]) @ numpy.array(
+            [[b[(k, j)] for j in range(size)] for k in range(size)]
+        )
+        for i in range(size):
+            for j in range(size):
+                assert abs(product[(i, j)] - expected[i, j]) < 1e-9
+
+    def test_row_sums(self, ctx):
+        matrix = SparseMatrix.from_dict(ctx, {(0, 0): 1.0, (0, 1): 2.0, (1, 0): 5.0})
+        assert matrix.row_sums().to_dict() == {0: 3.0, 1: 5.0}
+
+    def test_scale_and_frobenius_error(self, ctx):
+        matrix = SparseMatrix.from_dict(ctx, {(0, 0): 2.0})
+        scaled = matrix.scale(0.5)
+        assert scaled.to_dict() == {(0, 0): 1.0}
+        assert matrix.frobenius_error(matrix) == 0.0
+        assert matrix.frobenius_error(scaled) == 1.0
+
+
+class TestTiledMatrix:
+    def test_pack_unpack_round_trip(self, ctx):
+        entries = random_matrix(10, 7, seed=4)
+        sparse = SparseMatrix.from_dict(ctx, entries, shape=(10, 7))
+        tiled = pack_matrix(sparse, (10, 7), tile_size=4)
+        assert unpack_tiles(tiled).to_dict() == pytest.approx(entries)
+
+    def test_tile_count(self, ctx):
+        entries = random_matrix(8, 8, seed=5)
+        tiled = TiledMatrix.from_dict(ctx, entries, (8, 8), tile_size=4)
+        assert tiled.tile_count() == 4
+
+    def test_tiled_addition_matches_sparse_addition(self, ctx):
+        a = random_matrix(9, 9, seed=6)
+        b = random_matrix(9, 9, seed=7)
+        tiled = TiledMatrix.from_dict(ctx, a, (9, 9), tile_size=4).add(
+            TiledMatrix.from_dict(ctx, b, (9, 9), tile_size=4)
+        )
+        expected = {key: a[key] + b[key] for key in a}
+        assert tiled.to_dict() == pytest.approx(expected)
+
+    def test_tile_merge_does_not_shuffle(self, ctx):
+        a = TiledMatrix.from_dict(ctx, random_matrix(8, 8, seed=8), (8, 8), tile_size=4)
+        b = TiledMatrix.from_dict(ctx, random_matrix(8, 8, seed=9), (8, 8), tile_size=4)
+        # Co-partition both sides first, as Section 5 prescribes.
+        a_ready = TiledMatrix(a.data.partition_by(ctx.hash_partitioner()), a.shape, a.tile_size)
+        b_ready = TiledMatrix(b.data.partition_by(ctx.hash_partitioner()), b.shape, b.tile_size)
+        ctx.metrics.reset()
+        a_ready.merge_tiles(b_ready, lambda x, y: x + y)
+        assert ctx.metrics.shuffles == 0
+
+    def test_tiled_multiplication_matches_sparse(self, ctx):
+        numpy = pytest.importorskip("numpy")
+        size = 8
+        a = random_matrix(size, size, seed=10)
+        b = random_matrix(size, size, seed=11)
+        tiled_product = (
+            TiledMatrix.from_dict(ctx, a, (size, size), tile_size=4)
+            .multiply(TiledMatrix.from_dict(ctx, b, (size, size), tile_size=4))
+            .to_dict()
+        )
+        expected = numpy.array([[a[(i, k)] for k in range(size)] for i in range(size)]) @ numpy.array(
+            [[b[(k, j)] for j in range(size)] for k in range(size)]
+        )
+        for i in range(size):
+            for j in range(size):
+                assert abs(tiled_product.get((i, j), 0.0) - expected[i, j]) < 1e-9
+
+    def test_map_values(self, ctx):
+        tiled = TiledMatrix.from_dict(ctx, {(0, 0): 2.0}, (1, 1), tile_size=2)
+        assert tiled.map_values(lambda v: v * 3).to_dict() == {(0, 0): 6.0}
+
+    def test_mismatched_tile_sizes_rejected(self, ctx):
+        a = TiledMatrix.from_dict(ctx, {(0, 0): 1.0}, (1, 1), tile_size=2)
+        b = TiledMatrix.from_dict(ctx, {(0, 0): 1.0}, (1, 1), tile_size=4)
+        with pytest.raises(ExecutionError):
+            a.add(b)
+        with pytest.raises(ExecutionError):
+            a.multiply(b)

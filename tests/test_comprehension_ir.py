@@ -1,0 +1,145 @@
+"""Tests for the comprehension IR: terms, patterns, substitution, renaming."""
+
+from repro.comprehension import ir
+
+
+def simple_comprehension():
+    # { v | (i, v) <- V, i == 3 }
+    return ir.Comprehension(
+        ir.CVar("v"),
+        (
+            ir.Generator(ir.PTuple((ir.PVar("i"), ir.PVar("v"))), ir.CVar("V")),
+            ir.Condition(ir.CBinOp("==", ir.CVar("i"), ir.CConst(3))),
+        ),
+    )
+
+
+class TestPatterns:
+    def test_pvar_variables(self):
+        assert ir.PVar("x").variables() == ("x",)
+
+    def test_ptuple_variables_in_order(self):
+        pattern = ir.PTuple((ir.PVar("a"), ir.PTuple((ir.PVar("b"), ir.PVar("c")))))
+        assert pattern.variables() == ("a", "b", "c")
+
+    def test_wildcard_binds_nothing(self):
+        assert ir.PWildcard().variables() == ()
+
+    def test_pattern_from_names(self):
+        assert ir.pattern_from_names("x") == ir.PVar("x")
+        assert isinstance(ir.pattern_from_names("x", "y"), ir.PTuple)
+
+    def test_pattern_to_term(self):
+        pattern = ir.PTuple((ir.PVar("a"), ir.PVar("b")))
+        assert ir.pattern_to_term(pattern) == ir.CTuple((ir.CVar("a"), ir.CVar("b")))
+
+
+class TestFreeVariables:
+    def test_simple_term(self):
+        term = ir.CBinOp("+", ir.CVar("a"), ir.CVar("b"))
+        assert ir.free_variables(term) == {"a", "b"}
+
+    def test_comprehension_binders_are_not_free(self):
+        comp = simple_comprehension()
+        assert ir.free_variables(comp) == {"V"}
+
+    def test_group_by_key_variables_count_as_uses(self):
+        comp = ir.Comprehension(
+            ir.CVar("k"),
+            (
+                ir.Generator(ir.PTuple((ir.PVar("i"), ir.PVar("v"))), ir.CVar("V")),
+                ir.GroupBy(ir.PVar("k"), ir.CVar("i")),
+            ),
+        )
+        assert ir.free_variables(comp) == {"V"}
+
+    def test_aggregate_and_merge(self):
+        term = ir.Merge(ir.CVar("A"), ir.Aggregate("+", ir.CVar("b")))
+        assert ir.free_variables(term) == {"A", "b"}
+
+
+class TestSubstitution:
+    def test_substitute_variable(self):
+        term = ir.CBinOp("*", ir.CVar("x"), ir.CConst(2))
+        replaced = ir.substitute_term(term, {"x": ir.CConst(21)})
+        assert replaced == ir.CBinOp("*", ir.CConst(21), ir.CConst(2))
+
+    def test_substitution_respects_binders(self):
+        comp = simple_comprehension()
+        # 'v' is bound inside; substituting it must not change the head.
+        replaced = ir.substitute_term(comp, {"v": ir.CConst(0)})
+        assert replaced.head == ir.CVar("v")
+
+    def test_substitution_changes_free_domain(self):
+        comp = simple_comprehension()
+        replaced = ir.substitute_term(comp, {"V": ir.CVar("W")})
+        assert replaced.qualifiers[0].domain == ir.CVar("W")
+
+    def test_substitute_inside_merge_with(self):
+        term = ir.MergeWith("+", ir.CVar("A"), ir.CVar("delta"))
+        replaced = ir.substitute_term(term, {"delta": ir.CVar("d2")})
+        assert replaced.right == ir.CVar("d2")
+
+    def test_substitute_in_range_and_inrange(self):
+        term = ir.InRange(ir.CVar("i"), ir.CConst(0), ir.CVar("n"))
+        replaced = ir.substitute_term(term, {"n": ir.CConst(9)})
+        assert replaced.upper == ir.CConst(9)
+
+
+class TestRenaming:
+    def test_rename_bound_variables_is_alpha_equivalent(self):
+        comp = simple_comprehension()
+        fresh = ir.NameGenerator()
+        renamed = ir.rename_bound_variables(comp, fresh)
+        # The head variable must follow the renamed generator pattern.
+        generator = renamed.qualifiers[0]
+        assert renamed.head == ir.CVar(generator.pattern.elements[1].name)
+        assert ir.free_variables(renamed) == {"V"}
+
+    def test_rename_materializes_group_by_key(self):
+        comp = ir.Comprehension(
+            ir.CVar("k"),
+            (
+                ir.LetBinding(ir.PVar("k"), ir.CVar("x")),
+                ir.GroupBy(ir.PVar("k"), None),
+            ),
+        )
+        renamed = ir.rename_bound_variables(comp, ir.NameGenerator())
+        group_by = renamed.qualifiers[1]
+        assert group_by.key is not None
+
+    def test_fresh_names_are_unique(self):
+        fresh = ir.NameGenerator()
+        names = {fresh.fresh("x") for _ in range(100)}
+        assert len(names) == 100
+
+
+class TestHelpers:
+    def test_singleton(self):
+        assert ir.singleton(ir.CConst(1)).is_singleton()
+
+    def test_conjuncts(self):
+        term = ir.CBinOp("&&", ir.CBinOp("&&", ir.CVar("a"), ir.CVar("b")), ir.CVar("c"))
+        assert len(ir.conjuncts(term)) == 3
+
+    def test_equality_helper(self):
+        condition = ir.equality(ir.CVar("a"), ir.CVar("b"))
+        assert isinstance(condition.term, ir.CBinOp)
+        assert condition.term.op == "=="
+
+    def test_qualifier_variables(self):
+        comp = simple_comprehension()
+        assert ir.qualifier_variables(comp.qualifiers) == ["i", "v"]
+
+    def test_walk_terms_descends_into_comprehensions(self):
+        comp = simple_comprehension()
+        names = {t.name for t in ir.walk_terms(comp) if isinstance(t, ir.CVar)}
+        assert "V" in names and "i" in names
+
+    def test_str_representations(self):
+        comp = simple_comprehension()
+        text = str(comp)
+        assert "<-" in text and "==" in text
+        assert str(ir.Aggregate("+", ir.CVar("v"))) == "+/v"
+        assert "<|" in str(ir.Merge(ir.CVar("A"), ir.CVar("B")))
+        assert "range" in str(ir.RangeTerm(ir.CConst(0), ir.CConst(9)))

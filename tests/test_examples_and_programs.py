@@ -1,0 +1,66 @@
+"""Tests for the example scripts and the benchmark program registry."""
+
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+from repro.programs import (
+    PROGRAMS,
+    figure3_program_names,
+    get_program,
+    table1_program_names,
+    table2_program_names,
+)
+
+EXAMPLES_DIR = pathlib.Path(__file__).resolve().parent.parent / "examples"
+EXAMPLES = sorted(path.name for path in EXAMPLES_DIR.glob("*.py"))
+
+
+class TestProgramRegistry:
+    def test_twelve_figure3_programs_in_panel_order(self):
+        names = figure3_program_names()
+        assert len(names) == 12
+        assert names[0] == "conditional_sum"
+        assert names[-1] == "matrix_factorization"
+
+    def test_table2_matches_figure3(self):
+        assert table2_program_names() == figure3_program_names()
+
+    def test_sixteen_table1_programs(self):
+        names = table1_program_names()
+        assert len(names) == 16
+        assert len(set(names)) == 16
+        assert all(name in PROGRAMS for name in names)
+
+    def test_get_program(self):
+        assert get_program("word_count").title == "Word Count"
+        with pytest.raises(KeyError):
+            get_program("nope")
+
+    def test_every_program_declares_outputs(self):
+        for spec in PROGRAMS.values():
+            assert spec.scalar_outputs or spec.array_outputs, spec.name
+
+    def test_kmeans_spec_carries_custom_monoids(self):
+        spec = get_program("kmeans")
+        assert {m.symbol for m in spec.monoids} == {"^", "^^"}
+        assert "avgValue" in spec.functions
+
+
+@pytest.mark.parametrize("script", EXAMPLES)
+def test_example_scripts_run(script):
+    """Each example must run end to end (they contain their own assertions)."""
+    completed = subprocess.run(
+        [sys.executable, str(EXAMPLES_DIR / script)],
+        capture_output=True,
+        text=True,
+        timeout=600,
+    )
+    assert completed.returncode == 0, completed.stderr[-2000:]
+    assert completed.stdout.strip(), "examples should print a summary"
+
+
+def test_there_are_at_least_three_examples():
+    assert len(EXAMPLES) >= 3

@@ -1,0 +1,126 @@
+"""Tests for the loop-language tokenizer."""
+
+import pytest
+
+from repro.errors import LexerError
+from repro.loop_lang.lexer import Token, tokenize
+
+
+def kinds(source):
+    return [token.kind for token in tokenize(source)]
+
+
+def texts(source):
+    return [token.text for token in tokenize(source) if token.kind != "eof"]
+
+
+class TestBasicTokens:
+    def test_empty_input_yields_only_eof(self):
+        tokens = tokenize("")
+        assert len(tokens) == 1
+        assert tokens[0].kind == "eof"
+
+    def test_identifier(self):
+        assert texts("sum_x") == ["sum_x"]
+
+    def test_keyword_recognition(self):
+        assert kinds("for")[:-1] == ["keyword"]
+        assert kinds("while")[:-1] == ["keyword"]
+        assert kinds("forx")[:-1] == ["ident"]
+
+    def test_integer_literal(self):
+        tokens = tokenize("42")
+        assert tokens[0].kind == "int"
+        assert tokens[0].text == "42"
+
+    def test_float_literal(self):
+        tokens = tokenize("3.14")
+        assert tokens[0].kind == "float"
+
+    def test_float_with_exponent(self):
+        tokens = tokenize("1.0e12")
+        assert tokens[0].kind == "float"
+        assert tokens[0].text == "1.0e12"
+
+    def test_integer_followed_by_dot_projection_not_float(self):
+        # "v.1" style is not produced by the benchmarks, but "2." should not
+        # swallow the dot when no digit follows.
+        tokens = tokenize("2.x")
+        assert tokens[0].kind == "int"
+
+    def test_string_literal_double_quotes(self):
+        tokens = tokenize('"key1"')
+        assert tokens[0].kind == "string"
+        assert tokens[0].text == "key1"
+
+    def test_string_literal_with_escape(self):
+        tokens = tokenize(r'"a\nb"')
+        assert tokens[0].text == "a\nb"
+
+    def test_unterminated_string_raises(self):
+        with pytest.raises(LexerError):
+            tokenize('"abc')
+
+
+class TestOperators:
+    def test_assignment_operator(self):
+        assert ":=" in texts("x := 1;")
+
+    def test_incremental_operators(self):
+        for symbol in ["+=", "-=", "*=", "/=", "^=", "^^="]:
+            assert symbol in texts(f"x {symbol} 1;")
+
+    def test_comparison_operators(self):
+        for symbol in ["==", "!=", "<=", ">=", "<", ">"]:
+            assert symbol in texts(f"a {symbol} b")
+
+    def test_boolean_operators(self):
+        assert "&&" in texts("a && b")
+        assert "||" in texts("a || b")
+
+    def test_custom_monoid_operators(self):
+        assert "^" in texts("a ^ b")
+        assert "^^" in texts("a ^^ b")
+
+    def test_longest_match_wins(self):
+        # "^^=" must not be tokenized as "^" "^" "=".
+        assert texts("x ^^= y;")[1] == "^^="
+
+    def test_unexpected_character_raises(self):
+        with pytest.raises(LexerError):
+            tokenize("a @ b")
+
+
+class TestCommentsAndWhitespace:
+    def test_line_comment_skipped(self):
+        assert texts("x // comment\n:= 1;") == ["x", ":=", "1", ";"]
+
+    def test_hash_comment_skipped(self):
+        assert texts("x # comment\n:= 1;") == ["x", ":=", "1", ";"]
+
+    def test_block_comment_skipped(self):
+        assert texts("x /* a\nb */ := 1;") == ["x", ":=", "1", ";"]
+
+    def test_unterminated_block_comment_raises(self):
+        with pytest.raises(LexerError):
+            tokenize("/* never closed")
+
+    def test_locations_track_lines(self):
+        tokens = tokenize("a\nb")
+        assert tokens[0].location.line == 1
+        assert tokens[1].location.line == 2
+
+
+class TestTokenHelpers:
+    def test_is_symbol(self):
+        token = tokenize("+")[0]
+        assert token.is_symbol("+")
+        assert not token.is_symbol("-")
+
+    def test_is_keyword(self):
+        token = tokenize("for")[0]
+        assert token.is_keyword("for")
+        assert not token.is_keyword("while")
+
+    def test_str_representation(self):
+        assert "int" in str(Token("int", "3", tokenize("3")[0].location))

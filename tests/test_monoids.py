@@ -1,0 +1,108 @@
+"""Tests for the commutative monoid registry and the KMeans record monoids."""
+
+import pytest
+
+from repro.comprehension.monoids import (
+    ArgMin,
+    Avg,
+    Monoid,
+    MonoidRegistry,
+    argmin_monoid,
+    avg_monoid,
+    builtin_monoids,
+)
+
+
+class TestBuiltinMonoids:
+    def test_builtin_symbols(self):
+        registry = MonoidRegistry()
+        for symbol in ["+", "*", "min", "max", "&&", "||"]:
+            assert symbol in registry
+
+    def test_addition(self):
+        monoid = MonoidRegistry().get("+")
+        assert monoid.identity() == 0
+        assert monoid.combine(2, 3) == 5
+        assert monoid.reduce([1, 2, 3, 4]) == 10
+
+    def test_multiplication(self):
+        monoid = MonoidRegistry().get("*")
+        assert monoid.reduce([2, 3, 4]) == 24
+        assert monoid.reduce([]) == 1
+
+    def test_logical_monoids(self):
+        registry = MonoidRegistry()
+        assert registry.get("&&").reduce([True, True, False]) is False
+        assert registry.get("||").reduce([False, False, True]) is True
+        assert registry.get("&&").reduce([]) is True
+        assert registry.get("||").reduce([]) is False
+
+    def test_min_max(self):
+        registry = MonoidRegistry()
+        assert registry.get("min").reduce([5, 2, 9]) == 2
+        assert registry.get("max").reduce([5, 2, 9]) == 9
+
+    def test_builtins_are_fresh_per_call(self):
+        assert builtin_monoids() is not builtin_monoids()
+
+
+class TestRegistry:
+    def test_register_and_lookup(self):
+        registry = MonoidRegistry()
+        registry.register(Monoid("cat", "", lambda a, b: a + b, commutative=False))
+        assert "cat" in registry
+        assert not registry.is_commutative("cat")
+
+    def test_unknown_symbol_raises(self):
+        with pytest.raises(KeyError):
+            MonoidRegistry().get("???")
+
+    def test_is_commutative_for_unknown(self):
+        assert not MonoidRegistry().is_commutative("???")
+
+    def test_copy_is_independent(self):
+        registry = MonoidRegistry()
+        clone = registry.copy()
+        clone.register(Monoid("@", 0, lambda a, b: a))
+        assert "@" in clone
+        assert "@" not in registry
+
+    def test_symbols_listing(self):
+        assert "+" in MonoidRegistry().symbols()
+
+
+class TestKMeansMonoids:
+    def test_argmin_keeps_smaller_distance(self):
+        a = ArgMin(1, 5.0)
+        b = ArgMin(2, 3.0)
+        assert a.combine(b).index == 2
+        assert b.combine(a).index == 2
+
+    def test_argmin_monoid_identity_loses(self):
+        monoid = argmin_monoid()
+        value = monoid.combine(monoid.identity(), ArgMin(7, 1.0))
+        assert value.index == 7
+
+    def test_argmin_ties_prefer_first(self):
+        a = ArgMin(1, 2.0)
+        b = ArgMin(2, 2.0)
+        assert a.combine(b).index == 1
+
+    def test_avg_combines_sums_and_counts(self):
+        a = Avg((1.0, 2.0), 1)
+        b = Avg((3.0, 4.0), 1)
+        merged = a.combine(b)
+        assert merged.count == 2
+        assert merged.value() == (2.0, 3.0)
+
+    def test_avg_scalar_values(self):
+        merged = Avg(10.0, 2).combine(Avg(20.0, 3))
+        assert merged.value() == 6.0
+
+    def test_avg_monoid_identity(self):
+        monoid = avg_monoid()
+        merged = monoid.combine(monoid.identity(), Avg((2.0, 2.0), 1))
+        assert merged.count == 1
+
+    def test_avg_empty_value(self):
+        assert Avg((0.0, 0.0), 0).value() == (0.0, 0.0)

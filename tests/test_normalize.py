@@ -1,0 +1,178 @@
+"""Tests for comprehension normalization (Rule 2 and friends)."""
+
+from repro.comprehension import ir
+from repro.comprehension.normalize import normalize
+
+
+def generators_of(comp):
+    return [q for q in comp.qualifiers if isinstance(q, ir.Generator)]
+
+
+class TestUnnesting:
+    def test_singleton_generator_becomes_binding(self):
+        comp = ir.Comprehension(
+            ir.CVar("x"), (ir.Generator(ir.PVar("x"), ir.singleton(ir.CConst(5))),)
+        )
+        result = normalize(comp)
+        assert isinstance(result, ir.Comprehension)
+        assert result.head == ir.CConst(5)
+        assert not generators_of(result)
+
+    def test_nested_comprehension_is_unnested(self):
+        # { x * 2 | x <- { v | (i, v) <- V, i == 1 } }
+        inner = ir.Comprehension(
+            ir.CVar("v"),
+            (
+                ir.Generator(ir.PTuple((ir.PVar("i"), ir.PVar("v"))), ir.CVar("V")),
+                ir.Condition(ir.CBinOp("==", ir.CVar("i"), ir.CConst(1))),
+            ),
+        )
+        outer = ir.Comprehension(
+            ir.CBinOp("*", ir.CVar("x"), ir.CConst(2)),
+            (ir.Generator(ir.PVar("x"), inner),),
+        )
+        result = normalize(outer)
+        assert len(generators_of(result)) == 1
+        assert generators_of(result)[0].domain == ir.CVar("V")
+
+    def test_unnesting_renames_to_avoid_capture(self):
+        # Outer already binds 'v'; the inner 'v' must be renamed.
+        inner = ir.Comprehension(
+            ir.CVar("v"),
+            (ir.Generator(ir.PTuple((ir.PVar("i"), ir.PVar("v"))), ir.CVar("W")),),
+        )
+        outer = ir.Comprehension(
+            ir.CTuple((ir.CVar("v"), ir.CVar("x"))),
+            (
+                ir.Generator(ir.PTuple((ir.PVar("j"), ir.PVar("v"))), ir.CVar("V")),
+                ir.Generator(ir.PVar("x"), inner),
+            ),
+        )
+        result = normalize(outer)
+        bound = ir.qualifier_variables(result.qualifiers)
+        assert len(bound) == len(set(bound)), "inner binders must be renamed apart"
+
+    def test_group_by_inner_comprehension_not_unnested_in_middle(self):
+        inner = ir.Comprehension(
+            ir.CTuple((ir.CVar("k"), ir.Aggregate("+", ir.CVar("v")))),
+            (
+                ir.Generator(ir.PTuple((ir.PVar("k"), ir.PVar("v"))), ir.CVar("V")),
+                ir.GroupBy(ir.PVar("k"), ir.CVar("k")),
+            ),
+        )
+        outer = ir.Comprehension(
+            ir.CVar("y"),
+            (
+                ir.Generator(ir.PTuple((ir.PVar("a"), ir.PVar("b"))), ir.CVar("W")),
+                ir.Generator(ir.PVar("y"), inner),
+            ),
+        )
+        result = normalize(outer)
+        # The inner group-by comprehension stays as a generator domain.
+        assert any(
+            isinstance(q, ir.Generator) and isinstance(q.domain, ir.Comprehension)
+            for q in result.qualifiers
+        )
+
+
+class TestConditions:
+    def test_conjunction_is_split(self):
+        comp = ir.Comprehension(
+            ir.CVar("v"),
+            (
+                ir.Generator(ir.PTuple((ir.PVar("i"), ir.PVar("v"))), ir.CVar("V")),
+                ir.Condition(
+                    ir.CBinOp(
+                        "&&",
+                        ir.CBinOp("==", ir.CVar("i"), ir.CConst(1)),
+                        ir.CBinOp(">", ir.CVar("v"), ir.CConst(0)),
+                    )
+                ),
+            ),
+        )
+        result = normalize(comp)
+        conditions = [q for q in result.qualifiers if isinstance(q, ir.Condition)]
+        assert len(conditions) == 2
+
+    def test_true_condition_dropped(self):
+        comp = ir.Comprehension(
+            ir.CVar("v"),
+            (
+                ir.Generator(ir.PTuple((ir.PVar("i"), ir.PVar("v"))), ir.CVar("V")),
+                ir.Condition(ir.CConst(True)),
+            ),
+        )
+        result = normalize(comp)
+        assert not [q for q in result.qualifiers if isinstance(q, ir.Condition)]
+
+    def test_false_condition_gives_empty_bag(self):
+        comp = ir.Comprehension(
+            ir.CVar("v"),
+            (
+                ir.Generator(ir.PTuple((ir.PVar("i"), ir.PVar("v"))), ir.CVar("V")),
+                ir.Condition(ir.CConst(False)),
+            ),
+        )
+        assert isinstance(normalize(comp), ir.EmptyBag)
+
+    def test_trivial_equality_dropped(self):
+        comp = ir.Comprehension(
+            ir.CVar("v"),
+            (
+                ir.Generator(ir.PTuple((ir.PVar("i"), ir.PVar("v"))), ir.CVar("V")),
+                ir.Condition(ir.CBinOp("==", ir.CVar("i"), ir.CVar("i"))),
+            ),
+        )
+        result = normalize(comp)
+        assert not [q for q in result.qualifiers if isinstance(q, ir.Condition)]
+
+
+class TestLetInlining:
+    def test_alias_let_is_inlined(self):
+        comp = ir.Comprehension(
+            ir.CVar("y"),
+            (
+                ir.Generator(ir.PTuple((ir.PVar("i"), ir.PVar("v"))), ir.CVar("V")),
+                ir.LetBinding(ir.PVar("y"), ir.CVar("v")),
+            ),
+        )
+        result = normalize(comp)
+        assert result.head == ir.CVar("v")
+        assert not [q for q in result.qualifiers if isinstance(q, ir.LetBinding)]
+
+    def test_let_used_after_group_by_is_not_inlined(self):
+        comp = ir.Comprehension(
+            ir.CTuple((ir.CVar("k"), ir.Aggregate("+", ir.CVar("one")))),
+            (
+                ir.Generator(ir.PTuple((ir.PVar("w"), ir.PVar("v"))), ir.CVar("words")),
+                ir.LetBinding(ir.PVar("one"), ir.CConst(1)),
+                ir.LetBinding(ir.PVar("k"), ir.CVar("w")),
+                ir.GroupBy(ir.PVar("k"), None),
+            ),
+        )
+        result = normalize(comp)
+        lets = [q for q in result.qualifiers if isinstance(q, ir.LetBinding)]
+        assert any(q.pattern == ir.PVar("one") for q in lets), "lifted binding must survive"
+
+    def test_dead_let_removed(self):
+        comp = ir.Comprehension(
+            ir.CVar("v"),
+            (
+                ir.Generator(ir.PTuple((ir.PVar("i"), ir.PVar("v"))), ir.CVar("V")),
+                ir.LetBinding(ir.PVar("unused"), ir.CBinOp("+", ir.CVar("v"), ir.CConst(1))),
+            ),
+        )
+        result = normalize(comp)
+        assert not [q for q in result.qualifiers if isinstance(q, ir.LetBinding)]
+
+    def test_normalization_is_idempotent(self):
+        comp = ir.Comprehension(
+            ir.CBinOp("*", ir.CVar("x"), ir.CVar("y")),
+            (
+                ir.Generator(ir.PVar("x"), ir.singleton(ir.CVar("a"))),
+                ir.Generator(ir.PVar("y"), ir.singleton(ir.CVar("b"))),
+            ),
+        )
+        once = normalize(comp)
+        twice = normalize(once)
+        assert once == twice

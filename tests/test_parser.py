@@ -1,0 +1,234 @@
+"""Tests for the loop-language parser."""
+
+import pytest
+
+from repro.errors import ParseError
+from repro.loop_lang import ast
+from repro.loop_lang.parser import parse_expression, parse_program, parse_statement
+
+
+class TestExpressions:
+    def test_constants(self):
+        assert parse_expression("42") == ast.Const(42)
+        assert parse_expression("3.5") == ast.Const(3.5)
+        assert parse_expression("true") == ast.Const(True)
+        assert parse_expression('"abc"') == ast.Const("abc")
+
+    def test_negative_constant_folds(self):
+        assert parse_expression("-3") == ast.Const(-3)
+
+    def test_variable(self):
+        assert parse_expression("x") == ast.Var("x")
+
+    def test_arithmetic_precedence(self):
+        expr = parse_expression("a + b * c")
+        assert isinstance(expr, ast.BinOp)
+        assert expr.op == "+"
+        assert isinstance(expr.right, ast.BinOp)
+        assert expr.right.op == "*"
+
+    def test_parentheses_override_precedence(self):
+        expr = parse_expression("(a + b) * c")
+        assert expr.op == "*"
+        assert isinstance(expr.left, ast.BinOp)
+
+    def test_comparison(self):
+        expr = parse_expression("a < 100")
+        assert expr == ast.BinOp("<", ast.Var("a"), ast.Const(100))
+
+    def test_boolean_operators(self):
+        expr = parse_expression("a && b || c")
+        assert expr.op == "||"
+        assert expr.left.op == "&&"
+
+    def test_not_operator(self):
+        expr = parse_expression("!a")
+        assert expr == ast.UnaryOp("!", ast.Var("a"))
+
+    def test_vector_indexing(self):
+        expr = parse_expression("V[i]")
+        assert expr == ast.Index(ast.Var("V"), (ast.Var("i"),))
+
+    def test_matrix_indexing(self):
+        expr = parse_expression("M[i, j]")
+        assert expr == ast.Index(ast.Var("M"), (ast.Var("i"), ast.Var("j")))
+
+    def test_nested_indexing(self):
+        expr = parse_expression("V[W[i]]")
+        assert expr == ast.Index(ast.Var("V"), (ast.Index(ast.Var("W"), (ast.Var("i"),)),))
+
+    def test_projection(self):
+        expr = parse_expression("p.red")
+        assert expr == ast.Project(ast.Var("p"), "red")
+
+    def test_tuple_projection(self):
+        expr = parse_expression("p._1")
+        assert expr == ast.Project(ast.Var("p"), "_1")
+
+    def test_projection_of_index(self):
+        expr = parse_expression("closest[i].index")
+        assert isinstance(expr, ast.Project)
+        assert isinstance(expr.base, ast.Index)
+
+    def test_call(self):
+        expr = parse_expression("distance(P[i], C[j])")
+        assert isinstance(expr, ast.Call)
+        assert expr.function == "distance"
+        assert len(expr.arguments) == 2
+
+    def test_call_no_arguments(self):
+        assert parse_expression("map()") == ast.Call("map", ())
+
+    def test_tuple_expression(self):
+        expr = parse_expression("(a, b, 1)")
+        assert isinstance(expr, ast.TupleExpr)
+        assert len(expr.elements) == 3
+
+    def test_custom_operators(self):
+        expr = parse_expression("a ^ b")
+        assert expr.op == "^"
+        expr = parse_expression("a ^^ b")
+        assert expr.op == "^^"
+
+    def test_trailing_input_rejected(self):
+        with pytest.raises(ParseError):
+            parse_expression("a b")
+
+
+class TestStatements:
+    def test_assignment(self):
+        stmt = parse_statement("x := 1;")
+        assert stmt == ast.Assign(ast.Var("x"), ast.Const(1))
+
+    def test_incremental_update(self):
+        stmt = parse_statement("x += 1;")
+        assert stmt == ast.IncrementalUpdate(ast.Var("x"), "+", ast.Const(1))
+
+    def test_custom_incremental_update(self):
+        stmt = parse_statement("x ^^= Avg(p, 1);")
+        assert isinstance(stmt, ast.IncrementalUpdate)
+        assert stmt.op == "^^"
+
+    def test_array_assignment(self):
+        stmt = parse_statement("R[i, j] := 0.0;")
+        assert isinstance(stmt, ast.Assign)
+        assert isinstance(stmt.destination, ast.Index)
+
+    def test_assignment_to_non_destination_rejected(self):
+        with pytest.raises(ParseError):
+            parse_statement("1 := 2;")
+
+    def test_missing_semicolon_rejected(self):
+        with pytest.raises(ParseError):
+            parse_statement("x := 1")
+
+    def test_var_declaration(self):
+        stmt = parse_statement("var sum: double = 0.0;")
+        assert stmt == ast.VarDecl("sum", ast.BasicType("double"), ast.Const(0.0))
+
+    def test_var_declaration_with_collection_type(self):
+        stmt = parse_statement("var C: map[string, int] = map();")
+        assert isinstance(stmt.type, ast.ParametricType)
+        assert stmt.type.constructor == "map"
+        assert len(stmt.type.parameters) == 2
+
+    def test_for_range(self):
+        stmt = parse_statement("for i = 0, n-1 do x += 1;")
+        assert isinstance(stmt, ast.ForRange)
+        assert stmt.variable == "i"
+        assert stmt.lower == ast.Const(0)
+
+    def test_for_in(self):
+        stmt = parse_statement("for v in V do x += v;")
+        assert isinstance(stmt, ast.ForIn)
+        assert stmt.variable == "v"
+        assert stmt.source == ast.Var("V")
+
+    def test_while(self):
+        stmt = parse_statement("while (k < 10) k += 1;")
+        assert isinstance(stmt, ast.While)
+        assert isinstance(stmt.body, ast.IncrementalUpdate)
+
+    def test_if_without_else(self):
+        stmt = parse_statement("if (v < 100) sum += v;")
+        assert isinstance(stmt, ast.If)
+        assert stmt.else_branch is None
+
+    def test_if_with_else(self):
+        stmt = parse_statement("if (a) x := 1; else x := 2;")
+        assert stmt.else_branch is not None
+
+    def test_block(self):
+        stmt = parse_statement("{ x := 1; y := 2; }")
+        assert isinstance(stmt, ast.Block)
+        assert len(stmt.statements) == 2
+
+    def test_block_with_trailing_semicolon(self):
+        stmt = parse_statement("{ x := 1; };")
+        assert isinstance(stmt, ast.Block)
+
+    def test_unterminated_block_rejected(self):
+        with pytest.raises(ParseError):
+            parse_statement("{ x := 1;")
+
+    def test_nested_loops(self):
+        stmt = parse_statement(
+            "for i = 0, 9 do for j = 0, 9 do R[i,j] := 0.0;"
+        )
+        assert isinstance(stmt, ast.ForRange)
+        assert isinstance(stmt.body, ast.ForRange)
+
+
+class TestTypes:
+    def test_basic_type_lowercased(self):
+        stmt = parse_statement("var x: Double = 0.0;")
+        assert stmt.type == ast.BasicType("double")
+
+    def test_vector_type(self):
+        stmt = parse_statement("var V: vector[double] = vector();")
+        assert ast.is_array_type(stmt.type)
+
+    def test_matrix_type(self):
+        stmt = parse_statement("var M: matrix[double] = matrix();")
+        assert ast.array_rank(stmt.type) == 2
+
+    def test_tuple_type(self):
+        stmt = parse_statement("var p: (double, double) = P[0];")
+        assert isinstance(stmt.type, ast.TupleType)
+
+
+class TestPrograms:
+    def test_multi_statement_program(self):
+        program = parse_program("var x: int = 0; for v in V do x += v;")
+        assert len(program.statements) == 2
+
+    def test_appendix_word_count_parses(self):
+        program = parse_program(
+            """
+            var C: map[string, int] = map();
+            for w in words do
+              C[w] += 1;
+            """
+        )
+        assert len(program.statements) == 2
+
+    def test_appendix_matrix_multiplication_parses(self):
+        program = parse_program(
+            """
+            var R: matrix[double] = matrix();
+            for i = 0, n-1 do
+              for j = 0, n-1 do {
+                R[i,j] := 0.0;
+                for k = 0, n-1 do
+                  R[i,j] += M[i,k]*N[k,j];
+              };
+            """
+        )
+        assert len(program.statements) == 2
+
+    def test_all_benchmark_programs_parse(self):
+        from repro.programs import PROGRAMS
+
+        for spec in PROGRAMS.values():
+            program = parse_program(spec.source)
+            assert program.statements, spec.name

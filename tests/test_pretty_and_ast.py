@@ -1,0 +1,92 @@
+"""Tests for the pretty printer and the AST helper functions."""
+
+from repro.loop_lang import ast
+from repro.loop_lang.parser import parse_expression, parse_program, parse_statement
+from repro.loop_lang.pretty import pretty_expr, pretty_program, pretty_stmt
+
+
+class TestPrettyRoundTrip:
+    def test_expression_round_trip(self):
+        source = "(M[i,k] * N[k,j])"
+        expr = parse_expression(source)
+        assert parse_expression(pretty_expr(expr)) == expr
+
+    def test_statement_round_trip(self):
+        stmt = parse_statement("for i = 0, 9 do V[i] += W[i];")
+        printed = pretty_stmt(stmt)
+        assert parse_program(printed).statements[0] == stmt
+
+    def test_program_round_trip_for_all_benchmarks(self):
+        from repro.programs import PROGRAMS
+
+        for spec in PROGRAMS.values():
+            program = parse_program(spec.source)
+            reparsed = parse_program(pretty_program(program))
+            assert reparsed == program, spec.name
+
+    def test_string_constants_are_quoted(self):
+        assert pretty_expr(ast.Const("key1")) == '"key1"'
+
+    def test_boolean_constants(self):
+        assert pretty_expr(ast.Const(True)) == "true"
+        assert pretty_expr(ast.Const(False)) == "false"
+
+
+class TestAstHelpers:
+    def test_is_destination(self):
+        assert ast.is_destination(parse_expression("V[i]"))
+        assert ast.is_destination(parse_expression("p.red"))
+        assert ast.is_destination(parse_expression("x"))
+        assert not ast.is_destination(parse_expression("x + 1"))
+        assert not ast.is_destination(parse_expression("f(x)"))
+
+    def test_destination_root(self):
+        assert ast.destination_root(parse_expression("V[i]")).name == "V"
+        assert ast.destination_root(parse_expression("closest[i].index")).name == "closest"
+
+    def test_free_variables(self):
+        expr = parse_expression("M[i,k] * N[k,j] + c")
+        assert ast.free_variables(expr) == {"M", "N", "i", "j", "k", "c"}
+
+    def test_substitute(self):
+        expr = parse_expression("a + b")
+        replaced = ast.substitute(expr, {"a": ast.Const(1)})
+        assert replaced == ast.BinOp("+", ast.Const(1), ast.Var("b"))
+
+    def test_substitute_inside_index(self):
+        expr = parse_expression("V[i + 1]")
+        replaced = ast.substitute(expr, {"i": ast.Var("j")})
+        assert "j" in ast.free_variables(replaced)
+        assert "i" not in ast.free_variables(replaced)
+
+    def test_walk_statements_visits_nested(self):
+        stmt = parse_statement("for i = 0, 9 do { x += 1; y += 2; }")
+        kinds = [type(node).__name__ for node in ast.walk_statements(stmt)]
+        assert kinds.count("IncrementalUpdate") == 2
+
+    def test_statement_expressions(self):
+        stmt = parse_statement("V[i] := W[i] + 1;")
+        expressions = list(ast.statement_expressions(stmt))
+        assert len(expressions) == 2
+
+    def test_declared_variables(self):
+        program = parse_program("var x: int = 0; var V: vector[double] = vector();")
+        declared = ast.declared_variables(program)
+        assert declared["x"] == ast.BasicType("int")
+        assert ast.is_array_type(declared["V"])
+
+    def test_loop_index_variables(self):
+        stmt = parse_statement("for i = 0, 9 do for j = 0, 9 do x += 1;")
+        assert ast.loop_index_variables(stmt) == {"i", "j"}
+
+    def test_rename_loop_variable(self):
+        stmt = parse_statement("for i = 0, 9 do V[i] := W[i];")
+        renamed = ast.rename_loop_variable(stmt.body, "i", "i2")
+        assert "i2" in ast.free_variables(renamed.destination)
+
+    def test_type_constructors(self):
+        assert str(ast.vector_of(ast.DOUBLE)) == "vector[double]"
+        assert str(ast.matrix_of(ast.DOUBLE)) == "matrix[double]"
+        assert str(ast.map_of(ast.STRING, ast.INT)) == "map[string, int]"
+        assert ast.is_collection_type(ast.bag_of(ast.INT))
+        assert not ast.is_array_type(ast.BasicType("int"))

@@ -1,0 +1,141 @@
+"""Property-based tests (hypothesis) on core data structures and invariants."""
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.comprehension import ir
+from repro.comprehension.monoids import MonoidRegistry
+from repro.comprehension.normalize import normalize
+from repro.evaluation.harness import diablo_for
+from repro.loop_lang.parser import parse_program
+from repro.loop_lang.pretty import pretty_program
+from repro.programs import get_program
+from repro.runtime.context import DistributedContext
+
+COMMON_SETTINGS = settings(
+    max_examples=25, deadline=None, suppress_health_check=[HealthCheck.too_slow]
+)
+
+keys = st.integers(min_value=0, max_value=20)
+values = st.integers(min_value=-100, max_value=100)
+kv_dicts = st.dictionaries(keys, values, max_size=25)
+
+
+class TestRuntimeProperties:
+    @COMMON_SETTINGS
+    @given(data=st.lists(values, max_size=50), partitions=st.integers(min_value=1, max_value=7))
+    def test_parallelize_collect_round_trip(self, data, partitions):
+        context = DistributedContext(num_partitions=partitions)
+        assert sorted(context.parallelize(data).collect()) == sorted(data)
+
+    @COMMON_SETTINGS
+    @given(data=st.lists(st.tuples(keys, values), max_size=50))
+    def test_reduce_by_key_matches_python_grouping(self, data):
+        context = DistributedContext(num_partitions=3)
+        expected = {}
+        for key, value in data:
+            expected[key] = expected.get(key, 0) + value
+        result = context.parallelize(data).reduce_by_key(lambda a, b: a + b).collect_as_map()
+        assert result == expected
+
+    @COMMON_SETTINGS
+    @given(left=kv_dicts, right=kv_dicts)
+    def test_merge_semantics(self, left, right):
+        """X ⊳ Y = Y entries win; all other X entries are preserved."""
+        context = DistributedContext(num_partitions=3)
+        merged = (
+            context.parallelize_pairs(left).merge(context.parallelize_pairs(right)).collect_as_map()
+        )
+        assert merged == {**left, **right}
+
+    @COMMON_SETTINGS
+    @given(left=kv_dicts, right=kv_dicts)
+    def test_merge_with_adds_overlapping_entries(self, left, right):
+        context = DistributedContext(num_partitions=3)
+        merged = (
+            context.parallelize_pairs(left)
+            .merge_with(context.parallelize_pairs(right), lambda a, b: a + b)
+            .collect_as_map()
+        )
+        expected = dict(left)
+        for key, value in right.items():
+            expected[key] = expected.get(key, 0) + value
+        assert merged == expected
+
+    @COMMON_SETTINGS
+    @given(left=kv_dicts, right=kv_dicts)
+    def test_join_matches_dict_semantics(self, left, right):
+        context = DistributedContext(num_partitions=3)
+        joined = context.parallelize_pairs(left).join(context.parallelize_pairs(right)).collect_as_map()
+        expected = {key: (left[key], right[key]) for key in left.keys() & right.keys()}
+        assert joined == expected
+
+
+class TestMonoidProperties:
+    @COMMON_SETTINGS
+    @given(values=st.lists(values, max_size=30), symbol=st.sampled_from(["+", "*", "min", "max"]))
+    def test_reduce_is_order_insensitive(self, values, symbol):
+        monoid = MonoidRegistry().get(symbol)
+        assert monoid.reduce(values) == monoid.reduce(list(reversed(values)))
+
+    @COMMON_SETTINGS
+    @given(a=values, b=values, c=values, symbol=st.sampled_from(["+", "*", "min", "max"]))
+    def test_associativity_and_commutativity(self, a, b, c, symbol):
+        monoid = MonoidRegistry().get(symbol)
+        assert monoid.combine(a, b) == monoid.combine(b, a)
+        assert monoid.combine(monoid.combine(a, b), c) == monoid.combine(a, monoid.combine(b, c))
+
+
+class TestTranslationProperties:
+    @COMMON_SETTINGS
+    @given(data=st.lists(st.floats(min_value=-1000, max_value=1000, allow_nan=False), max_size=40))
+    def test_sum_program_soundness(self, data):
+        spec = get_program("sum")
+        diablo = diablo_for(spec)
+        distributed = diablo.compile(spec.source).run(V=list(data))
+        sequential = diablo.interpret(spec.source, {"V": list(data)})
+        assert abs(distributed["s"] - sequential["s"]) < 1e-6
+
+    @COMMON_SETTINGS
+    @given(words=st.lists(st.sampled_from(["aa", "bb", "cc", "dd"]), max_size=40))
+    def test_word_count_program_soundness(self, words):
+        spec = get_program("word_count")
+        diablo = diablo_for(spec)
+        distributed = diablo.compile(spec.source).run(words=list(words))
+        sequential = diablo.interpret(spec.source, {"words": list(words)})
+        assert distributed.array("C") == sequential["C"]
+
+    @COMMON_SETTINGS
+    @given(entries=st.dictionaries(st.integers(0, 10), values, min_size=0, max_size=20))
+    def test_vector_increment_program_soundness(self, entries):
+        source = "for i = 0, 10 do V[i] += W[i];"
+        diablo = diablo_for(get_program("sum"))
+        distributed = diablo.compile(source).run(V={}, W=dict(entries))
+        sequential = diablo.interpret(source, {"V": {}, "W": dict(entries)})
+        # Sparse arrays treat a missing entry as zero (Section 3.4): the
+        # sequential loop writes explicit zeros for indexes missing from W,
+        # the translated program leaves them implicit.  Compare as functions.
+        left, right = distributed.array("V"), sequential["V"]
+        for key in range(0, 11):
+            assert left.get(key, 0) == right.get(key, 0)
+
+    @COMMON_SETTINGS
+    @given(st.data())
+    def test_pretty_parse_round_trip_on_benchmarks(self, data):
+        name = data.draw(st.sampled_from(sorted(__import__("repro.programs", fromlist=["PROGRAMS"]).PROGRAMS)))
+        spec = get_program(name)
+        program = parse_program(spec.source)
+        assert parse_program(pretty_program(program)) == program
+
+
+class TestNormalizationProperties:
+    @COMMON_SETTINGS
+    @given(constant=values, size=st.integers(min_value=0, max_value=10))
+    def test_normalize_is_idempotent_on_generated_terms(self, constant, size):
+        qualifiers = [
+            ir.Generator(ir.PTuple((ir.PVar(f"i{n}"), ir.PVar(f"v{n}"))), ir.singleton(ir.CTuple((ir.CConst(n), ir.CConst(constant)))))
+            for n in range(size % 3 + 1)
+        ]
+        comp = ir.Comprehension(ir.CConst(constant), tuple(qualifiers))
+        once = normalize(comp)
+        assert normalize(once) == once

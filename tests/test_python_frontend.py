@@ -1,0 +1,124 @@
+"""Tests for the Python-function frontend (the `ast`-module based converter)."""
+
+import pytest
+
+from repro.loop_lang import ast
+from repro.loop_lang.interpreter import interpret_program
+from repro.loop_lang.python_frontend import FrontendError, from_python_function, from_python_source
+
+
+class TestConversion:
+    def test_for_in_loop(self):
+        program = from_python_source(
+            """
+def word_count(words, C):
+    for w in words:
+        C[w] += 1
+"""
+        )
+        loop = program.statements[0]
+        assert isinstance(loop, ast.ForIn)
+        assert isinstance(loop.body, ast.IncrementalUpdate)
+
+    def test_range_loop_bounds_become_inclusive(self):
+        program = from_python_source("for i in range(0, 10):\n    s += i\n")
+        loop = program.statements[0]
+        assert isinstance(loop, ast.ForRange)
+        assert loop.upper == ast.Const(9)
+
+    def test_range_with_single_argument(self):
+        program = from_python_source("for i in range(5):\n    s += i\n")
+        loop = program.statements[0]
+        assert loop.lower == ast.Const(0)
+        assert loop.upper == ast.Const(4)
+
+    def test_annotated_declaration(self):
+        program = from_python_source("total: float = 0.0\n")
+        decl = program.statements[0]
+        assert isinstance(decl, ast.VarDecl)
+        assert decl.type == ast.DOUBLE
+
+    def test_subscript_with_tuple_index(self):
+        program = from_python_source("R[i, j] = M[i, j] + N[i, j]\n")
+        assign = program.statements[0]
+        assert isinstance(assign.destination, ast.Index)
+        assert len(assign.destination.indices) == 2
+
+    def test_while_and_if(self):
+        program = from_python_source(
+            """
+while k < 10:
+    if k % 2 == 0:
+        evens += 1
+    k += 1
+"""
+        )
+        loop = program.statements[0]
+        assert isinstance(loop, ast.While)
+
+    def test_boolean_operators(self):
+        program = from_python_source("c = (a == 1) or (a == 2) and flag\n")
+        assert isinstance(program.statements[0].value, ast.BinOp)
+
+    def test_attribute_access(self):
+        program = from_python_source("R[p.red] += 1\n")
+        update = program.statements[0]
+        assert isinstance(update.destination.indices[0], ast.Project)
+
+    def test_call_translation(self):
+        program = from_python_source("d = distance(P[i], C[j])\n")
+        assert isinstance(program.statements[0].value, ast.Call)
+
+    def test_docstring_is_ignored(self):
+        program = from_python_source('def f(V):\n    """doc"""\n    for v in V:\n        s += v\n')
+        assert len(program.statements) == 1
+
+
+class TestRejections:
+    def test_return_value_rejected(self):
+        with pytest.raises(FrontendError):
+            from_python_source("def f(x):\n    return x + 1\n")
+
+    def test_comprehension_rejected(self):
+        with pytest.raises(FrontendError):
+            from_python_source("y = [x for x in V]\n")
+
+    def test_chained_comparison_rejected(self):
+        with pytest.raises(FrontendError):
+            from_python_source("b = 1 < x < 10\n")
+
+    def test_chained_assignment_rejected(self):
+        with pytest.raises(FrontendError):
+            from_python_source("a = b = 1\n")
+
+    def test_for_else_rejected(self):
+        with pytest.raises(FrontendError):
+            from_python_source("for x in V:\n    s += x\nelse:\n    s = 0\n")
+
+
+class TestEndToEnd:
+    def test_converted_function_matches_python_semantics(self):
+        def histogram(P, R):
+            for p in P:
+                R[p["red"]] += 1
+
+        # The frontend cannot see dict-style access; use attribute access via
+        # a small record type instead.
+        def conditional_sum(V):
+            total: float = 0.0
+            for v in V:
+                if v < 100:
+                    total += v
+
+        program = from_python_function(conditional_sum)
+        state = interpret_program(program, {"V": [10.0, 200.0, 30.0]})
+        assert state["total"] == 40.0
+
+    def test_converted_program_runs_through_diablo(self, diablo):
+        def sum_all(V):
+            total: float = 0.0
+            for v in V:
+                total += v
+
+        result = diablo.run(from_python_function(sum_all), V=[1.0, 2.0, 3.0])
+        assert result["total"] == 6.0

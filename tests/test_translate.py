@@ -1,0 +1,209 @@
+"""Tests for the Figure 2 translation rules and the compiler driver."""
+
+import pytest
+
+from repro.comprehension import ir
+from repro.errors import TranslationError
+from repro.loop_lang.parser import parse_expression, parse_program
+from repro.translate.rules import TranslationRules
+from repro.translate.target import TargetAssign, TargetWhile, VariableInfo
+from repro.translate.translator import DiabloCompiler, infer_variables
+
+
+def make_rules(**kinds):
+    variables = {name: VariableInfo(name, kind) for name, kind in kinds.items()}
+    return TranslationRules(variables, ir.NameGenerator())
+
+
+class TestExpressionRule:
+    def test_variable_lifts_to_singleton(self):
+        rules = make_rules(x="scalar")
+        term = rules.expression(parse_expression("x"))
+        assert term == ir.singleton(ir.CVar("x"))
+
+    def test_constant_lifts_to_singleton(self):
+        rules = make_rules()
+        assert rules.expression(parse_expression("42")) == ir.singleton(ir.CConst(42))
+
+    def test_matrix_access_produces_generator_and_conditions(self):
+        rules = make_rules(M="array")
+        term = rules.expression(parse_expression("M[1, 2]"))
+        assert isinstance(term, ir.Comprehension)
+        generators = [q for q in term.qualifiers if isinstance(q, ir.Generator)]
+        conditions = [q for q in term.qualifiers if isinstance(q, ir.Condition)]
+        assert any(q.domain == ir.CVar("M") for q in generators)
+        assert len(conditions) == 2
+
+    def test_binary_operation_lifts_both_sides(self):
+        rules = make_rules(A="scalar", B="scalar")
+        term = rules.expression(parse_expression("A * B"))
+        assert isinstance(term.head, ir.CBinOp)
+        assert len([q for q in term.qualifiers if isinstance(q, ir.Generator)]) == 2
+
+    def test_nested_array_access_is_rejected(self):
+        rules = make_rules()
+        with pytest.raises(TranslationError):
+            rules.expression(parse_expression("f(x)[1]"))
+
+    def test_call_arguments_are_lifted(self):
+        rules = make_rules(P="array", i="scalar")
+        term = rules.expression(parse_expression("distance(P[i], c)"))
+        assert isinstance(term.head, ir.CCall)
+
+
+class TestDestinationRules:
+    def test_scalar_key_is_unit(self):
+        rules = make_rules(x="scalar")
+        assert rules.destination_key(parse_expression("x")) == ir.singleton(ir.CTuple(()))
+
+    def test_vector_key_is_index_expression(self):
+        rules = make_rules(V="array", i="scalar")
+        term = rules.destination_key(parse_expression("V[i]"))
+        assert term == ir.singleton(ir.CVar("i"))
+
+    def test_matrix_key_is_tuple(self):
+        rules = make_rules(M="array")
+        term = rules.destination_key(parse_expression("M[i, j]"))
+        assert isinstance(term.head, ir.CTuple)
+
+    def test_destination_value_for_scalar(self):
+        rules = make_rules(x="scalar")
+        assert rules.destination_value(parse_expression("x"), ir.CVar("k")) == ir.singleton(ir.CVar("x"))
+
+    def test_destination_value_for_vector_joins_on_key(self):
+        rules = make_rules(V="array")
+        term = rules.destination_value(parse_expression("V[i]"), ir.CVar("k"))
+        conditions = [q for q in term.qualifiers if isinstance(q, ir.Condition)]
+        assert len(conditions) == 1
+        assert ir.CVar("k") in ir.walk_terms(conditions[0].term)
+
+    def test_update_scalar_is_scalar_assignment(self):
+        rules = make_rules(x="scalar")
+        targets = rules.update(parse_expression("x"), ir.CVar("delta"))
+        assert len(targets) == 1
+        assert targets[0].variable == "x"
+        assert targets[0].scalar
+
+    def test_update_array_merges(self):
+        rules = make_rules(V="array")
+        targets = rules.update(parse_expression("V[i]"), ir.CVar("delta"))
+        assert isinstance(targets[0].term, ir.Merge)
+        assert not targets[0].scalar
+
+
+class TestStatementRules:
+    def test_incremental_array_update_uses_merge_with(self):
+        rules = make_rules(V="array", W="array")
+        program = parse_program("for i = 1, 10 do V[i] += W[i];")
+        targets = rules.statement(program.statements[0], [])
+        assert len(targets) == 1
+        assert isinstance(targets[0].term, ir.MergeWith)
+        assert targets[0].term.op == "+"
+
+    def test_incremental_update_has_group_by(self):
+        rules = make_rules(V="array", W="array")
+        program = parse_program("for i = 1, 10 do V[i] += W[i];")
+        targets = rules.statement(program.statements[0], [])
+        delta = targets[0].term.right
+        assert any(isinstance(q, ir.GroupBy) for q in delta.qualifiers)
+        assert isinstance(delta.head.elements[1], ir.Aggregate)
+
+    def test_if_generates_condition_qualifiers(self):
+        rules = make_rules(V="collection", sum="scalar")
+        program = parse_program("for v in V do if (v < 100) sum += v;")
+        targets = rules.statement(program.statements[0], [])
+        delta_quals = str(targets[0].term)
+        assert "<" in delta_quals
+
+    def test_if_else_generates_two_statements(self):
+        rules = make_rules(V="collection", a="scalar", b="scalar")
+        program = parse_program("for v in V do if (v < 10) a += 1; else b += 1;")
+        targets = rules.statement(program.statements[0], [])
+        assert len(targets) == 2
+        assert {t.variable for t in targets} == {"a", "b"}
+
+    def test_while_becomes_target_while(self):
+        rules = make_rules(k="scalar")
+        program = parse_program("while (k < 10) k += 1;")
+        targets = rules.statement(program.statements[0], [])
+        assert isinstance(targets[0], TargetWhile)
+        assert len(targets[0].body) == 1
+
+    def test_while_inside_for_is_rejected(self):
+        rules = make_rules(V="array", k="scalar")
+        program = parse_program("for i = 0, 9 do while (k < 10) k += 1;")
+        with pytest.raises(TranslationError):
+            rules.statement(program.statements[0], [])
+
+    def test_block_concatenates_statements(self):
+        rules = make_rules(V="collection", a="scalar", b="scalar")
+        program = parse_program("for v in V do { a += v; b += 1; }")
+        targets = rules.statement(program.statements[0], [])
+        assert len(targets) == 2
+
+
+class TestVariableInference:
+    def test_declared_array_and_scalar(self):
+        program = parse_program("var M: matrix[double] = matrix(); var x: int = 0;")
+        variables = infer_variables(program)
+        assert variables["M"].kind == "array"
+        assert variables["x"].kind == "scalar"
+        assert not variables["M"].is_input
+
+    def test_free_indexed_variable_is_array_input(self):
+        program = parse_program("var s: double = 0.0; for i = 0, 9 do s += V[i];")
+        variables = infer_variables(program)
+        assert variables["V"].kind == "array"
+        assert variables["V"].is_input
+
+    def test_traversed_variable_is_collection(self):
+        program = parse_program("var s: double = 0.0; for v in V do s += v;")
+        assert infer_variables(program)["V"].kind == "collection"
+
+    def test_loop_indexes_are_not_variables(self):
+        program = parse_program("for i = 0, 9 do V[i] += 1;")
+        assert "i" not in infer_variables(program)
+
+    def test_free_scalar_input(self):
+        program = parse_program("var s: double = 0.0; s := n * 2;")
+        variables = infer_variables(program)
+        assert variables["n"].kind == "scalar"
+        assert variables["n"].is_input
+
+
+class TestCompilerDriver:
+    def test_compile_returns_target_and_stats(self):
+        result = DiabloCompiler().compile("var s: double = 0.0; for v in V do s += v;")
+        assert result.target.statements
+        assert result.translation_seconds >= 0
+        assert "V" in result.target.input_names()
+
+    def test_compile_python_function(self):
+        def total(V):
+            s: float = 0.0
+            for v in V:
+                s += v
+
+        result = DiabloCompiler().compile(total)
+        assert any(isinstance(s, TargetAssign) and s.variable == "s" for s in result.target.statements)
+
+    def test_compile_rejects_unknown_source_type(self):
+        with pytest.raises(TypeError):
+            DiabloCompiler().compile(42)
+
+    def test_while_condition_is_translated(self):
+        result = DiabloCompiler().compile("var k: int = 0; while (k < 3) k += 1;")
+        whiles = [s for s in result.target.statements if isinstance(s, TargetWhile)]
+        assert len(whiles) == 1
+
+    def test_target_program_str_and_assignments(self):
+        result = DiabloCompiler().compile("var k: int = 0; while (k < 3) k += 1;")
+        text = str(result.target)
+        assert "while" in text
+        assert any(a.variable == "k" for a in result.target.assignments())
+
+    def test_unoptimized_compilation(self):
+        result = DiabloCompiler(optimize=False).compile(
+            "var R: matrix[double] = matrix(); for i = 0, n-1 do R[i,i] := M[i,i];"
+        )
+        assert result.optimizer_stats.total() == 0

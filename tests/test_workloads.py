@@ -1,0 +1,93 @@
+"""Tests for the synthetic workload generators and the RMAT graph generator."""
+
+import pytest
+
+from repro.programs import PROGRAMS
+from repro.workloads import generators, rmat, workload_for_program
+
+
+class TestGenerators:
+    def test_random_doubles_range_and_determinism(self):
+        values = generators.random_doubles(100, seed=3)
+        assert len(values) == 100
+        assert all(0.0 <= v < 200.0 for v in values)
+        assert values == generators.random_doubles(100, seed=3)
+
+    def test_random_strings_vocabulary(self):
+        words = generators.random_strings(500, vocabulary=10, seed=3)
+        assert len(set(words)) <= 10
+        assert all(len(word) == 4 for word in words)
+
+    def test_random_pixels_fields(self):
+        pixels = generators.random_pixels(10)
+        assert all(set(p) == {"red", "green", "blue"} for p in pixels)
+        assert all(0 <= p["red"] < 256 for p in pixels)
+
+    def test_linear_points_structure(self):
+        points = generators.linear_points(50)
+        assert all(x > y for x, y in points)
+
+    def test_grouped_pairs_duplicates(self):
+        records = generators.grouped_pairs(200, duplicates_per_key=10)
+        keys = {r["K"] for r in records}
+        assert len(keys) <= 20
+
+    def test_random_matrix_is_dense(self):
+        matrix = generators.random_matrix(4, 5)
+        assert len(matrix) == 20
+
+    def test_sparse_matrix_density(self):
+        matrix = generators.sparse_matrix(20, 20, density=0.1, seed=5)
+        assert 0 < len(matrix) < 150
+
+    def test_kmeans_grid_covers_every_square(self):
+        points = generators.kmeans_grid_points(150, grid=10)
+        squares = {(int((x - 1) // 2), int((y - 1) // 2)) for x, y in points[:100]}
+        assert len(squares) == 100
+
+    def test_kmeans_centroids(self):
+        centroids = generators.kmeans_initial_centroids()
+        assert len(centroids) == 100
+        assert centroids[0] == (1.2, 1.2)
+        assert generators.kmeans_true_centroids()[0] == (1.5, 1.5)
+
+    def test_workloads_exist_for_every_program(self):
+        for name in PROGRAMS:
+            inputs = workload_for_program(name, 10)
+            assert inputs, name
+
+    def test_unknown_program_raises(self):
+        with pytest.raises(KeyError):
+            workload_for_program("nope", 10)
+
+
+class TestRmat:
+    def test_edge_count_and_vertex_range(self):
+        edges = rmat.rmat_graph(50, edges_per_vertex=5, seed=1)
+        assert len(edges) <= 50 * 5
+        assert len(edges) > 50
+        assert all(1 <= s <= 50 and 1 <= t <= 50 for s, t in edges)
+
+    def test_zero_based_ids(self):
+        edges = rmat.rmat_graph(20, edges_per_vertex=3, one_based=False, seed=2)
+        assert all(0 <= s < 20 and 0 <= t < 20 for s, t in edges)
+
+    def test_no_self_loops_by_default(self):
+        edges = rmat.rmat_graph(30, seed=3)
+        assert all(s != t for s, t in edges)
+
+    def test_determinism(self):
+        assert rmat.rmat_graph(40, seed=9) == rmat.rmat_graph(40, seed=9)
+
+    def test_skewed_degree_distribution(self):
+        edges = rmat.rmat_graph(200, edges_per_vertex=8, seed=4)
+        degrees = rmat.out_degrees(edges)
+        assert max(degrees.values()) > 2 * (len(edges) / 200)
+
+    def test_invalid_probabilities_rejected(self):
+        with pytest.raises(ValueError):
+            rmat.rmat_graph(10, probabilities=(0.5, 0.5, 0.5, 0.5))
+
+    def test_adjacency_matrix(self):
+        edges = [(1, 2), (2, 3)]
+        assert rmat.adjacency_matrix(edges) == {(1, 2): True, (2, 3): True}
