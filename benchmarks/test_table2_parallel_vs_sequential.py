@@ -3,12 +3,17 @@
 The paper compiles each loop program to parallel and sequential collections;
 here the parallel column is the translated program on the local DISC runtime
 and the sequential column is the reference loop interpreter (see DESIGN.md).
+
+A third axis compares the runtime's executor modes (sequential / threads /
+processes) on a CPU-heavy subset, exercising the fused-stage dispatch path of
+each executor with identical plans.
 """
 
 import pytest
 
 from repro.evaluation.harness import diablo_for
 from repro.programs import get_program, table2_program_names
+from repro.runtime.context import EXECUTOR_MODES, DistributedContext
 from repro.workloads import workload_for_program
 
 #: Smaller sizes than the evaluation harness so the bench suite stays fast.
@@ -49,3 +54,65 @@ def test_sequential_interpreter_evaluation(benchmark, name):
     benchmark.pedantic(lambda: diablo.interpret(spec.source, dict(inputs)), rounds=2, iterations=1)
     benchmark.extra_info["program"] = name
     benchmark.extra_info["mode"] = "sequential"
+
+
+#: CPU-heavy subset for the executor-mode comparison (kept small; the point
+#: is exercising each executor's fused-stage execution path, not absolute
+#: numbers).
+EXECUTOR_COMPARISON_PROGRAMS = ["conditional_sum", "word_count", "pagerank", "kmeans"]
+
+
+@pytest.mark.parametrize("executor", EXECUTOR_MODES)
+@pytest.mark.parametrize("name", EXECUTOR_COMPARISON_PROGRAMS)
+def test_translated_evaluation_by_executor(benchmark, name, executor):
+    """The same translated plan under each executor mode.
+
+    Note: evaluator-generated stage functions close over driver state and do
+    not pickle, so under ``"processes"`` every fused stage falls back to the
+    driver -- this column measures the dispatch/fallback overhead, not
+    multi-core speedup.  The recorded ``process_fallbacks`` makes that
+    visible; see ``test_picklable_pipeline_by_executor`` for a pipeline that
+    really crosses the process boundary.
+    """
+    spec = get_program(name)
+    inputs = workload_for_program(name, SIZES[name])
+    with DistributedContext(num_partitions=4, executor=executor) as context:
+        diablo = diablo_for(spec, context)
+        compiled = diablo.compile(spec.source)
+        benchmark.pedantic(lambda: compiled.run(**inputs), rounds=2, iterations=1)
+        benchmark.extra_info["process_fallbacks"] = context.metrics.process_fallbacks
+        benchmark.extra_info["fused_stages"] = context.metrics.fused_stages
+    benchmark.extra_info["program"] = name
+    benchmark.extra_info["mode"] = "parallel"
+    benchmark.extra_info["executor"] = executor
+
+
+def _shift(value: float) -> float:
+    return value + 1.0
+
+
+def _positive(value: float) -> bool:
+    return value > 0.0
+
+
+@pytest.mark.parametrize("executor", EXECUTOR_MODES)
+def test_picklable_pipeline_by_executor(benchmark, executor):
+    """A fused map→filter chain of module-level (picklable) functions: the
+    one configuration where the ``"processes"`` executor actually ships work
+    to the pool instead of falling back."""
+    with DistributedContext(num_partitions=4, executor=executor) as context:
+        records = [float(i - 25_000) for i in range(50_000)]
+
+        def run_once():
+            return (
+                context.parallelize(records).map(_shift).filter(_positive).count()
+            )
+
+        benchmark.pedantic(run_once, rounds=2, iterations=1)
+        benchmark.extra_info["process_fallbacks"] = context.metrics.process_fallbacks
+        if executor == "processes":
+            assert context.metrics.process_fallbacks == 0, (
+                "picklable chain must cross the process boundary"
+            )
+    benchmark.extra_info["executor"] = executor
+    benchmark.extra_info["mode"] = "picklable-pipeline"

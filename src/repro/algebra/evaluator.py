@@ -19,6 +19,14 @@ The important plan decisions are the ones the paper relies on:
 Scalar sub-terms are evaluated locally inside tasks with the shared operator
 semantics of :mod:`repro.operators`, so the distributed path and the
 sequential interpreter agree on every arithmetic detail.
+
+The Dataset operations emitted here are lazy: the scans, per-row expansions,
+filters and head projections built from consecutive qualifiers accumulate as
+pending narrow stages and run as a *single* fused per-partition pass at the
+next shuffle (join, group-by, merge) or action.  The evaluator itself only
+forces a pipeline where a plan decision needs driver-side facts: the
+empty-result early exit after a generator, and the size comparison that picks
+the broadcast side of a nested-loop join.
 """
 
 from __future__ import annotations

@@ -10,6 +10,15 @@ Inputs may be given as runtime Datasets, as Python dicts (sparse arrays), as
 lists (plain collections -- automatically indexed), or as scalars.  Results
 are returned in the same spirit: arrays come back as Datasets (use
 ``collect_state`` for plain dicts), scalars as Python values.
+
+The runtime's narrow operations are lazy (see
+:mod:`repro.runtime.dataset`), so every statement boundary is a **force
+point**: an assignment materializes its Dataset before storing it, because
+the pending stage chain closes over the shared variable environment that the
+next statement may mutate (e.g. a loop reassigning the array it reads).
+Within a statement, chains of maps/filters between shuffles fuse into single
+per-partition passes; the run trace records how many fused stages each
+assignment executed.
 """
 
 from __future__ import annotations
@@ -139,6 +148,7 @@ class ProgramRunner:
         trace: list[str],
     ) -> None:
         evaluator = TermEvaluator(environment, trace)
+        fused_before = self.context.metrics.fused_stages
         result = evaluator.evaluate(statement.term)
         info = program.variables.get(statement.variable)
         is_collection = info is not None and info.is_collection
@@ -150,7 +160,18 @@ class ProgramRunner:
         else:
             if not isinstance(result, Dataset):
                 result = evaluator.as_dataset(result)
+            # Assignment is a force point: the pending stage chain closes over
+            # the shared variable environment, which later statements mutate,
+            # so it must run before this statement completes.
+            result.materialize()
             environment.values[statement.variable] = result
+        self._trace_fusion(statement.variable, fused_before, trace)
+
+    def _trace_fusion(self, variable: str, fused_before: int, trace: list[str]) -> None:
+        metrics = self.context.metrics
+        fused = metrics.fused_stages - fused_before
+        if fused:
+            trace.append(f"{variable}: executed {fused} fused narrow stage(s)")
 
     def _extract_scalar(
         self, result: Any, statement: TargetAssign, environment: EvaluationEnvironment

@@ -9,22 +9,30 @@ datasets and broadcasts, hash partitioners, and per-context metrics that count
 shuffles and shuffled records so benchmarks can make machine-independent
 assertions about plan *shape*.
 
-The runtime executes locally (optionally with a thread pool per partition) but
-preserves the data-movement structure of a cluster: every shuffle operation
-redistributes records by key across partitions and is counted as such.
+Narrow operations are **lazy and fusing**: chains of maps/filters accumulate
+as pending :mod:`~repro.runtime.stage` descriptors and run as a single
+per-partition pass when a shuffle or action forces them.  The context executes
+fused stages ``"sequential"``-ly, with a ``"threads"`` pool, or -- when the
+stage chain pickles -- with a ``"processes"`` pool so CPU-bound work uses
+multiple cores.  Either way the runtime preserves the data-movement structure
+of a cluster: every shuffle operation redistributes records by key across
+partitions and is counted as such.
 """
 
-from repro.runtime.context import DistributedContext
+from repro.runtime.context import DistributedContext, EXECUTOR_MODES
 from repro.runtime.dataset import Dataset
 from repro.runtime.broadcast import Broadcast
 from repro.runtime.metrics import Metrics
 from repro.runtime.partitioner import HashPartitioner, Partitioner, RangePartitioner
+from repro.runtime.stage import NarrowStage
 
 __all__ = [
     "DistributedContext",
+    "EXECUTOR_MODES",
     "Dataset",
     "Broadcast",
     "Metrics",
+    "NarrowStage",
     "HashPartitioner",
     "RangePartitioner",
     "Partitioner",

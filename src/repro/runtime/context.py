@@ -2,20 +2,36 @@
 
 A :class:`DistributedContext` plays the role of Spark's ``SparkContext``: it
 creates datasets from driver data, creates broadcast variables, owns the
-metrics counters, and decides how narrow tasks are executed (sequentially or
-with a thread pool, one task per partition).
+metrics counters, and decides how narrow tasks are executed.  Three executor
+modes are supported:
+
+* ``"sequential"`` -- one partition after another in the driver;
+* ``"threads"`` -- one task per partition in a thread pool (fine for I/O- or
+  C-extension-bound work, GIL-bound for pure-Python compute);
+* ``"processes"`` -- fused stage chains dispatched to a
+  :class:`~concurrent.futures.ProcessPoolExecutor` in partition chunks, so
+  CPU-bound workloads use multiple cores.  A stage chain can only cross the
+  process boundary when its task descriptor pickles (module-level functions,
+  ``functools.partial`` over them); chains that close over driver state fall
+  back to sequential in-driver execution, counted by
+  ``metrics.process_fallbacks``.
 """
 
 from __future__ import annotations
 
-from concurrent.futures import ThreadPoolExecutor
+import os
+from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
 from typing import Any, Callable, Iterable, Mapping
 
 from repro.errors import ExecutionError
+from repro.runtime import stage as stage_mod
 from repro.runtime.broadcast import Broadcast
 from repro.runtime.dataset import Dataset
 from repro.runtime.metrics import Metrics
 from repro.runtime.partitioner import HashPartitioner
+
+#: Executor modes accepted by :class:`DistributedContext`.
+EXECUTOR_MODES = ("sequential", "threads", "processes")
 
 
 class DistributedContext:
@@ -23,10 +39,11 @@ class DistributedContext:
 
     Args:
         num_partitions: default number of partitions for new datasets.
-        executor: ``"sequential"`` runs one partition after another in the
-            driver; ``"threads"`` runs partitions concurrently in a thread
-            pool (``num_threads`` workers).
+        executor: ``"sequential"``, ``"threads"`` or ``"processes"`` (see the
+            module docstring).
         num_threads: size of the thread pool when ``executor="threads"``.
+        num_processes: size of the process pool when ``executor="processes"``
+            (defaults to ``min(num_partitions, cpu count)``).
     """
 
     def __init__(
@@ -34,17 +51,20 @@ class DistributedContext:
         num_partitions: int = 8,
         executor: str = "sequential",
         num_threads: int | None = None,
+        num_processes: int | None = None,
     ):
         if num_partitions <= 0:
             raise ValueError("num_partitions must be positive")
-        if executor not in ("sequential", "threads"):
+        if executor not in EXECUTOR_MODES:
             raise ValueError(f"unknown executor {executor!r}")
         self.num_partitions = num_partitions
         self.executor = executor
         self.num_threads = num_threads or num_partitions
+        self.num_processes = num_processes or min(num_partitions, os.cpu_count() or 2)
         self.metrics = Metrics()
         self._broadcast_counter = 0
         self._pool: ThreadPoolExecutor | None = None
+        self._process_pool: ProcessPoolExecutor | None = None
 
     # -- dataset creation -------------------------------------------------------
 
@@ -100,13 +120,31 @@ class DistributedContext:
     # -- task execution -----------------------------------------------------------
 
     def run_tasks(
-        self, task: Callable[[list[Any]], list[Any]], partitions: list[list[Any]]
+        self,
+        task: Callable[[list[Any], int], list[Any]],
+        partitions: list[list[Any]],
+        task_spec: tuple[Any, ...] | None = None,
     ) -> list[list[Any]]:
-        """Run ``task`` over every partition, honoring the executor mode."""
+        """Run ``task(partition, index)`` over every partition.
+
+        ``task_spec`` is an optional picklable descriptor of the task (a tuple
+        of :class:`~repro.runtime.stage.NarrowStage`) that lets the
+        ``"processes"`` executor rebuild the fused task inside a worker
+        process instead of pickling a driver closure.
+        """
         if self.executor == "sequential" or len(partitions) <= 1:
-            return [task(partition) for partition in partitions]
+            return [task(partition, index) for index, partition in enumerate(partitions)]
+        if self.executor == "processes":
+            if task_spec is not None:
+                outcome = self._run_in_processes(task_spec, partitions)
+                if outcome is not None:
+                    return outcome
+            self.metrics.record_process_fallback()
+            return [task(partition, index) for index, partition in enumerate(partitions)]
         pool = self._thread_pool()
-        futures = [pool.submit(task, partition) for partition in partitions]
+        futures = [
+            pool.submit(task, partition, index) for index, partition in enumerate(partitions)
+        ]
         results: list[list[Any]] = []
         errors: list[BaseException] = []
         for future in futures:
@@ -119,16 +157,69 @@ class DistributedContext:
             raise ExecutionError(f"{len(errors)} task(s) failed: {errors[0]}") from errors[0]
         return results
 
+    def _run_in_processes(
+        self, task_spec: tuple[Any, ...], partitions: list[list[Any]]
+    ) -> list[list[Any]] | None:
+        """Dispatch a fused stage chain to the process pool in partition chunks.
+
+        Returns None when the work cannot cross the process boundary (the
+        descriptor or the records do not pickle, or the pool broke); the
+        caller then runs the task in the driver.
+        """
+        if not stage_mod.is_picklable(task_spec):
+            return None
+        pool = self._pool_of_processes()
+        indexed = list(enumerate(partitions))
+        chunk_count = min(self.num_processes, len(indexed))
+        chunks = [indexed[offset::chunk_count] for offset in range(chunk_count)]
+        futures = [pool.submit(stage_mod.run_fused_chunk, task_spec, chunk) for chunk in chunks]
+        results: dict[int, list[Any]] = {}
+        task_errors: list[BaseException] = []
+        infrastructure_errors: list[BaseException] = []
+        for future in futures:
+            error = future.exception()
+            if error is None:
+                for index, records in future.result():
+                    results[index] = records
+            elif isinstance(error, stage_mod.FusedTaskError):
+                # The worker wraps failures of the task itself, so anything
+                # else (PicklingError, BrokenProcessPool, ...) came from the
+                # pool machinery, not from user code.
+                task_errors.append(error.args[0] if error.args else error)
+            else:
+                infrastructure_errors.append(error)
+        if task_errors:
+            raise ExecutionError(
+                f"{len(task_errors)} task(s) failed: {task_errors[0]}"
+            ) from task_errors[0]
+        if infrastructure_errors:
+            # The pool (or the payload) could not carry the work; discard the
+            # broken pool and let the caller fall back to the driver.
+            self._shutdown_process_pool()
+            return None
+        return [results[index] for index in range(len(partitions))]
+
     def _thread_pool(self) -> ThreadPoolExecutor:
         if self._pool is None:
             self._pool = ThreadPoolExecutor(max_workers=self.num_threads)
         return self._pool
 
+    def _pool_of_processes(self) -> ProcessPoolExecutor:
+        if self._process_pool is None:
+            self._process_pool = ProcessPoolExecutor(max_workers=self.num_processes)
+        return self._process_pool
+
+    def _shutdown_process_pool(self) -> None:
+        if self._process_pool is not None:
+            self._process_pool.shutdown(wait=False, cancel_futures=True)
+            self._process_pool = None
+
     def shutdown(self) -> None:
-        """Stop the thread pool (if one was started)."""
+        """Stop the worker pools (if any were started)."""
         if self._pool is not None:
             self._pool.shutdown(wait=True)
             self._pool = None
+        self._shutdown_process_pool()
 
     def __enter__(self) -> "DistributedContext":
         return self

@@ -1,4 +1,4 @@
-"""An RDD-like partitioned dataset.
+"""An RDD-like partitioned dataset with a lazy, operator-fusing core.
 
 :class:`Dataset` mirrors the part of the Spark Core API that the paper's
 generated and hand-written programs use.  Data lives in a list of partitions;
@@ -6,20 +6,41 @@ generated and hand-written programs use.  Data lives in a list of partitions;
 operations redistribute records across partitions by key (and are counted by
 the context's :class:`~repro.runtime.metrics.Metrics`).
 
-Operations are eager: each call materializes its result.  This keeps the
-engine easy to reason about while preserving the data-movement structure that
-determines relative performance on a real cluster (numbers of shuffles and
-shuffled records).
+Narrow operations are **lazy**: ``map``/``flat_map``/``filter``/``map_values``/
+``map_partitions``/``sample`` do not run anything -- they append a
+:class:`~repro.runtime.stage.NarrowStage` to a pending chain hanging off the
+nearest materialized ancestor.  The chain is *forced* at force points:
+
+* **actions** (``collect``, ``count``, ``reduce``, ``take``, iteration, ...),
+* **shuffles** (``reduce_by_key``, ``group_by_key``, ``co_group``,
+  ``repartition``, ``sort_by``, ...), which must see real partitions, and
+* **cache()** / **materialize()**, the explicit materialization points.
+
+At a force point the whole pending chain is fused by
+:func:`repro.runtime.stage.compose` into a single per-partition task and
+executed in one :meth:`DistributedContext.run_tasks` pass -- one fused stage,
+one intermediate dataset, regardless of how many operators were chained.  The
+fused chain is also the picklable task descriptor that the ``"processes"``
+executor ships to worker processes.
+
+Partitioner metadata is tracked through pending stages without forcing:
+``filter``/``map_values``/``sample`` preserve the partitioner, ``map``/
+``flat_map``/``map_partitions`` drop it, exactly as their eager counterparts
+did.
 """
 
 from __future__ import annotations
 
+import functools
 import itertools
+import threading
 from collections import defaultdict
 from typing import Any, Callable, Iterable, Iterator, TYPE_CHECKING
 
 from repro.errors import ExecutionError
+from repro.runtime import stage as stage_mod
 from repro.runtime.partitioner import HashPartitioner, Partitioner
+from repro.runtime.stage import NarrowStage
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.runtime.context import DistributedContext
@@ -31,6 +52,11 @@ class Dataset:
     Datasets are created through a :class:`~repro.runtime.context.DistributedContext`
     (``parallelize``, ``range_dataset``, ``from_dict``) and transformed through
     the methods below.  Key-value datasets are simply datasets of 2-tuples.
+
+    A dataset is either *materialized* (it owns a list of partitions) or
+    *pending* (it records a chain of narrow stages over a source dataset; see
+    the module docstring).  ``dataset.partitions`` transparently forces a
+    pending dataset.
     """
 
     def __init__(
@@ -40,15 +66,103 @@ class Dataset:
         partitioner: Partitioner | None = None,
     ):
         self.context = context
-        self.partitions = partitions
         self.partitioner = partitioner
+        self._materialized: list[list[Any]] | None = partitions
+        self._source: "Dataset" | None = None
+        self._stages: tuple[NarrowStage, ...] = ()
+        self._force_lock = threading.Lock()
         context.metrics.record_dataset()
+
+    @classmethod
+    def _pending(
+        cls,
+        source: "Dataset",
+        stages: tuple[NarrowStage, ...],
+        partitioner: Partitioner | None,
+    ) -> "Dataset":
+        """A lazy dataset: ``stages`` pending over ``source`` (not yet counted
+        as created -- it may never materialize)."""
+        dataset = cls.__new__(cls)
+        dataset.context = source.context
+        dataset.partitioner = partitioner
+        dataset._materialized = None
+        dataset._source = source
+        dataset._stages = stages
+        dataset._force_lock = threading.Lock()
+        return dataset
+
+    # -- laziness ---------------------------------------------------------------
+
+    @property
+    def is_materialized(self) -> bool:
+        return self._materialized is not None
+
+    @property
+    def pending_stages(self) -> tuple[NarrowStage, ...]:
+        """The narrow stages waiting to be fused (empty once materialized)."""
+        with self._force_lock:
+            return self._stages
+
+    @property
+    def partitions(self) -> list[list[Any]]:
+        """The partition lists, forcing any pending stage chain."""
+        if self._materialized is None:
+            with self._force_lock:
+                if self._materialized is None:
+                    self._force()
+        return self._materialized
+
+    def _force(self) -> None:
+        """Fuse and run the pending stage chain in one ``run_tasks`` pass."""
+        assert self._source is not None
+        source_partitions = self._source.partitions
+        stages = self._stages
+        task = stage_mod.compose(stages)
+        new_partitions = self.context.run_tasks(task, source_partitions, task_spec=stages)
+        metrics = self.context.metrics
+        metrics.record_narrow(
+            len(source_partitions), sum(len(partition) for partition in source_partitions)
+        )
+        metrics.record_fused(len(stages))
+        metrics.record_dataset()
+        self._materialized = new_partitions
+        self._source = None
+        self._stages = ()
+
+    def materialize(self) -> "Dataset":
+        """Force the pending stage chain (if any) and return self."""
+        _ = self.partitions
+        return self
+
+    def cache(self) -> "Dataset":
+        """Materialization point: force pending stages so later uses reread
+        the stored partitions instead of recomputing the chain."""
+        return self.materialize()
+
+    persist = cache
+
+    def _with_stage(self, new_stage: NarrowStage, keep_partitioner: bool = False) -> "Dataset":
+        partitioner = self.partitioner if keep_partitioner else None
+        # Snapshot the plan under the lock: a concurrent force swaps
+        # (_materialized, _source, _stages) and must not be seen half-done.
+        with self._force_lock:
+            if self._materialized is None:
+                assert self._source is not None
+                return Dataset._pending(self._source, self._stages + (new_stage,), partitioner)
+        return Dataset._pending(self, (new_stage,), partitioner)
 
     # -- basic properties -----------------------------------------------------
 
     @property
     def num_partitions(self) -> int:
-        return len(self.partitions)
+        # Narrow stages preserve the partition count, so a pending dataset can
+        # answer without forcing.
+        with self._force_lock:
+            if self._materialized is not None:
+                return len(self._materialized)
+            assert self._source is not None
+            source = self._source
+        return source.num_partitions
 
     def collect(self) -> list[Any]:
         """All records as a single list (driver side)."""
@@ -78,12 +192,6 @@ class Dataset:
                 taken.append(record)
         return taken
 
-    def cache(self) -> "Dataset":
-        """No-op locally; kept for API parity with Spark."""
-        return self
-
-    persist = cache
-
     def __iter__(self) -> Iterator[Any]:
         for partition in self.partitions:
             yield from partition
@@ -92,43 +200,39 @@ class Dataset:
         return self.count()
 
     def __repr__(self) -> str:
+        pending = self.pending_stages
+        if pending:
+            return (
+                f"Dataset(partitions={self.num_partitions}, "
+                f"pending={stage_mod.describe(pending)})"
+            )
         return f"Dataset(partitions={self.num_partitions}, records={self.count()})"
 
     # -- narrow transformations --------------------------------------------------
 
-    def _narrow(self, transform: Callable[[list[Any]], list[Any]], keep_partitioner: bool = False) -> "Dataset":
-        new_partitions = self.context.run_tasks(transform, self.partitions)
-        self.context.metrics.record_narrow(self.num_partitions, self.count())
-        partitioner = self.partitioner if keep_partitioner else None
-        return Dataset(self.context, new_partitions, partitioner)
-
     def map(self, function: Callable[[Any], Any]) -> "Dataset":
-        """Apply ``function`` to every record."""
-        return self._narrow(lambda part: [function(record) for record in part])
+        """Apply ``function`` to every record (lazy)."""
+        return self._with_stage(NarrowStage(stage_mod.MAP, function))
 
     def flat_map(self, function: Callable[[Any], Iterable[Any]]) -> "Dataset":
-        """Apply ``function`` and concatenate the resulting iterables."""
-        return self._narrow(lambda part: [out for record in part for out in function(record)])
+        """Apply ``function`` and concatenate the resulting iterables (lazy)."""
+        return self._with_stage(NarrowStage(stage_mod.FLAT_MAP, function))
 
     flatMap = flat_map
 
     def filter(self, predicate: Callable[[Any], bool]) -> "Dataset":
-        """Keep the records for which ``predicate`` is true."""
-        return self._narrow(
-            lambda part: [record for record in part if predicate(record)], keep_partitioner=True
-        )
+        """Keep the records for which ``predicate`` is true (lazy)."""
+        return self._with_stage(NarrowStage(stage_mod.FILTER, predicate), keep_partitioner=True)
 
     def map_values(self, function: Callable[[Any], Any]) -> "Dataset":
-        """Apply ``function`` to the value of every key-value record."""
-        return self._narrow(
-            lambda part: [(key, function(value)) for key, value in part], keep_partitioner=True
-        )
+        """Apply ``function`` to the value of every key-value record (lazy)."""
+        return self._with_stage(NarrowStage(stage_mod.MAP_VALUES, function), keep_partitioner=True)
 
     mapValues = map_values
 
     def map_partitions(self, function: Callable[[list[Any]], Iterable[Any]]) -> "Dataset":
-        """Apply ``function`` to whole partitions."""
-        return self._narrow(lambda part: list(function(part)))
+        """Apply ``function`` to whole partitions (lazy)."""
+        return self._with_stage(NarrowStage(stage_mod.PARTITIONS, function))
 
     mapPartitions = map_partitions
 
@@ -144,12 +248,28 @@ class Dataset:
     def values(self) -> "Dataset":
         return self.map(lambda pair: pair[1])
 
+    def sample(self, fraction: float, seed: int = 17) -> "Dataset":
+        """A deterministic pseudo-random sample of ``fraction`` of the records.
+
+        Each partition samples with its own generator derived from
+        ``(seed, partition index)``, so the result is identical under every
+        executor mode and partition evaluation order.
+        """
+        return self._with_stage(
+            NarrowStage(
+                stage_mod.PARTITIONS_INDEXED,
+                functools.partial(stage_mod.sample_partition, fraction, seed),
+            ),
+            keep_partitioner=True,
+        )
+
     def zip_with_index(self) -> "Dataset":
         """Pair every record with its global index: ``(record, index)``."""
-        offsets = list(itertools.accumulate([0] + [len(p) for p in self.partitions[:-1]]))
+        partitions = self.partitions
+        offsets = list(itertools.accumulate([0] + [len(p) for p in partitions[:-1]]))
         new_partitions = [
             [(record, offset + position) for position, record in enumerate(partition)]
-            for offset, partition in zip(offsets, self.partitions)
+            for offset, partition in zip(offsets, partitions)
         ]
         self.context.metrics.record_narrow(self.num_partitions, self.count())
         return Dataset(self.context, new_partitions)
@@ -170,9 +290,18 @@ class Dataset:
 
     zipPartitions = zip_partitions
 
-    def union(self, other: "Dataset") -> "Dataset":
-        """Concatenate two datasets (no shuffle)."""
-        return Dataset(self.context, self.partitions + other.partitions)
+    def union(self, other: "Dataset", num_partitions: int | None = None) -> "Dataset":
+        """Concatenate two datasets (no shuffle).
+
+        Like Spark, the result has ``self.num_partitions + other.num_partitions``
+        partitions -- repeated unions grow the partition count.  Pass
+        ``num_partitions`` to repartition the result back down (this costs a
+        round-robin shuffle).
+        """
+        combined = Dataset(self.context, self.partitions + other.partitions)
+        if num_partitions is not None:
+            return combined.repartition(num_partitions)
+        return combined
 
     def cartesian(self, other: "Dataset") -> "Dataset":
         """All pairs of records; a shuffle in any distributed implementation."""
@@ -181,13 +310,6 @@ class Dataset:
         self.context.metrics.record_shuffle("cartesian", len(left) + len(right))
         pairs = [(a, b) for a in left for b in right]
         return self.context.parallelize_raw(pairs)
-
-    def sample(self, fraction: float, seed: int = 17) -> "Dataset":
-        """A deterministic pseudo-random sample of ``fraction`` of the records."""
-        import random
-
-        generator = random.Random(seed)
-        return self.filter(lambda _record: generator.random() < fraction)
 
     # -- actions -------------------------------------------------------------------
 
@@ -274,6 +396,8 @@ class Dataset:
 
     def repartition(self, num_partitions: int) -> "Dataset":
         """Redistribute records round-robin into ``num_partitions`` partitions."""
+        if num_partitions <= 0:
+            raise ValueError("num_partitions must be positive")
         records = self.collect()
         self.context.metrics.record_shuffle("repartition", len(records))
         partitions: list[list[Any]] = [[] for _ in range(num_partitions)]

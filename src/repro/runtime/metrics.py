@@ -28,6 +28,14 @@ class Metrics:
     broadcasts: int = 0
     #: Records scanned by narrow operations (a proxy for compute volume).
     records_processed: int = 0
+    #: Number of fused narrow stages executed (one per forced pipeline, not
+    #: one per operator -- a map→filter→map_values chain counts once).
+    fused_stages: int = 0
+    #: Total narrow operators folded into fused stages.
+    fused_operators: int = 0
+    #: Times the process executor fell back to the driver (unpicklable task
+    #: or a broken worker pool).
+    process_fallbacks: int = 0
     #: Per-operation shuffle counts (operation name -> count).
     shuffle_operations: dict[str, int] = field(default_factory=dict)
 
@@ -41,6 +49,14 @@ class Metrics:
         """Account for a narrow stage of ``tasks`` tasks over ``records`` records."""
         self.narrow_tasks += tasks
         self.records_processed += records
+
+    def record_fused(self, operators: int) -> None:
+        """Account for one fused narrow stage covering ``operators`` operators."""
+        self.fused_stages += 1
+        self.fused_operators += operators
+
+    def record_process_fallback(self) -> None:
+        self.process_fallbacks += 1
 
     def record_dataset(self) -> None:
         self.datasets_created += 1
@@ -56,6 +72,9 @@ class Metrics:
         self.datasets_created = 0
         self.broadcasts = 0
         self.records_processed = 0
+        self.fused_stages = 0
+        self.fused_operators = 0
+        self.process_fallbacks = 0
         self.shuffle_operations = {}
 
     def snapshot(self) -> dict[str, int]:
@@ -67,4 +86,7 @@ class Metrics:
             "datasets_created": self.datasets_created,
             "broadcasts": self.broadcasts,
             "records_processed": self.records_processed,
+            "fused_stages": self.fused_stages,
+            "fused_operators": self.fused_operators,
+            "process_fallbacks": self.process_fallbacks,
         }

@@ -1,0 +1,116 @@
+"""Fused narrow-stage descriptors for the lazy Dataset engine.
+
+A narrow operation (``map``, ``flat_map``, ``filter``, ``map_values``,
+``map_partitions``) does not move records between partitions, so any chain of
+them can run as a *single* per-partition pass.  The lazy
+:class:`~repro.runtime.dataset.Dataset` records each pending operation as a
+:class:`NarrowStage`; when the chain is forced (by a shuffle or an action) the
+stages are composed by :func:`compose` into one task and executed in one
+``run_tasks`` pass.
+
+A tuple of stages is also the *task descriptor* shipped to worker processes by
+the ``"processes"`` executor: it is picklable whenever every stage function is
+(module-level functions, ``functools.partial`` over module-level functions).
+:func:`run_fused_chunk` is the module-level worker entry point, so the process
+pool never has to pickle a closure of the driver's state.
+"""
+
+from __future__ import annotations
+
+import pickle
+import random
+from typing import Any, Callable, Iterable, NamedTuple
+
+#: Stage kinds understood by :func:`apply_stage`.
+MAP = "map"
+FLAT_MAP = "flat_map"
+FILTER = "filter"
+MAP_VALUES = "map_values"
+#: Whole-partition transform; the function receives the partition list.
+PARTITIONS = "partitions"
+#: Whole-partition transform that also receives the partition index
+#: (used by :meth:`Dataset.sample` to derive per-partition generators).
+PARTITIONS_INDEXED = "partitions_indexed"
+
+_KINDS = (MAP, FLAT_MAP, FILTER, MAP_VALUES, PARTITIONS, PARTITIONS_INDEXED)
+
+
+class NarrowStage(NamedTuple):
+    """One pending narrow operation: a kind tag plus the record/partition function."""
+
+    kind: str
+    function: Callable[..., Any]
+
+
+def apply_stage(stage: NarrowStage, records: list[Any], index: int) -> list[Any]:
+    """Run one stage over one partition's records."""
+    kind, function = stage
+    if kind == MAP:
+        return [function(record) for record in records]
+    if kind == FLAT_MAP:
+        return [out for record in records for out in function(record)]
+    if kind == FILTER:
+        return [record for record in records if function(record)]
+    if kind == MAP_VALUES:
+        return [(key, function(value)) for key, value in records]
+    if kind == PARTITIONS:
+        return list(function(records))
+    if kind == PARTITIONS_INDEXED:
+        return list(function(records, index))
+    raise ValueError(f"unknown stage kind {kind!r}")
+
+
+def compose(stages: Iterable[NarrowStage]) -> Callable[[list[Any], int], list[Any]]:
+    """Fuse a stage chain into a single per-partition task."""
+    chain = tuple(stages)
+
+    def fused(records: list[Any], index: int) -> list[Any]:
+        for stage in chain:
+            records = apply_stage(stage, records, index)
+        return records
+
+    return fused
+
+
+def describe(stages: Iterable[NarrowStage]) -> str:
+    """A compact human-readable pipeline label, e.g. ``"map→filter→map_values"``."""
+    return "→".join(stage.kind for stage in stages)
+
+
+def is_picklable(stages: tuple[NarrowStage, ...]) -> bool:
+    """Whether the stage chain can be shipped to a worker process."""
+    try:
+        pickle.dumps(stages)
+    except Exception:
+        return False
+    return True
+
+
+class FusedTaskError(Exception):
+    """Wrapper distinguishing a failure of the fused task itself (user code)
+    from pool infrastructure failures (broken pool, unpicklable payload).
+
+    The original exception travels as ``args[0]`` so it survives the pickle
+    round-trip back to the driver (``__cause__`` does not).
+    """
+
+
+def run_fused_chunk(
+    stages: tuple[NarrowStage, ...], chunk: list[tuple[int, list[Any]]]
+) -> list[tuple[int, list[Any]]]:
+    """Process-pool worker: run the fused chain over a chunk of indexed partitions."""
+    task = compose(stages)
+    try:
+        return [(index, task(records, index)) for index, records in chunk]
+    except Exception as error:
+        raise FusedTaskError(error) from error
+
+
+def sample_partition(fraction: float, seed: int, records: list[Any], index: int) -> list[Any]:
+    """Sample one partition with a generator derived from ``(seed, index)``.
+
+    Each partition gets its own deterministic stream, so the sample is
+    identical no matter which executor runs the partitions or in what order.
+    """
+    generator = random.Random(seed * 2_654_435_761 + index)
+    return [record for record in records if generator.random() < fraction]

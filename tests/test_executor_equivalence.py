@@ -1,0 +1,214 @@
+"""Differential harness for the lazy fusing engine and its executor modes.
+
+Every Figure 3 workload is run through the sequential loop-language
+interpreter (the correctness oracle) and through the translated plan under
+all three executor modes (``sequential``, ``threads``, ``processes``); all
+four results must agree.  Property-style tests check that operator fusion is
+observable only in the narrow-stage metrics: fused pipelines preserve
+partitioner metadata and leave the shuffle/record metrics untouched.
+"""
+
+from __future__ import annotations
+
+import functools
+import operator
+
+import pytest
+
+from test_soundness_programs import assert_same_outputs, values_match
+
+from repro.errors import ExecutionError
+from repro.evaluation.harness import diablo_for, translated_outputs
+from repro.programs import get_program, table2_program_names
+from repro.runtime.context import EXECUTOR_MODES, DistributedContext
+from repro.runtime.partitioner import HashPartitioner
+from repro.workloads import generators, workload_for_program
+
+#: Workload sizes small enough for the tree-walking interpreter oracle.
+SIZES = {
+    "conditional_sum": 300,
+    "equal": 200,
+    "string_match": 200,
+    "word_count": 400,
+    "histogram": 200,
+    "linear_regression": 200,
+    "group_by": 300,
+    "matrix_addition": 6,
+    "matrix_multiplication": 5,
+    "pagerank": 40,
+    "kmeans": 220,
+    "matrix_factorization": 6,
+}
+
+
+def workload(name: str) -> dict:
+    inputs = workload_for_program(name, SIZES[name])
+    if name == "matrix_factorization":
+        # With a dense R the interpreter's implicit-zero reads coincide with
+        # the translator's sparse semantics (see sources.py notes).
+        inputs["R"] = generators.random_matrix(SIZES[name], SIZES[name], seed=3)
+    return inputs
+
+
+@functools.lru_cache(maxsize=None)
+def interpreter_outputs(name: str) -> dict:
+    """The sequential-interpreter oracle, computed once per program."""
+    spec = get_program(name)
+    return diablo_for(spec).interpret(spec.source, dict(workload(name)))
+
+
+def run_translated_under(name: str, mode: str) -> dict:
+    spec = get_program(name)
+    with DistributedContext(num_partitions=4, executor=mode) as context:
+        diablo = diablo_for(spec, context)
+        result = diablo.compile(spec.source).run(**workload(name))
+        return translated_outputs(name, result)
+
+
+class _Outputs:
+    """Adapter so assert_same_outputs can read plain output dicts."""
+
+    def __init__(self, outputs: dict):
+        self._outputs = outputs
+
+    def __getitem__(self, name):
+        return self._outputs[name]
+
+    def array(self, name):
+        return self._outputs[name]
+
+
+@pytest.mark.parametrize("mode", EXECUTOR_MODES)
+@pytest.mark.parametrize("name", table2_program_names())
+def test_every_figure3_workload_matches_interpreter(name, mode):
+    spec = get_program(name)
+    translated = run_translated_under(name, mode)
+    assert_same_outputs(spec, _Outputs(translated), interpreter_outputs(name))
+
+
+@pytest.mark.parametrize("name", ["word_count", "pagerank", "kmeans"])
+def test_executor_modes_agree_exactly(name):
+    """The three executors run the same plan, so results are bit-identical."""
+    by_mode = {mode: run_translated_under(name, mode) for mode in EXECUTOR_MODES}
+    reference = by_mode["sequential"]
+    for mode in ("threads", "processes"):
+        assert by_mode[mode] == reference, f"{name}: {mode} differs from sequential"
+
+
+# ---------------------------------------------------------------------------
+# Fusion properties
+# ---------------------------------------------------------------------------
+
+
+class TestFusion:
+    def test_chain_runs_as_one_pass_with_no_intermediates(self):
+        """map→filter→map_values executes as one run_tasks pass and allocates
+        zero intermediate Datasets (the Issue 1 acceptance criterion)."""
+        ctx = DistributedContext(num_partitions=4)
+        base = ctx.parallelize([(i, i) for i in range(40)]).materialize()
+        ctx.metrics.reset()
+        chained = (
+            base.map(lambda pair: (pair[0], pair[1] + 1))
+            .filter(lambda pair: pair[1] % 2 == 0)
+            .map_values(lambda value: value * 10)
+        )
+        assert ctx.metrics.datasets_created == 0, "chaining must not materialize"
+        assert ctx.metrics.narrow_tasks == 0
+        result = chained.collect_as_map()
+        assert ctx.metrics.datasets_created == 1, "one dataset for the whole chain"
+        assert ctx.metrics.fused_stages == 1, "one fused pass, not three"
+        assert ctx.metrics.fused_operators == 3
+        assert ctx.metrics.narrow_tasks == base.num_partitions
+        assert result == {i: (i + 1) * 10 for i in range(40) if (i + 1) % 2 == 0}
+
+    def test_fused_pipeline_preserves_partitioner_metadata(self):
+        ctx = DistributedContext(num_partitions=4)
+        partitioner = HashPartitioner(4)
+        placed = ctx.parallelize([(i, i) for i in range(20)]).partition_by(partitioner)
+        pipeline = placed.filter(lambda p: p[0] > 2).map_values(lambda v: v + 1).sample(0.9)
+        assert pipeline.partitioner == partitioner, "pending chain keeps the partitioner"
+        pipeline.materialize()
+        assert pipeline.partitioner == partitioner, "forcing keeps the partitioner"
+        assert placed.map(lambda p: p).partitioner is None, "map drops the partitioner"
+
+    def test_fusion_does_not_change_shuffle_metrics(self):
+        """The same pipeline forced per-operator (cache between every op) and
+        fully fused must shuffle the same stages and records."""
+
+        def pipeline(ctx, step):
+            ds = ctx.parallelize([(i % 7, float(i)) for i in range(200)])
+            ds = step(ds.map(lambda p: (p[0], p[1] + 1)))
+            ds = step(ds.filter(lambda p: p[0] != 3))
+            ds = step(ds.map_values(lambda v: v * 2))
+            return ds.reduce_by_key(lambda a, b: a + b).collect_as_map()
+
+        fused_ctx = DistributedContext(num_partitions=4)
+        fused_result = pipeline(fused_ctx, lambda ds: ds)
+        unfused_ctx = DistributedContext(num_partitions=4)
+        unfused_result = pipeline(unfused_ctx, lambda ds: ds.cache())
+
+        assert fused_result == unfused_result
+        fused, unfused = fused_ctx.metrics, unfused_ctx.metrics
+        assert fused.shuffles == unfused.shuffles
+        assert fused.shuffled_records == unfused.shuffled_records
+        assert fused.shuffle_operations == unfused.shuffle_operations
+        # Fusion is visible only in the narrow-stage counters.
+        assert fused.fused_stages == 1
+        assert unfused.fused_stages == 3
+
+    def test_shuffle_metrics_identical_across_executors(self):
+        snapshots = {}
+        for mode in EXECUTOR_MODES:
+            with DistributedContext(num_partitions=4, executor=mode) as ctx:
+                ds = ctx.parallelize([(i % 5, i) for i in range(100)])
+                ds.map_values(lambda v: v + 1).reduce_by_key(lambda a, b: a + b).collect()
+                snapshot = ctx.metrics.snapshot()
+                snapshot.pop("process_fallbacks")  # executor-specific by design
+                snapshots[mode] = snapshot
+        assert snapshots["sequential"] == snapshots["threads"] == snapshots["processes"]
+
+
+# ---------------------------------------------------------------------------
+# Process-executor behavior
+# ---------------------------------------------------------------------------
+
+
+def _failing_step(_value):
+    raise ZeroDivisionError("boom")
+
+
+def _failing_os_step(_value):
+    raise FileNotFoundError("no such file: boom")
+
+
+class TestProcessExecutor:
+    def test_picklable_chain_crosses_the_process_boundary(self):
+        with DistributedContext(num_partitions=4, executor="processes") as ctx:
+            ds = ctx.parallelize(range(100)).map(functools.partial(operator.mul, 3))
+            assert sorted(ds.collect()) == [3 * i for i in range(100)]
+            assert ctx.metrics.process_fallbacks == 0
+
+    def test_unpicklable_lambda_falls_back_to_driver(self):
+        with DistributedContext(num_partitions=4, executor="processes") as ctx:
+            captured = {"offset": 7}
+            ds = ctx.parallelize(range(50)).map(lambda x: x + captured["offset"])
+            assert sorted(ds.collect()) == [i + 7 for i in range(50)]
+            assert ctx.metrics.process_fallbacks == 1
+
+    def test_worker_errors_surface_as_execution_errors(self):
+        with DistributedContext(num_partitions=4, executor="processes") as ctx:
+            with pytest.raises(ExecutionError):
+                ctx.parallelize(range(8)).map(_failing_step).collect()
+
+    def test_os_errors_from_user_code_are_task_errors_not_fallbacks(self):
+        # Regression: OSError subclasses raised by user code must not be
+        # mistaken for pool-infrastructure failures (which would silently
+        # re-run the job in the driver and leak the raw exception).
+        with DistributedContext(num_partitions=4, executor="processes") as ctx:
+            with pytest.raises(ExecutionError):
+                ctx.parallelize(range(8)).map(_failing_os_step).collect()
+            assert ctx.metrics.process_fallbacks == 0
+
+    def test_values_match_helper_tolerates_float_noise(self):
+        assert values_match(1.0, 1.0 + 1e-12)
+        assert not values_match(1.0, 1.1)

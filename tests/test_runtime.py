@@ -61,6 +61,67 @@ class TestContext:
             with pytest.raises(ExecutionError):
                 ctx.parallelize(range(10)).map(lambda x: 1 / 0).collect()
 
+    def test_process_executor_runs_tasks(self):
+        with DistributedContext(num_partitions=4, executor="processes") as ctx:
+            result = ctx.parallelize(range(100)).map(lambda x: x * 2).collect()
+            assert sorted(result) == [x * 2 for x in range(100)]
+
+
+class TestLazyEngine:
+    def test_narrow_operations_are_lazy(self, ctx):
+        base = ctx.parallelize(range(10)).materialize()
+        pending = base.map(lambda x: x + 1).filter(lambda x: x > 3)
+        assert not pending.is_materialized
+        assert len(pending.pending_stages) == 2
+        assert pending.num_partitions == base.num_partitions  # answered without forcing
+        assert "pending" in repr(pending)
+
+    def test_accessing_partitions_forces_the_chain(self, ctx):
+        pending = ctx.parallelize(range(10)).map(lambda x: x + 1)
+        assert not pending.is_materialized
+        assert sum(len(p) for p in pending.partitions) == 10
+        assert pending.is_materialized
+        assert pending.pending_stages == ()
+
+    def test_cache_is_a_materialization_point(self, ctx):
+        chain = ctx.parallelize(range(10)).map(lambda x: x * 2)
+        cached = chain.cache()
+        assert cached is chain
+        assert cached.is_materialized
+        # Chaining off a cached dataset starts a fresh pending chain.
+        derived = cached.filter(lambda x: x > 5)
+        assert not derived.is_materialized
+        assert len(derived.pending_stages) == 1
+
+    def test_chains_fuse_into_one_stage(self, ctx):
+        base = ctx.parallelize(range(20)).materialize()
+        ctx.metrics.reset()
+        result = (
+            base.map(lambda x: x + 1)
+            .filter(lambda x: x % 2 == 0)
+            .map(lambda x: x * 10)
+            .collect()
+        )
+        assert sorted(result) == [x * 10 for x in range(1, 21) if x % 2 == 0]
+        assert ctx.metrics.fused_stages == 1
+        assert ctx.metrics.fused_operators == 3
+        assert ctx.metrics.datasets_created == 1
+
+    def test_forcing_is_idempotent(self, ctx):
+        pending = ctx.parallelize(range(10)).map(lambda x: x + 1)
+        first = pending.collect()
+        stages = ctx.metrics.fused_stages
+        second = pending.collect()
+        assert first == second
+        assert ctx.metrics.fused_stages == stages, "second collect reuses the result"
+
+    def test_sibling_chains_do_not_interfere(self, ctx):
+        base = ctx.parallelize(range(10)).materialize()
+        evens = base.filter(lambda x: x % 2 == 0)
+        odds = base.filter(lambda x: x % 2 == 1)
+        assert sorted(evens.collect()) == [0, 2, 4, 6, 8]
+        assert sorted(odds.collect()) == [1, 3, 5, 7, 9]
+
 
 class TestNarrowOperations:
     def test_map_filter_flat_map(self, ctx):
@@ -89,6 +150,18 @@ class TestNarrowOperations:
         right = ctx.parallelize([3])
         assert sorted(left.union(right).collect()) == [1, 2, 3]
 
+    def test_union_concatenates_partitions(self, ctx):
+        left = ctx.parallelize(range(8))
+        right = ctx.parallelize(range(8), num_partitions=2)
+        assert left.union(right).num_partitions == left.num_partitions + right.num_partitions
+
+    def test_union_normalizes_partition_count_on_request(self, ctx):
+        left = ctx.parallelize(range(8))
+        right = ctx.parallelize(range(8, 16))
+        normalized = left.union(right, num_partitions=4)
+        assert normalized.num_partitions == 4
+        assert sorted(normalized.collect()) == list(range(16))
+
     def test_zip_partitions_requires_same_partition_count(self, ctx):
         left = ctx.parallelize(range(4))
         right = ctx.parallelize(range(4), num_partitions=2)
@@ -112,6 +185,21 @@ class TestNarrowOperations:
     def test_sample_is_deterministic(self, ctx):
         dataset = ctx.parallelize(range(100))
         assert dataset.sample(0.3, seed=5).collect() == dataset.sample(0.3, seed=5).collect()
+
+    def test_sample_agrees_across_executors(self):
+        # Regression: sampling used one shared generator mutated from every
+        # partition, so results depended on partition evaluation order.  Each
+        # partition now derives its own generator from (seed, index).
+        results = {}
+        for executor in ("sequential", "threads", "processes"):
+            with DistributedContext(num_partitions=4, executor=executor) as ctx:
+                results[executor] = ctx.parallelize(range(200)).sample(0.3, seed=5).collect()
+        assert results["sequential"] == results["threads"] == results["processes"]
+        assert 0 < len(results["sequential"]) < 200
+
+    def test_sample_varies_with_seed(self, ctx):
+        dataset = ctx.parallelize(range(200))
+        assert dataset.sample(0.5, seed=1).collect() != dataset.sample(0.5, seed=2).collect()
 
 
 class TestActions:
@@ -198,6 +286,13 @@ class TestShuffleOperations:
         dataset = ctx.parallelize(range(10)).repartition(2)
         assert dataset.num_partitions == 2
         assert sorted(dataset.collect()) == list(range(10))
+
+    def test_repartition_rejects_non_positive_counts(self, ctx):
+        dataset = ctx.parallelize(range(10))
+        with pytest.raises(ValueError):
+            dataset.repartition(0)
+        with pytest.raises(ValueError):
+            dataset.repartition(-3)
 
 
 class TestJoins:
