@@ -57,9 +57,35 @@ def test_sequential_interpreter_evaluation(benchmark, name):
 
 
 #: CPU-heavy subset for the executor-mode comparison (kept small; the point
-#: is exercising each executor's fused-stage execution path, not absolute
-#: numbers).
-EXECUTOR_COMPARISON_PROGRAMS = ["conditional_sum", "word_count", "pagerank", "kmeans"]
+#: is exercising each executor's fused-stage and shuffle-stage execution
+#: paths, not absolute numbers).  ``group_by`` and ``matrix_multiplication``
+#: are the wide-stage workloads: their runtime is dominated by
+#: groupBy/reduceByKey/join shuffles whose map and reduce sides now dispatch
+#: through the executor.
+EXECUTOR_COMPARISON_PROGRAMS = [
+    "conditional_sum",
+    "word_count",
+    "group_by",
+    "matrix_multiplication",
+    "pagerank",
+    "kmeans",
+]
+
+
+def _record_shuffle_metrics(benchmark, context):
+    """Attach the shuffle/combiner metrics to the benchmark record so the CI
+    smoke job can print them and regressions show up in logs."""
+    metrics = context.metrics
+    benchmark.extra_info["process_fallbacks"] = metrics.process_fallbacks
+    benchmark.extra_info["fused_stages"] = metrics.fused_stages
+    benchmark.extra_info["shuffle_stages"] = metrics.shuffles
+    benchmark.extra_info["shuffled_records"] = metrics.shuffled_records
+    benchmark.extra_info["shuffled_bytes"] = metrics.shuffled_bytes
+    benchmark.extra_info["shuffle_map_tasks"] = metrics.shuffle_map_tasks
+    benchmark.extra_info["shuffle_reduce_tasks"] = metrics.shuffle_reduce_tasks
+    benchmark.extra_info["combiner_hit_rate"] = round(metrics.combiner_hit_rate, 4)
+    benchmark.extra_info["parallel_tasks"] = metrics.parallel_tasks
+    benchmark.extra_info["join_strategies"] = dict(metrics.join_strategies)
 
 
 @pytest.mark.parametrize("executor", EXECUTOR_MODES)
@@ -67,12 +93,13 @@ EXECUTOR_COMPARISON_PROGRAMS = ["conditional_sum", "word_count", "pagerank", "km
 def test_translated_evaluation_by_executor(benchmark, name, executor):
     """The same translated plan under each executor mode.
 
-    Note: evaluator-generated stage functions close over driver state and do
-    not pickle, so under ``"processes"`` every fused stage falls back to the
-    driver -- this column measures the dispatch/fallback overhead, not
-    multi-core speedup.  The recorded ``process_fallbacks`` makes that
-    visible; see ``test_picklable_pipeline_by_executor`` for a pipeline that
-    really crosses the process boundary.
+    Evaluator-generated *map-side* stage functions close over driver state
+    and do not pickle, so under ``"processes"`` those fall back to the driver
+    (counted by ``process_fallbacks``).  The *reduce sides* of the wide
+    operators (group/merge/join of shuffle buckets) are module-level stage
+    chains that do pickle, so groupBy/join-heavy workloads now genuinely use
+    the pool -- ``parallel_tasks`` records how many tasks crossed into an
+    executor.
     """
     spec = get_program(name)
     inputs = workload_for_program(name, SIZES[name])
@@ -80,10 +107,33 @@ def test_translated_evaluation_by_executor(benchmark, name, executor):
         diablo = diablo_for(spec, context)
         compiled = diablo.compile(spec.source)
         benchmark.pedantic(lambda: compiled.run(**inputs), rounds=2, iterations=1)
-        benchmark.extra_info["process_fallbacks"] = context.metrics.process_fallbacks
-        benchmark.extra_info["fused_stages"] = context.metrics.fused_stages
+        _record_shuffle_metrics(benchmark, context)
     benchmark.extra_info["program"] = name
     benchmark.extra_info["mode"] = "parallel"
+    benchmark.extra_info["executor"] = executor
+
+
+def _add(a, b):
+    return a + b
+
+
+@pytest.mark.parametrize("executor", EXECUTOR_MODES)
+@pytest.mark.parametrize("name", ["group_by", "matrix_multiplication"])
+def test_wide_stage_workloads_by_executor(benchmark, name, executor):
+    """Hand-written wide-stage pipelines (picklable stage functions), so every
+    executor runs the shuffle map/reduce sides itself -- the configuration
+    where the processes pool helps the paper's shuffle-dominated workloads."""
+    from repro.baselines import get_baseline
+
+    inputs = workload_for_program(name, SIZES[name])
+    with DistributedContext(num_partitions=4, executor=executor) as context:
+        module = get_baseline(name)
+        benchmark.pedantic(lambda: module.distributed(context, inputs), rounds=2, iterations=1)
+        _record_shuffle_metrics(benchmark, context)
+        if executor == "processes":
+            assert context.metrics.shuffles > 0, "wide-stage workload must shuffle"
+    benchmark.extra_info["program"] = name
+    benchmark.extra_info["mode"] = "baseline-wide"
     benchmark.extra_info["executor"] = executor
 
 
@@ -95,21 +145,24 @@ def _positive(value: float) -> bool:
     return value > 0.0
 
 
+def _bucket_pair(value: float) -> tuple[int, float]:
+    return (int(value) % 64, value)
+
+
 @pytest.mark.parametrize("executor", EXECUTOR_MODES)
 def test_picklable_pipeline_by_executor(benchmark, executor):
-    """A fused map→filter chain of module-level (picklable) functions: the
-    one configuration where the ``"processes"`` executor actually ships work
-    to the pool instead of falling back."""
+    """A fused map→filter chain plus a reduceByKey shuffle of module-level
+    (picklable) functions: narrow map side, combiner, bucketing and the
+    reduce side all cross the process boundary under ``"processes"``."""
     with DistributedContext(num_partitions=4, executor=executor) as context:
         records = [float(i - 25_000) for i in range(50_000)]
 
         def run_once():
-            return (
-                context.parallelize(records).map(_shift).filter(_positive).count()
-            )
+            kept = context.parallelize(records).map(_shift).filter(_positive)
+            return kept.map(_bucket_pair).reduce_by_key(_add).collect_as_map()
 
         benchmark.pedantic(run_once, rounds=2, iterations=1)
-        benchmark.extra_info["process_fallbacks"] = context.metrics.process_fallbacks
+        _record_shuffle_metrics(benchmark, context)
         if executor == "processes":
             assert context.metrics.process_fallbacks == 0, (
                 "picklable chain must cross the process boundary"

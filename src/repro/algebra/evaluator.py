@@ -32,7 +32,7 @@ the broadcast side of a nested-loop join.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Callable
+from typing import Any
 
 from repro import operators
 from repro.comprehension import ir
@@ -40,12 +40,12 @@ from repro.comprehension.monoids import DEFAULT_MONOIDS, MonoidRegistry
 from repro.errors import CompilationError, ExecutionError
 from repro.functions import DEFAULT_FUNCTIONS, FunctionRegistry
 from repro.runtime.context import DistributedContext
-from repro.runtime.dataset import Dataset
+from repro.runtime.dataset import DEFAULT_BROADCAST_JOIN_THRESHOLD, Dataset, choose_broadcast_side
 
-#: When a generator has no join condition, the smaller side is broadcast if it
-#: has at most this many records; otherwise a cartesian product is
-#: materialized.  The threshold only affects performance, never results.
-BROADCAST_THRESHOLD = 100_000
+#: Backwards-compatible alias: the evaluator now shares the runtime's join
+#: strategy knob (``context.broadcast_join_threshold``) instead of keeping its
+#: own.  The threshold only affects performance, never results.
+BROADCAST_THRESHOLD = DEFAULT_BROADCAST_JOIN_THRESHOLD
 
 
 @dataclass
@@ -350,21 +350,32 @@ class TermEvaluator:
         return joined.map(lambda pair: {**pair[1][0], **_bind_pattern(pattern, pair[1][1])})
 
     def _broadcast_product(self, rows: Dataset, dataset: Dataset, pattern: ir.Pattern) -> Dataset:
-        """Cartesian combination, broadcasting the smaller side when possible."""
-        dataset_size = dataset.count()
-        rows_size = rows.count()
-        if dataset_size <= rows_size and dataset_size <= BROADCAST_THRESHOLD:
+        """Cartesian combination, broadcasting the smaller side when possible.
+
+        Reuses the runtime's join-strategy heuristic
+        (:func:`~repro.runtime.dataset.choose_broadcast_side` with the
+        context's ``broadcast_join_threshold``), so the query layer and
+        :meth:`Dataset.join` agree on one knob.
+        """
+        context = self.env.context
+        side = choose_broadcast_side(
+            rows.count(), dataset.count(), context.broadcast_join_threshold
+        )
+        if side == "right":
             elements = dataset.collect()
-            self.env.context.metrics.record_broadcast()
+            context.metrics.record_broadcast()
+            context.metrics.record_join_strategy("broadcast")
             return rows.flat_map(
                 lambda row: [{**row, **_bind_pattern(pattern, element)} for element in elements]
             )
-        if rows_size < dataset_size and rows_size <= BROADCAST_THRESHOLD:
+        if side == "left":
             row_list = rows.collect()
-            self.env.context.metrics.record_broadcast()
+            context.metrics.record_broadcast()
+            context.metrics.record_join_strategy("broadcast")
             return dataset.flat_map(
                 lambda element: [{**row, **_bind_pattern(pattern, element)} for row in row_list]
             )
+        context.metrics.record_join_strategy("cartesian")
         product = rows.cartesian(dataset)
         return product.map(lambda pair: {**pair[0], **_bind_pattern(pattern, pair[1])})
 

@@ -7,6 +7,13 @@ reduceByKeys and coGroup merges.  Tests and EXPERIMENTS.md use it to show that
 the generated plans have the shapes the paper describes (e.g. matrix multiply
 = one join + one reduceByKey; the DIABLO KMeans step contains a join with the
 centroid array that the hand-written version avoids by broadcasting).
+
+Two runtime-facing companions cover what static analysis cannot know:
+``explain_dataset`` renders a lazy Dataset's physical plan (its pending
+:class:`~repro.runtime.stage.ShuffleStage` nodes and fused narrow chains), and
+``explain_metrics`` formats the execution counters -- shuffle stages,
+records/bytes moved, combiner hit rate, and the join strategies the planner
+actually chose (broadcast vs. shuffle is a force-time, size-based decision).
 """
 
 from __future__ import annotations
@@ -14,6 +21,8 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from repro.comprehension import ir
+from repro.runtime.dataset import Dataset
+from repro.runtime.metrics import Metrics
 
 
 @dataclass
@@ -33,12 +42,20 @@ class PlanSummary:
         """Operations that move data across partitions."""
         return self.hash_joins + self.group_bys + self.reduce_by_keys + self.merges
 
+    @property
+    def shuffle_stages(self) -> int:
+        """Alias aligned with the runtime's ShuffleStage terminology: every
+        shuffle operation executes as one :class:`ShuffleStage` plan node
+        (hash joins may still resolve to a broadcast at force time)."""
+        return self.shuffle_operations
+
     def lines(self) -> list[str]:
         entries = [f"scan {name}" for name in self.scans]
         entries += [f"hash joins: {self.hash_joins}"]
         entries += [f"broadcast joins: {self.broadcast_joins}"]
         entries += [f"groupByKey: {self.group_bys}", f"reduceByKey: {self.reduce_by_keys}"]
         entries += [f"coGroup merges: {self.merges}", f"range scans: {self.ranges}"]
+        entries += [f"shuffle stages: {self.shuffle_stages}"]
         return entries
 
     def __str__(self) -> str:
@@ -130,3 +147,48 @@ def _is_aggregation_only(
         return False
     value_part = head.elements[1]
     return isinstance(value_part, ir.Aggregate) and isinstance(value_part.operand, ir.CVar)
+
+
+# ---------------------------------------------------------------------------
+# Runtime-facing explanation
+# ---------------------------------------------------------------------------
+
+
+def explain_dataset(dataset: Dataset) -> str:
+    """The physical plan of a (possibly pending) runtime Dataset.
+
+    Delegates to :meth:`Dataset.explain`: shuffle stages with their strategy,
+    output partitioning and combiner, plus the fused narrow chains feeding
+    them.
+    """
+    return dataset.explain()
+
+
+def explain_metrics(metrics: Metrics) -> list[str]:
+    """Format the execution counters a run actually produced.
+
+    Reports the shuffle-stage breakdown (records and estimated bytes moved,
+    map/reduce task counts), the map-side combiner hit rate, and the join
+    strategies the planner chose -- the dynamic complement of the static
+    ``explain_term`` summary.
+    """
+    lines = [
+        f"shuffle stages: {metrics.shuffles} "
+        f"({metrics.shuffled_records} records, {metrics.shuffled_bytes} bytes moved)",
+        f"shuffle tasks: {metrics.shuffle_map_tasks} map, {metrics.shuffle_reduce_tasks} reduce",
+    ]
+    for operation, count in sorted(metrics.shuffle_operations.items()):
+        lines.append(f"  {operation}: {count}")
+    if metrics.combiner_input_records:
+        lines.append(
+            f"combiner: {metrics.combiner_input_records} -> "
+            f"{metrics.combiner_output_records} records "
+            f"(hit rate {metrics.combiner_hit_rate:.1%})"
+        )
+    if metrics.join_strategies:
+        chosen = ", ".join(
+            f"{strategy}={count}" for strategy, count in sorted(metrics.join_strategies.items())
+        )
+        lines.append(f"join strategies: {chosen}")
+    lines.append(f"parallel tasks dispatched: {metrics.parallel_tasks}")
+    return lines

@@ -149,6 +149,7 @@ class ProgramRunner:
     ) -> None:
         evaluator = TermEvaluator(environment, trace)
         fused_before = self.context.metrics.fused_stages
+        shuffles_before = self.context.metrics.shuffles
         result = evaluator.evaluate(statement.term)
         info = program.variables.get(statement.variable)
         is_collection = info is not None and info.is_collection
@@ -165,13 +166,18 @@ class ProgramRunner:
             # so it must run before this statement completes.
             result.materialize()
             environment.values[statement.variable] = result
-        self._trace_fusion(statement.variable, fused_before, trace)
+        self._trace_fusion(statement.variable, fused_before, shuffles_before, trace)
 
-    def _trace_fusion(self, variable: str, fused_before: int, trace: list[str]) -> None:
+    def _trace_fusion(
+        self, variable: str, fused_before: int, shuffles_before: int, trace: list[str]
+    ) -> None:
         metrics = self.context.metrics
         fused = metrics.fused_stages - fused_before
         if fused:
             trace.append(f"{variable}: executed {fused} fused narrow stage(s)")
+        shuffled = metrics.shuffles - shuffles_before
+        if shuffled:
+            trace.append(f"{variable}: executed {shuffled} shuffle stage(s)")
 
     def _extract_scalar(
         self, result: Any, statement: TargetAssign, environment: EvaluationEnvironment

@@ -16,7 +16,7 @@ arg-min record, ``^^`` for the running average).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Any, Callable
 
 

@@ -11,29 +11,37 @@ assertions about plan *shape*.
 
 Narrow operations are **lazy and fusing**: chains of maps/filters accumulate
 as pending :mod:`~repro.runtime.stage` descriptors and run as a single
-per-partition pass when a shuffle or action forces them.  The context executes
-fused stages ``"sequential"``-ly, with a ``"threads"`` pool, or -- when the
-stage chain pickles -- with a ``"processes"`` pool so CPU-bound work uses
-multiple cores.  Either way the runtime preserves the data-movement structure
-of a cluster: every shuffle operation redistributes records by key across
-partitions and is counted as such.
+per-partition pass when an action forces them.  Wide operations are lazy
+:class:`~repro.runtime.stage.ShuffleStage` plan nodes that capture the map-side
+chain, an optional combiner and a partitioner, and execute both their map and
+reduce sides through the executor.  The context executes stages
+``"sequential"``-ly, with a ``"threads"`` pool, or -- when the stage chain
+pickles -- with a ``"processes"`` pool so CPU-bound work uses multiple cores.
+Either way the runtime preserves the data-movement structure of a cluster:
+every shuffle operation redistributes records by key across partitions and is
+counted as such (records, estimated bytes, combiner effectiveness, join
+strategy).
 """
 
 from repro.runtime.context import DistributedContext, EXECUTOR_MODES
-from repro.runtime.dataset import Dataset
+from repro.runtime.dataset import DEFAULT_BROADCAST_JOIN_THRESHOLD, Dataset
 from repro.runtime.broadcast import Broadcast
 from repro.runtime.metrics import Metrics
-from repro.runtime.partitioner import HashPartitioner, Partitioner, RangePartitioner
-from repro.runtime.stage import NarrowStage
+from repro.runtime.partitioner import HashPartitioner, Partitioner, RangePartitioner, stable_hash
+from repro.runtime.stage import NarrowStage, ShuffleInput, ShuffleStage
 
 __all__ = [
     "DistributedContext",
     "EXECUTOR_MODES",
+    "DEFAULT_BROADCAST_JOIN_THRESHOLD",
     "Dataset",
     "Broadcast",
     "Metrics",
     "NarrowStage",
+    "ShuffleInput",
+    "ShuffleStage",
     "HashPartitioner",
     "RangePartitioner",
     "Partitioner",
+    "stable_hash",
 ]

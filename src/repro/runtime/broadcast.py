@@ -8,7 +8,7 @@ as their Spark originals and so the metrics can count broadcasts.
 
 from __future__ import annotations
 
-from typing import Any, Generic, TypeVar
+from typing import Generic, TypeVar
 
 T = TypeVar("T")
 

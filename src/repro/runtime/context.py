@@ -19,6 +19,7 @@ modes are supported:
 
 from __future__ import annotations
 
+import functools
 import os
 from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
 from typing import Any, Callable, Iterable, Mapping
@@ -26,9 +27,14 @@ from typing import Any, Callable, Iterable, Mapping
 from repro.errors import ExecutionError
 from repro.runtime import stage as stage_mod
 from repro.runtime.broadcast import Broadcast
-from repro.runtime.dataset import Dataset
+from repro.runtime.dataset import (
+    DEFAULT_BROADCAST_JOIN_THRESHOLD,
+    Dataset,
+    choose_broadcast_side,
+)
 from repro.runtime.metrics import Metrics
 from repro.runtime.partitioner import HashPartitioner
+from repro.runtime.stage import NarrowStage, ShuffleStage
 
 #: Executor modes accepted by :class:`DistributedContext`.
 EXECUTOR_MODES = ("sequential", "threads", "processes")
@@ -44,6 +50,9 @@ class DistributedContext:
         num_threads: size of the thread pool when ``executor="threads"``.
         num_processes: size of the process pool when ``executor="processes"``
             (defaults to ``min(num_partitions, cpu count)``).
+        broadcast_join_threshold: joins whose build side has at most this many
+            records run as broadcast hash joins instead of shuffle joins (the
+            strategy knob; only affects performance, never results).
     """
 
     def __init__(
@@ -52,6 +61,7 @@ class DistributedContext:
         executor: str = "sequential",
         num_threads: int | None = None,
         num_processes: int | None = None,
+        broadcast_join_threshold: int = DEFAULT_BROADCAST_JOIN_THRESHOLD,
     ):
         if num_partitions <= 0:
             raise ValueError("num_partitions must be positive")
@@ -61,6 +71,7 @@ class DistributedContext:
         self.executor = executor
         self.num_threads = num_threads or num_partitions
         self.num_processes = num_processes or min(num_partitions, os.cpu_count() or 2)
+        self.broadcast_join_threshold = broadcast_join_threshold
         self.metrics = Metrics()
         self._broadcast_counter = 0
         self._pool: ThreadPoolExecutor | None = None
@@ -138,10 +149,12 @@ class DistributedContext:
             if task_spec is not None:
                 outcome = self._run_in_processes(task_spec, partitions)
                 if outcome is not None:
+                    self.metrics.record_parallel_tasks(len(partitions))
                     return outcome
             self.metrics.record_process_fallback()
             return [task(partition, index) for index, partition in enumerate(partitions)]
         pool = self._thread_pool()
+        self.metrics.record_parallel_tasks(len(partitions))
         futures = [
             pool.submit(task, partition, index) for index, partition in enumerate(partitions)
         ]
@@ -198,6 +211,149 @@ class DistributedContext:
             self._shutdown_process_pool()
             return None
         return [results[index] for index in range(len(partitions))]
+
+    # -- shuffle execution ---------------------------------------------------------
+
+    def run_shuffle(self, shuffle: ShuffleStage) -> tuple[list[list[Any]], Any]:
+        """Execute a :class:`~repro.runtime.stage.ShuffleStage` plan node.
+
+        Map side: each input's narrow chain + combiner + partitioner bucketing
+        runs as one :meth:`run_tasks` pass per input.  The driver only
+        transposes the resulting buckets into reduce-side partitions; the
+        reduce side (merge/group/join of each bucket) is a second
+        :meth:`run_tasks` pass.  Joins with an ``"auto"``/``"broadcast"``
+        strategy may instead resolve to a broadcast hash join (no shuffle).
+
+        Returns ``(partitions, partitioner)`` for the result dataset.
+        """
+        if shuffle.join_type is not None and shuffle.strategy != "shuffle":
+            broadcast_result = self._try_broadcast_join(shuffle)
+            if broadcast_result is not None:
+                return broadcast_result
+        if shuffle.join_type is not None:
+            self.metrics.record_join_strategy("shuffle")
+
+        tagged = len(shuffle.inputs) > 1
+        merged: list[list[Any]] = [[] for _ in range(shuffle.num_output_partitions)]
+        total_records = total_bytes = map_tasks = 0
+        for input_index, shuffle_input in enumerate(shuffle.inputs):
+            source_partitions = shuffle_input.source.partitions
+            chain = shuffle_input.stages
+            if tagged:
+                chain += (
+                    NarrowStage(stage_mod.MAP, functools.partial(stage_mod.tag_record, input_index)),
+                )
+            if shuffle.partitioner is None:
+                writer = functools.partial(
+                    stage_mod.repartition_write, shuffle.num_output_partitions
+                )
+                chain += (NarrowStage(stage_mod.PARTITIONS_INDEXED, writer),)
+            else:
+                key_of = shuffle.key_function or (
+                    stage_mod.tagged_key if tagged else stage_mod.pair_key
+                )
+                writer = functools.partial(
+                    stage_mod.shuffle_write, shuffle.partitioner, shuffle_input.combiner, key_of
+                )
+                chain += (NarrowStage(stage_mod.PARTITIONS, writer),)
+            outputs = self.run_tasks(stage_mod.compose(chain), source_partitions, task_spec=chain)
+            records_in = records_out = bytes_out = 0
+            for output in outputs:
+                stats: stage_mod.ShuffleWriteStats = output[0]
+                records_in += stats.records_in
+                records_out += stats.records_out
+                bytes_out += stats.bytes_out
+                for bucket_index, bucket in enumerate(output[1:]):
+                    merged[bucket_index].extend(bucket)
+            if shuffle_input.captured_operators:
+                self.metrics.record_fused(shuffle_input.captured_operators)
+            self.metrics.record_narrow(len(source_partitions), records_in)
+            if shuffle_input.combiner is not None:
+                self.metrics.record_combiner(records_in, records_out)
+            total_records += records_out
+            total_bytes += bytes_out
+            map_tasks += len(source_partitions)
+
+        if shuffle.reduce_stages:
+            result = self.run_tasks(
+                stage_mod.compose(shuffle.reduce_stages), merged, task_spec=shuffle.reduce_stages
+            )
+            reduce_tasks = len(merged)
+        else:
+            result = merged
+            reduce_tasks = 0
+        if shuffle.reverse_output:
+            result = list(reversed(result))
+        self.metrics.record_shuffle_stage(
+            shuffle.operation, total_records, total_bytes, map_tasks, reduce_tasks
+        )
+        return result, shuffle.result_partitioner
+
+    def _try_broadcast_join(self, shuffle: ShuffleStage) -> tuple[list[list[Any]], Any] | None:
+        """Resolve a join with an auto/broadcast strategy.
+
+        Returns the executed broadcast hash join, or None when the join must
+        shuffle (both sides above the threshold, or an unsupported direction
+        -- full outer joins always shuffle).  Sizes compare the *input*
+        record counts of each side, before map-side narrow chains.
+        """
+        how = shuffle.join_type
+        left_input, right_input = shuffle.inputs
+        left_count = sum(len(p) for p in left_input.source.partitions)
+        right_count = sum(len(p) for p in right_input.source.partitions)
+        eligible = {"inner": ("left", "right"), "left": ("right",), "right": ("left",)}.get(how, ())
+        if shuffle.strategy == "broadcast":
+            if how == "full":
+                return None
+            side = "left" if how == "right" else "right"
+        else:
+            threshold = self.broadcast_join_threshold
+            side = choose_broadcast_side(left_count, right_count, threshold)
+            if side not in eligible:
+                # The smaller side cannot be broadcast for this join type;
+                # the other side may still qualify.
+                other = "left" if side == "right" else "right"
+                other_count = left_count if other == "left" else right_count
+                if other in eligible and other_count <= threshold:
+                    side = other
+                else:
+                    return None
+
+        build = left_input if side == "left" else right_input
+        probe = right_input if side == "left" else left_input
+        build_partitions = build.source.partitions
+        if build.stages:
+            build_partitions = self.run_tasks(
+                stage_mod.compose(build.stages), build_partitions, task_spec=build.stages
+            )
+            if build.captured_operators:
+                self.metrics.record_fused(build.captured_operators)
+            self.metrics.record_narrow(
+                len(build_partitions), sum(len(p) for p in build_partitions)
+            )
+        lookup: dict[Any, list[Any]] = {}
+        for partition in build_partitions:
+            for key, value in partition:
+                lookup.setdefault(key, []).append(value)
+        self.metrics.record_broadcast()
+
+        probe_partitions = probe.source.partitions
+        probe_chain = probe.stages + (
+            NarrowStage(
+                stage_mod.PARTITIONS,
+                functools.partial(stage_mod.broadcast_join_partition, how, side, lookup),
+            ),
+        )
+        result = self.run_tasks(
+            stage_mod.compose(probe_chain), probe_partitions, task_spec=probe_chain
+        )
+        if probe.captured_operators:
+            self.metrics.record_fused(probe.captured_operators)
+        self.metrics.record_narrow(
+            len(probe_partitions), sum(len(p) for p in probe_partitions)
+        )
+        self.metrics.record_join_strategy("broadcast")
+        return result, None
 
     def _thread_pool(self) -> ThreadPoolExecutor:
         if self._pool is None:

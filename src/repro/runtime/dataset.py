@@ -9,24 +9,40 @@ the context's :class:`~repro.runtime.metrics.Metrics`).
 Narrow operations are **lazy**: ``map``/``flat_map``/``filter``/``map_values``/
 ``map_partitions``/``sample`` do not run anything -- they append a
 :class:`~repro.runtime.stage.NarrowStage` to a pending chain hanging off the
-nearest materialized ancestor.  The chain is *forced* at force points:
+nearest materialized ancestor.  **Wide operations are lazy plan nodes too**:
+``reduce_by_key``/``group_by_key``/``aggregate_by_key``/``distinct``/
+``co_group``/the joins/``repartition``/``sort_by`` capture the pending narrow
+chain of their input as the map side of a
+:class:`~repro.runtime.stage.ShuffleStage` and return a pending dataset whose
+force runs the whole shuffle -- map side, bucketing, and reduce side -- through
+:meth:`DistributedContext.run_tasks`, so every executor (threads, processes
+with the pickle fallback) parallelizes the hot wide operators, not just the
+narrow chains between them.
+
+Pending chains are *forced* at force points:
 
 * **actions** (``collect``, ``count``, ``reduce``, ``take``, iteration, ...),
-* **shuffles** (``reduce_by_key``, ``group_by_key``, ``co_group``,
-  ``repartition``, ``sort_by``, ...), which must see real partitions, and
+* **driver-side inspection** that needs real partitions
+  (``zip_with_index``, ``zip_partitions``, ``cartesian``, sampling bounds for
+  ``sort_by``), and
 * **cache()** / **materialize()**, the explicit materialization points.
 
-At a force point the whole pending chain is fused by
+At a force point a narrow chain is fused by
 :func:`repro.runtime.stage.compose` into a single per-partition task and
-executed in one :meth:`DistributedContext.run_tasks` pass -- one fused stage,
-one intermediate dataset, regardless of how many operators were chained.  The
-fused chain is also the picklable task descriptor that the ``"processes"``
-executor ships to worker processes.
+executed in one :meth:`DistributedContext.run_tasks` pass; a shuffle node is
+executed by :meth:`DistributedContext.run_shuffle`.  Either way the task
+descriptors are picklable stage chains the ``"processes"`` executor can ship
+to worker processes.
+
+Joins pick a strategy when forced: a **broadcast hash join** when one side has
+at most ``context.broadcast_join_threshold`` records (the build side is
+collected into a lookup table shipped inside the probe tasks), a **shuffle
+join** otherwise.  ``Dataset.explain()`` renders the pending plan.
 
 Partitioner metadata is tracked through pending stages without forcing:
 ``filter``/``map_values``/``sample`` preserve the partitioner, ``map``/
-``flat_map``/``map_partitions`` drop it, exactly as their eager counterparts
-did.
+``flat_map``/``map_partitions`` drop it, and shuffle nodes know their output
+partitioner upfront.
 """
 
 from __future__ import annotations
@@ -34,16 +50,43 @@ from __future__ import annotations
 import functools
 import itertools
 import threading
-from collections import defaultdict
 from typing import Any, Callable, Iterable, Iterator, TYPE_CHECKING
 
 from repro.errors import ExecutionError
 from repro.runtime import stage as stage_mod
-from repro.runtime.partitioner import HashPartitioner, Partitioner
-from repro.runtime.stage import NarrowStage
+from repro.runtime.partitioner import HashPartitioner, Partitioner, RangePartitioner
+from repro.runtime.stage import NarrowStage, ShuffleInput, ShuffleStage
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.runtime.context import DistributedContext
+
+#: Default for ``DistributedContext.broadcast_join_threshold``: a join side
+#: with at most this many records is broadcast instead of shuffled.  The
+#: threshold only affects performance, never results.
+DEFAULT_BROADCAST_JOIN_THRESHOLD = 100_000
+
+#: Join strategies accepted by :meth:`Dataset.join`.
+JOIN_STRATEGIES = ("auto", "shuffle", "broadcast")
+
+#: Records sampled per output partition when ``sort_by`` derives range bounds.
+SORT_SAMPLE_PER_PARTITION = 20
+
+
+def choose_broadcast_side(left_count: int, right_count: int, threshold: int) -> str:
+    """The shared size heuristic for broadcast strategies.
+
+    Returns ``"right"``/``"left"`` for the side worth broadcasting (the
+    smaller one, when it fits under ``threshold``) or ``"none"`` when neither
+    side does.  Used by ``DistributedContext._try_broadcast_join`` (which then
+    applies per-join-type eligibility) and by the comprehension evaluator's
+    nested-loop products, so the runtime and the query layer agree on one
+    strategy knob.
+    """
+    if right_count <= left_count and right_count <= threshold:
+        return "right"
+    if left_count < right_count and left_count <= threshold:
+        return "left"
+    return "none"
 
 
 class Dataset:
@@ -70,6 +113,7 @@ class Dataset:
         self._materialized: list[list[Any]] | None = partitions
         self._source: "Dataset" | None = None
         self._stages: tuple[NarrowStage, ...] = ()
+        self._shuffle: ShuffleStage | None = None
         self._force_lock = threading.Lock()
         context.metrics.record_dataset()
 
@@ -88,6 +132,21 @@ class Dataset:
         dataset._materialized = None
         dataset._source = source
         dataset._stages = stages
+        dataset._shuffle = None
+        dataset._force_lock = threading.Lock()
+        return dataset
+
+    @classmethod
+    def _pending_shuffle(cls, context: "DistributedContext", shuffle: ShuffleStage) -> "Dataset":
+        """A lazy dataset whose force executes ``shuffle`` via
+        :meth:`DistributedContext.run_shuffle`."""
+        dataset = cls.__new__(cls)
+        dataset.context = context
+        dataset.partitioner = shuffle.result_partitioner
+        dataset._materialized = None
+        dataset._source = None
+        dataset._stages = ()
+        dataset._shuffle = shuffle
         dataset._force_lock = threading.Lock()
         return dataset
 
@@ -113,7 +172,15 @@ class Dataset:
         return self._materialized
 
     def _force(self) -> None:
-        """Fuse and run the pending stage chain in one ``run_tasks`` pass."""
+        """Run the pending plan: a shuffle node via ``run_shuffle``, a narrow
+        stage chain fused into one ``run_tasks`` pass."""
+        if self._shuffle is not None:
+            new_partitions, partitioner = self.context.run_shuffle(self._shuffle)
+            self.context.metrics.record_dataset()
+            self.partitioner = partitioner
+            self._materialized = new_partitions
+            self._shuffle = None
+            return
         assert self._source is not None
         source_partitions = self._source.partitions
         stages = self._stages
@@ -146,22 +213,44 @@ class Dataset:
         # Snapshot the plan under the lock: a concurrent force swaps
         # (_materialized, _source, _stages) and must not be seen half-done.
         with self._force_lock:
-            if self._materialized is None:
+            if self._materialized is None and self._shuffle is None:
                 assert self._source is not None
                 return Dataset._pending(self._source, self._stages + (new_stage,), partitioner)
+        # Materialized, or a pending shuffle (whose node cannot absorb
+        # post-shuffle operators): start a fresh chain over self.
         return Dataset._pending(self, (new_stage,), partitioner)
+
+    def _capture_plan(self) -> tuple["Dataset", tuple[NarrowStage, ...], int]:
+        """Claim this dataset's pending narrow chain as a shuffle's map side.
+
+        Returns ``(source, stages, captured_operators)``; for materialized or
+        shuffle-pending datasets the dataset itself is the source and the
+        chain is empty (a shuffle node forces itself when read).
+        """
+        with self._force_lock:
+            if self._materialized is None and self._shuffle is None:
+                assert self._source is not None
+                return self._source, self._stages, len(self._stages)
+        return self, (), 0
 
     # -- basic properties -----------------------------------------------------
 
     @property
     def num_partitions(self) -> int:
-        # Narrow stages preserve the partition count, so a pending dataset can
-        # answer without forcing.
+        # Narrow stages preserve the partition count and shuffle nodes declare
+        # theirs, so most pending datasets can answer without forcing.
         with self._force_lock:
             if self._materialized is not None:
                 return len(self._materialized)
-            assert self._source is not None
+            shuffle = self._shuffle
             source = self._source
+        if shuffle is not None:
+            if shuffle.join_type is None or shuffle.strategy == "shuffle":
+                return shuffle.num_output_partitions
+            # An auto/broadcast join may resolve to a map-side join whose
+            # output keeps the probe side's partition count: force to know.
+            return len(self.partitions)
+        assert source is not None
         return source.num_partitions
 
     def collect(self) -> list[Any]:
@@ -200,6 +289,10 @@ class Dataset:
         return self.count()
 
     def __repr__(self) -> str:
+        with self._force_lock:
+            shuffle = self._shuffle
+        if shuffle is not None:
+            return f"Dataset(pending_shuffle={shuffle.operation}, strategy={shuffle.strategy})"
         pending = self.pending_stages
         if pending:
             return (
@@ -207,6 +300,49 @@ class Dataset:
                 f"pending={stage_mod.describe(pending)})"
             )
         return f"Dataset(partitions={self.num_partitions}, records={self.count()})"
+
+    def explain(self) -> str:
+        """Render the pending physical plan as an indented tree.
+
+        Shuffle nodes show their operation, strategy, output partition count
+        and whether a map-side combiner runs; narrow chains show the fused
+        operator pipeline.  A materialized dataset is a plain ``Source`` (the
+        plan was consumed when it was forced).
+        """
+        lines: list[str] = []
+        self._explain_into(lines, 0)
+        return "\n".join(lines)
+
+    def _explain_into(self, lines: list[str], depth: int) -> None:
+        pad = "  " * depth
+        with self._force_lock:
+            materialized = self._materialized
+            shuffle = self._shuffle
+            stages = self._stages
+            source = self._source
+        if materialized is not None:
+            suffix = (
+                f", partitioner={type(self.partitioner).__name__}" if self.partitioner else ""
+            )
+            lines.append(f"{pad}Source[{len(materialized)} partitions{suffix}]")
+            return
+        if shuffle is not None:
+            combiner = "yes" if any(inp.combiner for inp in shuffle.inputs) else "no"
+            lines.append(
+                f"{pad}ShuffleStage({shuffle.operation}, strategy={shuffle.strategy}, "
+                f"partitions={shuffle.num_output_partitions}, combiner={combiner})"
+            )
+            for shuffle_input in shuffle.inputs:
+                if shuffle_input.stages:
+                    lines.append(
+                        f"{pad}  NarrowChain({stage_mod.describe(shuffle_input.stages)})"
+                    )
+                    shuffle_input.source._explain_into(lines, depth + 2)
+                else:
+                    shuffle_input.source._explain_into(lines, depth + 1)
+            return
+        lines.append(f"{pad}NarrowChain({stage_mod.describe(stages)})")
+        source._explain_into(lines, depth + 1)
 
     # -- narrow transformations --------------------------------------------------
 
@@ -370,51 +506,66 @@ class Dataset:
 
     # -- shuffle transformations ------------------------------------------------------
 
-    def _shuffle_by_key(
-        self, operation: str, partitioner: Partitioner | None = None
-    ) -> tuple[list[list[Any]], Partitioner]:
-        """Redistribute key-value records by key; returns new raw partitions."""
+    def _key_shuffle(
+        self,
+        operation: str,
+        partitioner: Partitioner | None,
+        combiner: tuple[Any, ...] | None,
+        reduce_stages: tuple[NarrowStage, ...],
+        extra_map_stages: tuple[NarrowStage, ...] = (),
+        result_partitioner: Partitioner | None | str = "chosen",
+    ) -> "Dataset":
+        """Build the single-input :class:`ShuffleStage` plan node every keyed
+        wide operator shares (Section 'shuffles are plan nodes')."""
         chosen = partitioner or self.partitioner or HashPartitioner(self.context.num_partitions)
-        buckets: list[list[Any]] = [[] for _ in range(chosen.num_partitions)]
-        moved = 0
-        for partition in self.partitions:
-            for record in partition:
-                key = record[0]
-                buckets[chosen.partition(key)].append(record)
-                moved += 1
-        self.context.metrics.record_shuffle(operation, moved)
-        return buckets, chosen
+        source, stages, captured = self._capture_plan()
+        shuffle = ShuffleStage(
+            operation=operation,
+            inputs=(ShuffleInput(source, stages + extra_map_stages, combiner, captured),),
+            num_output_partitions=chosen.num_partitions,
+            reduce_stages=reduce_stages,
+            partitioner=chosen,
+            result_partitioner=chosen if result_partitioner == "chosen" else result_partitioner,
+        )
+        return Dataset._pending_shuffle(self.context, shuffle)
 
     def partition_by(self, partitioner: Partitioner) -> "Dataset":
-        """Repartition a key-value dataset with an explicit partitioner."""
+        """Repartition a key-value dataset with an explicit partitioner.
+
+        Runs eagerly (callers use it to co-locate datasets before
+        shuffle-free zips); the shuffle itself still dispatches its map side
+        through the executor.
+        """
         if self.partitioner == partitioner:
             return self
-        buckets, chosen = self._shuffle_by_key("partitionBy", partitioner)
-        return Dataset(self.context, buckets, chosen)
+        placed = self._key_shuffle("partitionBy", partitioner, None, reduce_stages=())
+        return placed.materialize()
 
     partitionBy = partition_by
 
     def repartition(self, num_partitions: int) -> "Dataset":
-        """Redistribute records round-robin into ``num_partitions`` partitions."""
+        """Redistribute records round-robin into ``num_partitions`` partitions
+        (lazy; a key-less shuffle through the same plan layer)."""
         if num_partitions <= 0:
             raise ValueError("num_partitions must be positive")
-        records = self.collect()
-        self.context.metrics.record_shuffle("repartition", len(records))
-        partitions: list[list[Any]] = [[] for _ in range(num_partitions)]
-        for index, record in enumerate(records):
-            partitions[index % num_partitions].append(record)
-        return Dataset(self.context, partitions)
+        source, stages, captured = self._capture_plan()
+        shuffle = ShuffleStage(
+            operation="repartition",
+            inputs=(ShuffleInput(source, stages, None, captured),),
+            num_output_partitions=num_partitions,
+            reduce_stages=(),
+            partitioner=None,
+        )
+        return Dataset._pending_shuffle(self.context, shuffle)
 
     def group_by_key(self, partitioner: Partitioner | None = None) -> "Dataset":
         """Group a key-value dataset into ``(key, [values])`` (a shuffle)."""
-        buckets, chosen = self._shuffle_by_key("groupByKey", partitioner)
-        grouped_partitions: list[list[Any]] = []
-        for bucket in buckets:
-            groups: dict[Any, list[Any]] = defaultdict(list)
-            for key, value in bucket:
-                groups[key].append(value)
-            grouped_partitions.append(list(groups.items()))
-        return Dataset(self.context, grouped_partitions, chosen)
+        return self._key_shuffle(
+            "groupByKey",
+            partitioner,
+            None,
+            reduce_stages=(NarrowStage(stage_mod.PARTITIONS, stage_mod.group_bucket),),
+        )
 
     groupByKey = group_by_key
 
@@ -429,31 +580,21 @@ class Dataset:
     ) -> "Dataset":
         """Combine values per key with map-side pre-aggregation, then shuffle.
 
-        This mirrors Spark: each partition first combines its own values per
-        key, so only one record per (partition, key) crosses the shuffle.
+        This mirrors Spark: the combiner runs inside the map-side shuffle
+        tasks (which also report the record counts the metrics need -- no
+        extra driver pass over the data), so only one record per
+        (partition, key) crosses the shuffle.
         """
-        combined_partitions: list[list[Any]] = []
-        for partition in self.partitions:
-            accumulator: dict[Any, Any] = {}
-            for key, value in partition:
-                if key in accumulator:
-                    accumulator[key] = function(accumulator[key], value)
-                else:
-                    accumulator[key] = value
-            combined_partitions.append(list(accumulator.items()))
-        self.context.metrics.record_narrow(self.num_partitions, self.count())
-        pre_aggregated = Dataset(self.context, combined_partitions)
-        buckets, chosen = pre_aggregated._shuffle_by_key("reduceByKey", partitioner)
-        final_partitions: list[list[Any]] = []
-        for bucket in buckets:
-            accumulator = {}
-            for key, value in bucket:
-                if key in accumulator:
-                    accumulator[key] = function(accumulator[key], value)
-                else:
-                    accumulator[key] = value
-            final_partitions.append(list(accumulator.items()))
-        return Dataset(self.context, final_partitions, chosen)
+        return self._key_shuffle(
+            "reduceByKey",
+            partitioner,
+            ("reduce", function),
+            reduce_stages=(
+                NarrowStage(
+                    stage_mod.PARTITIONS, functools.partial(stage_mod.reduce_bucket, function)
+                ),
+            ),
+        )
 
     reduceByKey = reduce_by_key
 
@@ -465,135 +606,206 @@ class Dataset:
         partitioner: Partitioner | None = None,
     ) -> "Dataset":
         """Per-key aggregation with a zero element (Spark's aggregateByKey)."""
-        combined_partitions: list[list[Any]] = []
-        for partition in self.partitions:
-            accumulator: dict[Any, Any] = {}
-            for key, value in partition:
-                current = accumulator.get(key, zero)
-                accumulator[key] = seq_op(current, value)
-            combined_partitions.append(list(accumulator.items()))
-        self.context.metrics.record_narrow(self.num_partitions, self.count())
-        pre_aggregated = Dataset(self.context, combined_partitions)
-        buckets, chosen = pre_aggregated._shuffle_by_key("aggregateByKey", partitioner)
-        final_partitions: list[list[Any]] = []
-        for bucket in buckets:
-            accumulator = {}
-            for key, value in bucket:
-                if key in accumulator:
-                    accumulator[key] = comb_op(accumulator[key], value)
-                else:
-                    accumulator[key] = value
-            final_partitions.append(list(accumulator.items()))
-        return Dataset(self.context, final_partitions, chosen)
+        return self._key_shuffle(
+            "aggregateByKey",
+            partitioner,
+            ("seq", zero, seq_op),
+            reduce_stages=(
+                NarrowStage(
+                    stage_mod.PARTITIONS, functools.partial(stage_mod.reduce_bucket, comb_op)
+                ),
+            ),
+        )
 
     aggregateByKey = aggregate_by_key
 
     def distinct(self) -> "Dataset":
-        """Remove duplicate records (a shuffle)."""
-        keyed = self.map(lambda record: (record, None))
-        return keyed.reduce_by_key(lambda a, _b: a).keys()
+        """Remove duplicate records (a shuffle with a dedup combiner)."""
+        return self._key_shuffle(
+            "distinct",
+            HashPartitioner(self.context.num_partitions),
+            ("reduce", stage_mod.keep_first),
+            reduce_stages=(
+                NarrowStage(
+                    stage_mod.PARTITIONS,
+                    functools.partial(stage_mod.reduce_bucket, stage_mod.keep_first),
+                ),
+                NarrowStage(stage_mod.MAP, stage_mod.take_key),
+            ),
+            extra_map_stages=(NarrowStage(stage_mod.MAP, stage_mod.pair_with_none),),
+            result_partitioner=None,
+        )
 
     def sort_by(self, key_function: Callable[[Any], Any], ascending: bool = True) -> "Dataset":
-        """Globally sort records (a shuffle)."""
-        records = sorted(self.collect(), key=key_function, reverse=not ascending)
-        self.context.metrics.record_shuffle("sortBy", len(records))
-        return self.context.parallelize_raw(records)
+        """Globally sort records via a sampled range-partitioned shuffle.
+
+        Split points come from a stride sample of the (materialized) input;
+        each reduce task then sorts one contiguous key range, so nothing is
+        collected to the driver and -- for ascending sorts -- the output keeps
+        a meaningful :class:`RangePartitioner`.
+        """
+        partitions = self.partitions  # the sample needs real records
+        total = sum(len(partition) for partition in partitions)
+        num_output = self.context.num_partitions
+        if total == 0:
+            return Dataset(self.context, [[] for _ in range(num_output)])
+        step = max(1, total // max(1, num_output * SORT_SAMPLE_PER_PARTITION))
+        sample = [
+            key_function(record)
+            for partition in partitions
+            for record in partition[::step]
+        ]
+        range_partitioner = RangePartitioner.from_sample(num_output, sample)
+        # Partitioner metadata promises "records are placed by record[0]", so
+        # only sort_by_key (whose sort key IS the pair key) may keep it; an
+        # arbitrary key_function would poison downstream keyed shuffles.
+        keyed_by_pair = key_function is stage_mod.pair_key
+        shuffle = ShuffleStage(
+            operation="sortBy",
+            inputs=(ShuffleInput(self, (), None, 0),),
+            num_output_partitions=num_output,
+            reduce_stages=(
+                NarrowStage(
+                    stage_mod.PARTITIONS,
+                    functools.partial(stage_mod.sort_bucket, key_function, ascending),
+                ),
+            ),
+            partitioner=range_partitioner,
+            result_partitioner=range_partitioner if (ascending and keyed_by_pair) else None,
+            key_function=key_function,
+            reverse_output=not ascending,
+        )
+        return Dataset._pending_shuffle(self.context, shuffle)
 
     sortBy = sort_by
 
     def sort_by_key(self, ascending: bool = True) -> "Dataset":
-        return self.sort_by(lambda pair: pair[0], ascending)
+        return self.sort_by(stage_mod.pair_key, ascending)
 
     sortByKey = sort_by_key
 
     # -- joins ---------------------------------------------------------------------
 
+    def _two_sided_shuffle(
+        self,
+        other: "Dataset",
+        operation: str,
+        partitioner: Partitioner | None,
+        reduce_stages: tuple[NarrowStage, ...],
+        join_type: str | None = None,
+        strategy: str = "shuffle",
+        result_partitioner: Partitioner | None = None,
+    ) -> "Dataset":
+        chosen = partitioner or HashPartitioner(self.context.num_partitions)
+        left_source, left_stages, left_captured = self._capture_plan()
+        right_source, right_stages, right_captured = other._capture_plan()
+        shuffle = ShuffleStage(
+            operation=operation,
+            inputs=(
+                ShuffleInput(left_source, left_stages, None, left_captured),
+                ShuffleInput(right_source, right_stages, None, right_captured),
+            ),
+            num_output_partitions=chosen.num_partitions,
+            reduce_stages=reduce_stages,
+            partitioner=chosen,
+            result_partitioner=result_partitioner,
+            join_type=join_type,
+            strategy=strategy,
+        )
+        return Dataset._pending_shuffle(self.context, shuffle)
+
     def co_group(self, other: "Dataset", partitioner: Partitioner | None = None) -> "Dataset":
         """Group two key-value datasets by key: ``(key, ([left values], [right values]))``."""
         chosen = partitioner or HashPartitioner(self.context.num_partitions)
-        left_buckets, _ = self._shuffle_by_key("coGroup", chosen)
-        right_buckets, _ = other._shuffle_by_key("coGroup", chosen)
-        result_partitions: list[list[Any]] = []
-        for left_bucket, right_bucket in zip(left_buckets, right_buckets):
-            left_groups: dict[Any, list[Any]] = defaultdict(list)
-            right_groups: dict[Any, list[Any]] = defaultdict(list)
-            for key, value in left_bucket:
-                left_groups[key].append(value)
-            for key, value in right_bucket:
-                right_groups[key].append(value)
-            merged: list[Any] = []
-            for key in left_groups.keys() | right_groups.keys():
-                merged.append((key, (left_groups.get(key, []), right_groups.get(key, []))))
-            result_partitions.append(merged)
-        return Dataset(self.context, result_partitions, chosen)
+        return self._two_sided_shuffle(
+            other,
+            "coGroup",
+            chosen,
+            reduce_stages=(NarrowStage(stage_mod.PARTITIONS, stage_mod.cogroup_bucket),),
+            result_partitioner=chosen,
+        )
 
     coGroup = co_group
     cogroup = co_group
 
-    def join(self, other: "Dataset", partitioner: Partitioner | None = None) -> "Dataset":
-        """Inner equi-join of key-value datasets: ``(key, (left, right))``."""
-        grouped = self.co_group(other, partitioner)
-        return grouped.flat_map(
-            lambda record: [
-                (record[0], (left, right)) for left in record[1][0] for right in record[1][1]
-            ]
+    def _join(
+        self,
+        other: "Dataset",
+        how: str,
+        partitioner: Partitioner | None,
+        strategy: str | None,
+    ) -> "Dataset":
+        if strategy is None:
+            # An explicit partitioner is a placement request; honor it with a
+            # shuffle join.  Otherwise let the planner pick at force time.
+            strategy = "shuffle" if partitioner is not None else "auto"
+        if strategy not in JOIN_STRATEGIES:
+            raise ValueError(f"unknown join strategy {strategy!r}")
+        operation = "join" if how == "inner" else f"{how}OuterJoin"
+        return self._two_sided_shuffle(
+            other,
+            operation,
+            partitioner,
+            reduce_stages=(
+                NarrowStage(stage_mod.PARTITIONS, functools.partial(stage_mod.join_bucket, how)),
+            ),
+            join_type=how,
+            strategy=strategy,
         )
 
-    def left_outer_join(self, other: "Dataset", partitioner: Partitioner | None = None) -> "Dataset":
-        """Left outer join: right side is ``None`` when the key is missing."""
-        grouped = self.co_group(other, partitioner)
+    def join(
+        self,
+        other: "Dataset",
+        partitioner: Partitioner | None = None,
+        strategy: str | None = None,
+    ) -> "Dataset":
+        """Inner equi-join of key-value datasets: ``(key, (left, right))``.
 
-        def expand(record: Any) -> list[Any]:
-            key, (left_values, right_values) = record
-            if not right_values:
-                return [(key, (left, None)) for left in left_values]
-            return [(key, (left, right)) for left in left_values for right in right_values]
+        The strategy is chosen when the plan is forced: a broadcast hash join
+        when one side has at most ``context.broadcast_join_threshold``
+        records, a shuffle join otherwise.  Pass ``strategy="shuffle"`` or
+        ``"broadcast"`` to override.
+        """
+        return self._join(other, "inner", partitioner, strategy)
 
-        return grouped.flat_map(expand)
+    def left_outer_join(
+        self,
+        other: "Dataset",
+        partitioner: Partitioner | None = None,
+        strategy: str | None = None,
+    ) -> "Dataset":
+        """Left outer join: right side is ``None`` when the key is missing.
+        Only the right side is eligible for broadcasting."""
+        return self._join(other, "left", partitioner, strategy)
 
     leftOuterJoin = left_outer_join
 
-    def right_outer_join(self, other: "Dataset", partitioner: Partitioner | None = None) -> "Dataset":
-        grouped = self.co_group(other, partitioner)
-
-        def expand(record: Any) -> list[Any]:
-            key, (left_values, right_values) = record
-            if not left_values:
-                return [(key, (None, right)) for right in right_values]
-            return [(key, (left, right)) for left in left_values for right in right_values]
-
-        return grouped.flat_map(expand)
+    def right_outer_join(
+        self,
+        other: "Dataset",
+        partitioner: Partitioner | None = None,
+        strategy: str | None = None,
+    ) -> "Dataset":
+        """Right outer join; only the left side is eligible for broadcasting."""
+        return self._join(other, "right", partitioner, strategy)
 
     rightOuterJoin = right_outer_join
 
     def full_outer_join(self, other: "Dataset", partitioner: Partitioner | None = None) -> "Dataset":
-        grouped = self.co_group(other, partitioner)
-
-        def expand(record: Any) -> list[Any]:
-            key, (left_values, right_values) = record
-            if not left_values:
-                return [(key, (None, right)) for right in right_values]
-            if not right_values:
-                return [(key, (left, None)) for left in left_values]
-            return [(key, (left, right)) for left in left_values for right in right_values]
-
-        return grouped.flat_map(expand)
+        """Full outer join (always a shuffle join: neither side can be
+        broadcast without losing unmatched build-side keys)."""
+        return self._join(other, "full", partitioner, "shuffle")
 
     fullOuterJoin = full_outer_join
 
     def broadcast_join(self, other: "Dataset") -> "Dataset":
-        """Map-side join: the other dataset is collected and broadcast.
+        """Map-side inner join: ``other`` is collected and broadcast.
 
         Use when ``other`` is small (e.g. the centroid table in KMeans); no
-        shuffle of the left side is needed.
+        shuffle of the left side is needed.  Equivalent to
+        ``join(other, strategy="broadcast")``.
         """
-        lookup: dict[Any, list[Any]] = defaultdict(list)
-        for key, value in other.collect():
-            lookup[key].append(value)
-        self.context.metrics.record_broadcast()
-        return self.flat_map(
-            lambda record: [(record[0], (record[1], right)) for right in lookup.get(record[0], [])]
-        )
+        return self._join(other, "inner", None, "broadcast")
 
     # -- array-merge helpers (Section 3.4) ------------------------------------------
 

@@ -1,10 +1,12 @@
 """Execution metrics for the local DISC runtime.
 
 Wall-clock numbers vary from machine to machine, so the benchmark suite also
-asserts on *structural* metrics: how many shuffle stages a query ran and how
-many records crossed the (simulated) network.  These are the quantities that
-determine the relative performance shapes the paper reports (e.g. the DIABLO
-KMeans shuffles far more data than the hand-written broadcast version).
+asserts on *structural* metrics: how many shuffle stages a query ran, how many
+records and (estimated serialized) bytes crossed the simulated network, how
+effective map-side combining was, and which join strategy the planner picked.
+These are the quantities that determine the relative performance shapes the
+paper reports (e.g. the DIABLO KMeans shuffles far more data than the
+hand-written broadcast version).
 """
 
 from __future__ import annotations
@@ -20,6 +22,8 @@ class Metrics:
     shuffles: int = 0
     #: Number of records written to the simulated shuffle.
     shuffled_records: int = 0
+    #: Estimated serialized bytes written to the simulated shuffle.
+    shuffled_bytes: int = 0
     #: Number of narrow (per-partition) tasks executed.
     narrow_tasks: int = 0
     #: Number of datasets materialized.
@@ -36,14 +40,71 @@ class Metrics:
     #: Times the process executor fell back to the driver (unpicklable task
     #: or a broken worker pool).
     process_fallbacks: int = 0
+    #: Tasks actually dispatched to a thread/process pool (0 under the
+    #: sequential executor and for driver fallbacks) -- executor-specific by
+    #: design, like ``process_fallbacks``.
+    parallel_tasks: int = 0
+    #: Map-side shuffle tasks executed (one per input partition per shuffle).
+    shuffle_map_tasks: int = 0
+    #: Reduce-side shuffle tasks executed (one per output bucket per shuffle).
+    shuffle_reduce_tasks: int = 0
+    #: Records entering map-side combiners (pre-aggregation input).
+    combiner_input_records: int = 0
+    #: Records leaving map-side combiners (what actually gets shuffled).
+    combiner_output_records: int = 0
     #: Per-operation shuffle counts (operation name -> count).
     shuffle_operations: dict[str, int] = field(default_factory=dict)
+    #: Chosen join strategies ("broadcast" / "shuffle" / "cartesian" -> count).
+    join_strategies: dict[str, int] = field(default_factory=dict)
+    #: Per-stage detail log: one dict per executed shuffle stage.
+    shuffle_stage_log: list[dict] = field(default_factory=list)
 
     def record_shuffle(self, operation: str, records: int) -> None:
         """Account for one shuffle stage moving ``records`` records."""
         self.shuffles += 1
         self.shuffled_records += records
         self.shuffle_operations[operation] = self.shuffle_operations.get(operation, 0) + 1
+
+    def record_shuffle_stage(
+        self,
+        operation: str,
+        records: int,
+        bytes_moved: int,
+        map_tasks: int,
+        reduce_tasks: int,
+    ) -> None:
+        """Account for one executed :class:`~repro.runtime.stage.ShuffleStage`."""
+        self.record_shuffle(operation, records)
+        self.shuffled_bytes += bytes_moved
+        self.shuffle_map_tasks += map_tasks
+        self.shuffle_reduce_tasks += reduce_tasks
+        self.shuffle_stage_log.append(
+            {
+                "operation": operation,
+                "records": records,
+                "bytes": bytes_moved,
+                "map_tasks": map_tasks,
+                "reduce_tasks": reduce_tasks,
+            }
+        )
+
+    def record_combiner(self, records_in: int, records_out: int) -> None:
+        """Account for one map-side combine pass (pre-shuffle aggregation)."""
+        self.combiner_input_records += records_in
+        self.combiner_output_records += records_out
+
+    @property
+    def combiner_hit_rate(self) -> float:
+        """Fraction of combiner input records eliminated before the shuffle
+        (0.0 when no combiner ran)."""
+        if self.combiner_input_records == 0:
+            return 0.0
+        saved = self.combiner_input_records - self.combiner_output_records
+        return saved / self.combiner_input_records
+
+    def record_join_strategy(self, strategy: str) -> None:
+        """Account for one join planned as ``strategy``."""
+        self.join_strategies[strategy] = self.join_strategies.get(strategy, 0) + 1
 
     def record_narrow(self, tasks: int, records: int) -> None:
         """Account for a narrow stage of ``tasks`` tasks over ``records`` records."""
@@ -58,6 +119,10 @@ class Metrics:
     def record_process_fallback(self) -> None:
         self.process_fallbacks += 1
 
+    def record_parallel_tasks(self, tasks: int) -> None:
+        """Account for ``tasks`` tasks dispatched to a worker pool."""
+        self.parallel_tasks += tasks
+
     def record_dataset(self) -> None:
         self.datasets_created += 1
 
@@ -68,6 +133,7 @@ class Metrics:
         """Zero every counter (benchmarks call this between runs)."""
         self.shuffles = 0
         self.shuffled_records = 0
+        self.shuffled_bytes = 0
         self.narrow_tasks = 0
         self.datasets_created = 0
         self.broadcasts = 0
@@ -75,13 +141,25 @@ class Metrics:
         self.fused_stages = 0
         self.fused_operators = 0
         self.process_fallbacks = 0
+        self.parallel_tasks = 0
+        self.shuffle_map_tasks = 0
+        self.shuffle_reduce_tasks = 0
+        self.combiner_input_records = 0
+        self.combiner_output_records = 0
         self.shuffle_operations = {}
+        self.join_strategies = {}
+        self.shuffle_stage_log = []
 
     def snapshot(self) -> dict[str, int]:
-        """A plain-dict copy of the counters (handy for reporting)."""
+        """A plain-dict copy of the counters (handy for reporting).
+
+        ``process_fallbacks`` and ``parallel_tasks`` depend on the executor
+        mode; every other counter is a function of the plan and the data.
+        """
         return {
             "shuffles": self.shuffles,
             "shuffled_records": self.shuffled_records,
+            "shuffled_bytes": self.shuffled_bytes,
             "narrow_tasks": self.narrow_tasks,
             "datasets_created": self.datasets_created,
             "broadcasts": self.broadcasts,
@@ -89,4 +167,11 @@ class Metrics:
             "fused_stages": self.fused_stages,
             "fused_operators": self.fused_operators,
             "process_fallbacks": self.process_fallbacks,
+            "parallel_tasks": self.parallel_tasks,
+            "shuffle_map_tasks": self.shuffle_map_tasks,
+            "shuffle_reduce_tasks": self.shuffle_reduce_tasks,
+            "combiner_input_records": self.combiner_input_records,
+            "combiner_output_records": self.combiner_output_records,
+            "broadcast_joins": self.join_strategies.get("broadcast", 0),
+            "shuffle_joins": self.join_strategies.get("shuffle", 0),
         }

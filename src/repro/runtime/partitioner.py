@@ -1,8 +1,54 @@
-"""Partitioners: how keys are mapped to partitions during a shuffle."""
+"""Partitioners: how keys are mapped to partitions during a shuffle.
+
+Partitioners are shipped inside shuffle task descriptors to worker processes
+(see :mod:`repro.runtime.stage`), so :func:`stable_hash` must produce the same
+value for the same key in *every* process.  Python's built-in ``hash`` is
+randomized per interpreter run for ``str``/``bytes`` (PYTHONHASHSEED); using it
+for bucketing would send the same key to different partitions depending on
+which worker hashed it, silently corrupting group-bys and joins.
+"""
 
 from __future__ import annotations
 
-from typing import Any, Sequence
+import bisect
+import zlib
+from typing import Any, Iterable, Sequence
+
+
+def stable_hash(key: Any) -> int:
+    """A process-stable hash for shuffle bucketing.
+
+    ``str``/``bytes`` (and containers holding them) are hashed with CRC32 so
+    every executor process agrees on placement; numeric types keep the
+    built-in ``hash`` so keys that compare equal across types (``1 == 1.0``)
+    land in the same partition.
+    """
+    if isinstance(key, str):
+        return zlib.crc32(key.encode("utf-8", "surrogatepass"))
+    if isinstance(key, bytes):
+        return zlib.crc32(key)
+    if isinstance(key, tuple):
+        # The classic polynomial combiner, over stable element hashes.
+        result = 0x345678
+        for element in key:
+            result = (result * 1000003 ^ stable_hash(element)) & 0xFFFFFFFF
+        return result ^ len(key)
+    if isinstance(key, frozenset):
+        # Order-independent combination, like the built-in frozenset hash.
+        result = len(key)
+        for element in key:
+            result ^= stable_hash(element)
+        return result
+    if key is None:
+        # hash(None) is id-based before Python 3.12, hence process-unstable.
+        return 0x9E3779B9
+    # ints, floats, bools: numeric hashing is deterministic AND consistent
+    # across equal values of different types (hash(1) == hash(1.0)), which a
+    # repr-based fallback could not preserve.  CAVEAT: a user type whose
+    # custom __hash__ folds in str fields (e.g. a frozen dataclass with a
+    # string attribute) inherits the per-process randomization; such keys
+    # must be converted to tuples/strings before shuffling by key.
+    return hash(key)
 
 
 class Partitioner:
@@ -24,19 +70,23 @@ class Partitioner:
 
 
 class HashPartitioner(Partitioner):
-    """Spark's default: ``hash(key) mod num_partitions``.
+    """Spark's default: ``stable_hash(key) mod num_partitions``.
 
-    Python's built-in ``hash`` is randomized for strings between interpreter
-    runs; that is fine here because partition placement never affects results,
-    only which partition processes a record.
+    Uses :func:`stable_hash` (not the built-in ``hash``) so map-side bucketing
+    can run inside worker processes: every process places a given key in the
+    same partition regardless of its hash randomization seed.
     """
 
     def partition(self, key: Any) -> int:
-        return hash(key) % self.num_partitions
+        return stable_hash(key) % self.num_partitions
 
 
 class RangePartitioner(Partitioner):
-    """Partitions ordered keys into contiguous ranges given split points."""
+    """Partitions ordered keys into contiguous ranges given split points.
+
+    ``bounds`` must be sorted ascending; key ``k`` goes to the first partition
+    ``i`` with ``k <= bounds[i]``, or to the last partition.
+    """
 
     def __init__(self, num_partitions: int, bounds: Sequence[Any]):
         super().__init__(num_partitions)
@@ -44,11 +94,20 @@ class RangePartitioner(Partitioner):
         if len(self.bounds) != num_partitions - 1:
             raise ValueError("expected num_partitions - 1 bounds")
 
+    @classmethod
+    def from_sample(cls, num_partitions: int, sample: Iterable[Any]) -> "RangePartitioner":
+        """Build a partitioner from a sample of keys, using evenly spaced
+        quantiles of the sorted sample as split points (Spark's sortByKey
+        strategy).  The sample must be non-empty when ``num_partitions > 1``."""
+        ordered = sorted(sample)
+        if num_partitions > 1 and not ordered:
+            raise ValueError("cannot derive range bounds from an empty sample")
+        bounds = [ordered[(index * len(ordered)) // num_partitions] for index in range(1, num_partitions)]
+        return cls(num_partitions, bounds)
+
     def partition(self, key: Any) -> int:
-        for index, bound in enumerate(self.bounds):
-            if key <= bound:
-                return index
-        return self.num_partitions - 1
+        index = bisect.bisect_left(self.bounds, key)
+        return min(index, self.num_partitions - 1)
 
     def __eq__(self, other: object) -> bool:
         return (

@@ -1,4 +1,4 @@
-"""Fused narrow-stage descriptors for the lazy Dataset engine.
+"""Fused narrow-stage and shuffle-stage descriptors for the lazy Dataset engine.
 
 A narrow operation (``map``, ``flat_map``, ``filter``, ``map_values``,
 ``map_partitions``) does not move records between partitions, so any chain of
@@ -13,12 +13,23 @@ the ``"processes"`` executor: it is picklable whenever every stage function is
 (module-level functions, ``functools.partial`` over module-level functions).
 :func:`run_fused_chunk` is the module-level worker entry point, so the process
 pool never has to pickle a closure of the driver's state.
+
+Wide operations are plan nodes too: a :class:`ShuffleStage` describes one
+shuffle as (per-input map-side narrow chain + optional map-side combiner +
+partitioner bucketing) plus a reduce-side stage chain that processes each
+merged bucket.  Both sides are expressed as ``NarrowStage`` chains built from
+the module-level worker functions below (:func:`shuffle_write`,
+:func:`reduce_bucket`, :func:`group_bucket`, :func:`join_bucket`, ...), so the
+existing ``run_tasks`` dispatch -- thread pool, process pool with pickle
+fallback -- executes the hot map and reduce sides of every wide operator.
+:meth:`DistributedContext.run_shuffle` is the interpreter for these nodes.
 """
 
 from __future__ import annotations
 
 import pickle
 import random
+import sys
 from typing import Any, Callable, Iterable, NamedTuple
 
 #: Stage kinds understood by :func:`apply_stage`.
@@ -114,3 +125,309 @@ def sample_partition(fraction: float, seed: int, records: list[Any], index: int)
     """
     generator = random.Random(seed * 2_654_435_761 + index)
     return [record for record in records if generator.random() < fraction]
+
+
+# ---------------------------------------------------------------------------
+# Shuffle plan nodes
+# ---------------------------------------------------------------------------
+
+
+class ShuffleInput(NamedTuple):
+    """One input of a :class:`ShuffleStage`.
+
+    Attributes:
+        source: the upstream :class:`~repro.runtime.dataset.Dataset` whose
+            partitions feed the map side (forced when the shuffle runs).
+        stages: the map-side narrow chain fused into the shuffle (the pending
+            operators captured from a lazy dataset, plus any keying stages the
+            wide operator injects).
+        combiner: map-side pre-aggregation applied before bucketing --
+            ``None``, ``("reduce", fn)`` or ``("seq", zero, seq_op)``.
+        captured_operators: how many *user* narrow operators were folded into
+            ``stages`` (drives the fused-stage metrics).
+    """
+
+    source: Any
+    stages: tuple[NarrowStage, ...] = ()
+    combiner: tuple[Any, ...] | None = None
+    captured_operators: int = 0
+
+
+class ShuffleStage(NamedTuple):
+    """A wide operator as a first-class plan node.
+
+    Executed by :meth:`DistributedContext.run_shuffle`: every input runs its
+    map side (narrow chain + combiner + partitioner bucketing) as one
+    ``run_tasks`` pass, the driver transposes the resulting buckets into
+    reduce-side partitions, and ``reduce_stages`` runs over those buckets in a
+    second ``run_tasks`` pass.
+
+    Attributes:
+        operation: metric/explain name (``"reduceByKey"``, ``"join"``, ...).
+        inputs: one entry for single-input shuffles, two for coGroup/joins
+            (records are then tagged with their input index on the map side).
+        num_output_partitions: reduce-side partition count.
+        reduce_stages: stage chain applied to each merged bucket (empty for
+            pure repartitioning -- the buckets *are* the result).
+        partitioner: bucketing partitioner; ``None`` selects the round-robin
+            writer used by ``repartition``.
+        result_partitioner: partitioner metadata of the output dataset.
+        key_function: custom bucketing key (``sortBy`` range-partitions on the
+            sort key); defaults to the pair key (tag-aware for two inputs).
+        join_type: ``"inner"``/``"left"``/``"right"``/``"full"`` for joins.
+        strategy: ``"shuffle"``, ``"auto"`` (pick broadcast hash join when a
+            side is small enough) or ``"broadcast"`` (force it).
+        reverse_output: reverse the output partition order (descending sorts).
+    """
+
+    operation: str
+    inputs: tuple[ShuffleInput, ...]
+    num_output_partitions: int
+    reduce_stages: tuple[NarrowStage, ...]
+    partitioner: Any = None
+    result_partitioner: Any = None
+    key_function: Callable[[Any], Any] | None = None
+    join_type: str | None = None
+    strategy: str = "shuffle"
+    reverse_output: bool = False
+
+
+class ShuffleWriteStats(NamedTuple):
+    """Per-map-task shuffle-write accounting, returned as the first element of
+    every map-side output (ahead of the buckets)."""
+
+    records_in: int
+    records_out: int
+    bytes_out: int
+
+
+def pair_key(record: Any) -> Any:
+    """Bucketing key of an untagged key-value record."""
+    return record[0]
+
+
+def tagged_key(record: Any) -> Any:
+    """Bucketing key of a ``(side, (key, value))`` record."""
+    return record[1][0]
+
+
+def tag_record(side: int, record: Any) -> tuple[int, Any]:
+    """Tag a record with its input index (map side of two-input shuffles)."""
+    return (side, record)
+
+
+def apply_combiner(combiner: tuple[Any, ...], records: list[Any]) -> list[Any]:
+    """Run a map-side combiner spec over one partition's key-value records."""
+    kind = combiner[0]
+    accumulator: dict[Any, Any] = {}
+    if kind == "reduce":
+        function = combiner[1]
+        for key, value in records:
+            if key in accumulator:
+                accumulator[key] = function(accumulator[key], value)
+            else:
+                accumulator[key] = value
+    elif kind == "seq":
+        _, zero, seq_op = combiner
+        for key, value in records:
+            accumulator[key] = seq_op(accumulator.get(key, zero), value)
+    else:  # pragma: no cover - guarded by the Dataset constructors
+        raise ValueError(f"unknown combiner kind {kind!r}")
+    return list(accumulator.items())
+
+
+def estimate_bytes(value: Any) -> int:
+    """Approximate serialized size of a value (the 'network' bytes)."""
+    try:
+        return len(pickle.dumps(value, protocol=pickle.HIGHEST_PROTOCOL))
+    except Exception:
+        if isinstance(value, list):
+            return sum(sys.getsizeof(element) for element in value)
+        return sys.getsizeof(value)
+
+
+#: Records sampled per map task when extrapolating shuffle-write bytes.
+BYTES_SAMPLE_SIZE = 64
+
+
+def estimate_shuffle_bytes(buckets: list[list[Any]]) -> int:
+    """Extrapolated serialized size of one map task's shuffle output.
+
+    Pickling everything just for a metric would double serialization cost on
+    the hot path (and run even under the sequential executor), so only the
+    first :data:`BYTES_SAMPLE_SIZE` records are measured and scaled by the
+    record count.  The sample is a deterministic function of the bucket
+    contents, keeping the metric identical across executor modes.
+    """
+    total = sum(len(bucket) for bucket in buckets)
+    if total == 0:
+        return 0
+    sample: list[Any] = []
+    for bucket in buckets:
+        if len(sample) >= BYTES_SAMPLE_SIZE:
+            break
+        sample.extend(bucket[: BYTES_SAMPLE_SIZE - len(sample)])
+    return (estimate_bytes(sample) * total) // len(sample)
+
+
+def shuffle_write(
+    partitioner: Any,
+    combiner: tuple[Any, ...] | None,
+    key_of: Callable[[Any], Any],
+    records: list[Any],
+) -> list[Any]:
+    """Map-side shuffle writer: combine (optionally), bucket by key.
+
+    Returns ``[stats, bucket_0, ..., bucket_{n-1}]``; the driver pops the
+    stats and transposes the buckets into reduce-side partitions.  Runs inside
+    executor tasks, so the partitioner must hash process-stably (see
+    :func:`repro.runtime.partitioner.stable_hash`).
+    """
+    records_in = len(records)
+    if combiner is not None:
+        records = apply_combiner(combiner, records)
+    buckets: list[list[Any]] = [[] for _ in range(partitioner.num_partitions)]
+    for record in records:
+        buckets[partitioner.partition(key_of(record))].append(record)
+    stats = ShuffleWriteStats(records_in, len(records), estimate_shuffle_bytes(buckets))
+    return [stats, *buckets]
+
+
+def repartition_write(num_output: int, records: list[Any], index: int) -> list[Any]:
+    """Round-robin shuffle writer for ``repartition`` (keys not required).
+
+    The start offset rotates with the map partition index so small partitions
+    do not all pile into bucket 0; placement stays deterministic under every
+    executor because it depends only on ``(index, position)``.
+    """
+    buckets: list[list[Any]] = [[] for _ in range(num_output)]
+    for position, record in enumerate(records):
+        buckets[(index + position) % num_output].append(record)
+    stats = ShuffleWriteStats(len(records), len(records), estimate_shuffle_bytes(buckets))
+    return [stats, *buckets]
+
+
+# -- reduce-side bucket processors ------------------------------------------------
+
+
+def reduce_bucket(function: Callable[[Any, Any], Any], records: list[Any]) -> list[Any]:
+    """Merge key-value records with ``function`` (reduceByKey reduce side)."""
+    accumulator: dict[Any, Any] = {}
+    for key, value in records:
+        if key in accumulator:
+            accumulator[key] = function(accumulator[key], value)
+        else:
+            accumulator[key] = value
+    return list(accumulator.items())
+
+
+def group_bucket(records: list[Any]) -> list[Any]:
+    """Group key-value records into ``(key, [values])`` (groupByKey reduce side)."""
+    groups: dict[Any, list[Any]] = {}
+    for key, value in records:
+        groups.setdefault(key, []).append(value)
+    return list(groups.items())
+
+
+def split_tagged(records: list[Any]) -> tuple[dict[Any, list[Any]], dict[Any, list[Any]]]:
+    """Split tagged ``(side, (key, value))`` records into per-side group dicts.
+
+    Plain dicts (insertion-ordered) rather than sets keep the output order
+    independent of per-process hash randomization.
+    """
+    left: dict[Any, list[Any]] = {}
+    right: dict[Any, list[Any]] = {}
+    for side, (key, value) in records:
+        target = left if side == 0 else right
+        target.setdefault(key, []).append(value)
+    return left, right
+
+
+def cogroup_bucket(records: list[Any]) -> list[Any]:
+    """coGroup reduce side: ``(key, ([left values], [right values]))``."""
+    left, right = split_tagged(records)
+    merged: list[Any] = []
+    for key, left_values in left.items():
+        merged.append((key, (left_values, right.get(key, []))))
+    for key, right_values in right.items():
+        if key not in left:
+            merged.append((key, ([], right_values)))
+    return merged
+
+
+def join_bucket(how: str, records: list[Any]) -> list[Any]:
+    """Join reduce side: cogroup one bucket and expand per the join type."""
+    left, right = split_tagged(records)
+    out: list[Any] = []
+    if how == "inner":
+        for key, left_values in left.items():
+            right_values = right.get(key)
+            if right_values:
+                out.extend(
+                    (key, (a, b)) for a in left_values for b in right_values
+                )
+    elif how == "left":
+        for key, left_values in left.items():
+            right_values = right.get(key) or [None]
+            out.extend((key, (a, b)) for a in left_values for b in right_values)
+    elif how == "right":
+        for key, right_values in right.items():
+            left_values = left.get(key) or [None]
+            out.extend((key, (a, b)) for a in left_values for b in right_values)
+    elif how == "full":
+        for key, left_values in left.items():
+            right_values = right.get(key) or [None]
+            out.extend((key, (a, b)) for a in left_values for b in right_values)
+        for key, right_values in right.items():
+            if key not in left:
+                out.extend((key, (None, b)) for b in right_values)
+    else:  # pragma: no cover - guarded by the Dataset join constructors
+        raise ValueError(f"unknown join type {how!r}")
+    return out
+
+
+def broadcast_join_partition(
+    how: str, broadcast_side: str, lookup: dict[Any, list[Any]], records: list[Any]
+) -> list[Any]:
+    """Probe-side task of a broadcast hash join.
+
+    ``lookup`` holds the broadcast (build) side; ``records`` are the probe
+    side's key-value records.  A ``functools.partial`` over this function
+    ships the lookup table to worker processes like a real broadcast variable.
+    """
+    out: list[Any] = []
+    if broadcast_side == "right":
+        for key, value in records:
+            matches = lookup.get(key)
+            if matches:
+                out.extend((key, (value, match)) for match in matches)
+            elif how == "left":
+                out.append((key, (value, None)))
+    else:
+        for key, value in records:
+            matches = lookup.get(key)
+            if matches:
+                out.extend((key, (match, value)) for match in matches)
+            elif how == "right":
+                out.append((key, (None, value)))
+    return out
+
+
+def sort_bucket(key_function: Callable[[Any], Any], ascending: bool, records: list[Any]) -> list[Any]:
+    """sortBy reduce side: stable sort of one range-partitioned bucket."""
+    return sorted(records, key=key_function, reverse=not ascending)
+
+
+def pair_with_none(record: Any) -> tuple[Any, None]:
+    """Key a record by itself (map side of ``distinct``)."""
+    return (record, None)
+
+
+def keep_first(value: Any, _other: Any) -> Any:
+    """Combiner for ``distinct``: any duplicate is as good as the first."""
+    return value
+
+
+def take_key(pair: Any) -> Any:
+    """Strip the ``None`` payload after a ``distinct`` reduce."""
+    return pair[0]

@@ -18,7 +18,7 @@ algebra compiler (:mod:`repro.algebra`) turns into executable dataflow plans.
 from __future__ import annotations
 
 import time
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Callable
 
 from repro.analysis.restrictions import RestrictionChecker

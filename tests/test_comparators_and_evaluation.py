@@ -1,6 +1,5 @@
 """Tests for the MOLD/Casper comparator simulators and the experiment harness."""
 
-import pytest
 
 from repro.comparators.casper import CasperTranslator
 from repro.comparators.mold import MoldTranslator

@@ -163,9 +163,281 @@ class TestFusion:
                 ds = ctx.parallelize([(i % 5, i) for i in range(100)])
                 ds.map_values(lambda v: v + 1).reduce_by_key(lambda a, b: a + b).collect()
                 snapshot = ctx.metrics.snapshot()
-                snapshot.pop("process_fallbacks")  # executor-specific by design
+                # Executor-specific by design: where the tasks ran, not what
+                # the plan moved.
+                snapshot.pop("process_fallbacks")
+                snapshot.pop("parallel_tasks")
                 snapshots[mode] = snapshot
         assert snapshots["sequential"] == snapshots["threads"] == snapshots["processes"]
+
+
+# ---------------------------------------------------------------------------
+# Wide operators: every executor mode vs. a plain-Python oracle
+# ---------------------------------------------------------------------------
+
+# Module-level functions so the stage chains pickle and the "processes"
+# executor genuinely ships the map and reduce sides to worker processes.
+
+
+def _add(a, b):
+    return a + b
+
+
+def _key_value(i):
+    # String keys on purpose: worker processes have different hash seeds, so
+    # this exercises the process-stable partitioner hashing.
+    return (f"k{i % 7}", i)
+
+
+def _pair_sum(a, b):
+    return (a[0] + b[0], a[1] + b[1])
+
+
+def _seq_count_sum(acc, value):
+    return (acc[0] + 1, acc[1] + value)
+
+
+def _identity(x):
+    return x
+
+
+#: Left/right key-value inputs shared by the join/co_group oracle tests;
+#: overlapping, disjoint and duplicated keys included.
+_LEFT_PAIRS = [(f"k{i % 5}", i) for i in range(40)]
+_RIGHT_PAIRS = [(f"k{i % 8}", i * 10) for i in range(24)]
+
+
+def _wide_pipelines(ctx):
+    """Every wide operator, as (name, thunk) pairs over fresh datasets."""
+    records = [i - 30 for i in range(120)]
+    pairs = [_key_value(i) for i in range(150)]
+    left = ctx.parallelize(_LEFT_PAIRS)
+    right = ctx.parallelize(_RIGHT_PAIRS)
+    return [
+        ("group_by_key", lambda: sorted(
+            (k, sorted(vs)) for k, vs in ctx.parallelize(pairs).group_by_key().collect()
+        )),
+        ("reduce_by_key", lambda: sorted(
+            ctx.parallelize(pairs).reduce_by_key(_add).collect()
+        )),
+        ("aggregate_by_key", lambda: sorted(
+            ctx.parallelize(pairs).aggregate_by_key((0, 0), _seq_count_sum, _pair_sum).collect()
+        )),
+        ("distinct", lambda: sorted(
+            ctx.parallelize([i % 9 for i in range(90)]).distinct().collect()
+        )),
+        ("sort_by", lambda: ctx.parallelize(records).sort_by(_identity).collect()),
+        ("sort_by_desc", lambda: ctx.parallelize(records).sort_by(_identity, ascending=False).collect()),
+        ("repartition", lambda: sorted(ctx.parallelize(records).repartition(3).collect())),
+        ("co_group", lambda: sorted(
+            (k, (sorted(ls), sorted(rs))) for k, (ls, rs) in left.co_group(right).collect()
+        )),
+        ("join", lambda: sorted(left.join(right, strategy="shuffle").collect())),
+        ("join_broadcast", lambda: sorted(left.join(right, strategy="broadcast").collect())),
+        ("left_outer_join", lambda: sorted(left.left_outer_join(right).collect())),
+        ("right_outer_join", lambda: sorted(left.right_outer_join(right).collect())),
+        ("full_outer_join", lambda: sorted(left.full_outer_join(right).collect())),
+    ]
+
+
+def _oracle_results():
+    """Plain-Python reference results for :func:`_wide_pipelines`."""
+    records = [i - 30 for i in range(120)]
+    pairs = [_key_value(i) for i in range(150)]
+    groups: dict = {}
+    for k, v in pairs:
+        groups.setdefault(k, []).append(v)
+    left_groups: dict = {}
+    for k, v in _LEFT_PAIRS:
+        left_groups.setdefault(k, []).append(v)
+    right_groups: dict = {}
+    for k, v in _RIGHT_PAIRS:
+        right_groups.setdefault(k, []).append(v)
+    all_keys = set(left_groups) | set(right_groups)
+    inner = sorted(
+        (k, (a, b)) for k in all_keys for a in left_groups.get(k, []) for b in right_groups.get(k, [])
+    )
+    left_outer = sorted(
+        (k, (a, b))
+        for k in left_groups
+        for a in left_groups[k]
+        for b in (right_groups.get(k) or [None])
+    )
+    right_outer = sorted(
+        (k, (a, b))
+        for k in right_groups
+        for b in right_groups[k]
+        for a in (left_groups.get(k) or [None])
+    )
+    # Full outer = every left row (None-filled when unmatched) plus the
+    # unmatched right rows.
+    full_outer = sorted(
+        left_outer
+        + [(k, (None, b)) for k in right_groups if k not in left_groups for b in right_groups[k]]
+    )
+    return {
+        "group_by_key": sorted((k, sorted(vs)) for k, vs in groups.items()),
+        "reduce_by_key": sorted((k, sum(vs)) for k, vs in groups.items()),
+        "aggregate_by_key": sorted((k, (len(vs), sum(vs))) for k, vs in groups.items()),
+        "distinct": sorted(set(i % 9 for i in range(90))),
+        "sort_by": sorted(records),
+        "sort_by_desc": sorted(records, reverse=True),
+        "repartition": sorted(records),
+        "co_group": sorted(
+            (k, (sorted(left_groups.get(k, [])), sorted(right_groups.get(k, []))))
+            for k in all_keys
+        ),
+        "join": inner,
+        "join_broadcast": inner,
+        "left_outer_join": left_outer,
+        "right_outer_join": right_outer,
+        "full_outer_join": full_outer,
+    }
+
+
+class TestWideOperatorEquivalence:
+    @pytest.mark.parametrize("mode", EXECUTOR_MODES)
+    def test_wide_operators_match_oracle_under_every_executor(self, mode):
+        oracle = _oracle_results()
+        with DistributedContext(num_partitions=4, executor=mode) as ctx:
+            for name, thunk in _wide_pipelines(ctx):
+                assert thunk() == oracle[name], f"{name} diverged under {mode!r}"
+
+    def test_wide_operator_metrics_identical_across_executors(self):
+        """Shuffle structure (stages, records, bytes, combiner effectiveness)
+        is a function of the plan and the data, not of the executor."""
+        snapshots = {}
+        for mode in EXECUTOR_MODES:
+            with DistributedContext(num_partitions=4, executor=mode) as ctx:
+                for _name, thunk in _wide_pipelines(ctx):
+                    thunk()
+                snapshot = ctx.metrics.snapshot()
+                snapshot.pop("process_fallbacks")
+                snapshot.pop("parallel_tasks")
+                snapshots[mode] = snapshot
+        assert snapshots["sequential"] == snapshots["threads"] == snapshots["processes"]
+
+    def test_sort_by_key_output_keeps_a_range_partitioner(self):
+        from repro.runtime.partitioner import RangePartitioner
+
+        with DistributedContext(num_partitions=4) as ctx:
+            pairs = [(i % 50, i) for i in range(200)]
+            ordered = ctx.parallelize(pairs).sort_by_key()
+            ordered.materialize()
+            assert isinstance(ordered.partitioner, RangePartitioner)
+            # Every partition holds one contiguous key range.
+            previous_max = None
+            for partition in ordered.partitions:
+                if not partition:
+                    continue
+                if previous_max is not None:
+                    assert partition[0][0] >= previous_max
+                previous_max = partition[-1][0]
+            # The partitioner is *usable*: a follow-up keyed shuffle honors it.
+            regrouped = ordered.reduce_by_key(_add)
+            assert len(regrouped.collect()) == 50
+
+    def test_sort_by_arbitrary_key_drops_the_partitioner(self):
+        # A RangePartitioner over key_function(record) values must NOT be
+        # advertised as a record[0] partitioner: downstream keyed shuffles
+        # would bucket with the wrong key type.
+        with DistributedContext(num_partitions=4) as ctx:
+            pairs = [(f"k{i}", i % 13) for i in range(60)]
+            by_value = ctx.parallelize(pairs).sort_by(lambda pair: pair[1])
+            assert by_value.partitioner is None
+            # The regression: this used to crash comparing str keys against
+            # the int range bounds inherited from the sort.
+            regrouped = by_value.reduce_by_key(_add)
+            assert len(regrouped.collect()) == 60
+
+    def test_repartition_is_lazy_and_counted_as_a_shuffle(self):
+        with DistributedContext(num_partitions=4) as ctx:
+            ds = ctx.parallelize(range(40)).map(_identity).repartition(6)
+            assert not ds.is_materialized
+            assert ctx.metrics.shuffles == 0
+            assert ds.num_partitions == 6
+            assert sorted(ds.collect()) == list(range(40))
+            assert ctx.metrics.shuffle_operations.get("repartition") == 1
+
+
+# ---------------------------------------------------------------------------
+# Join strategy selection
+# ---------------------------------------------------------------------------
+
+
+class TestJoinStrategySelection:
+    def _sides(self, ctx, right_size):
+        left = ctx.parallelize([(i % 10, i) for i in range(100)])
+        right = ctx.parallelize([(k, k * 100) for k in range(right_size)])
+        return left, right
+
+    def test_small_side_at_threshold_is_broadcast(self):
+        with DistributedContext(num_partitions=4, broadcast_join_threshold=8) as ctx:
+            left, right = self._sides(ctx, 8)  # exactly at the threshold
+            result = sorted(left.join(right).collect())
+            assert ctx.metrics.join_strategies == {"broadcast": 1}
+            assert ctx.metrics.shuffle_operations.get("join") is None
+            assert result == sorted(
+                (i % 10, (i, (i % 10) * 100)) for i in range(100) if i % 10 < 8
+            )
+
+    def test_side_above_threshold_shuffles(self):
+        with DistributedContext(num_partitions=4, broadcast_join_threshold=8) as ctx:
+            left, right = self._sides(ctx, 9)  # one past the threshold
+            left.join(right).materialize()
+            assert ctx.metrics.join_strategies == {"shuffle": 1}
+            assert ctx.metrics.shuffle_operations.get("join") == 1
+
+    def test_broadcast_and_shuffle_agree_on_results(self):
+        for how in ("join", "left_outer_join", "right_outer_join"):
+            with DistributedContext(num_partitions=4) as ctx:
+                left, right = self._sides(ctx, 7)
+                broadcast = sorted(getattr(left, how)(right, strategy="broadcast").collect())
+                shuffled = sorted(getattr(left, how)(right, strategy="shuffle").collect())
+                assert broadcast == shuffled, how
+
+    def test_full_outer_join_never_broadcasts(self):
+        with DistributedContext(num_partitions=4, broadcast_join_threshold=1_000) as ctx:
+            left, right = self._sides(ctx, 4)
+            left.full_outer_join(right).materialize()
+            assert ctx.metrics.join_strategies == {"shuffle": 1}
+
+    def test_invalid_strategy_rejected(self):
+        with DistributedContext(num_partitions=4) as ctx:
+            left, right = self._sides(ctx, 4)
+            with pytest.raises(ValueError):
+                left.join(right, strategy="sideways")
+
+
+# ---------------------------------------------------------------------------
+# Executor dispatch of wide stages (the Issue 2 acceptance criterion)
+# ---------------------------------------------------------------------------
+
+
+class TestWideStageDispatch:
+    def test_groupby_join_pipeline_runs_on_the_process_pool(self):
+        """Map side and reduce side of a groupBy/join pipeline both dispatch
+        through ``run_tasks``: in "processes" mode with picklable stages the
+        executor task count is positive and nothing falls back."""
+        with DistributedContext(num_partitions=4, executor="processes") as ctx:
+            keyed = ctx.parallelize(range(200)).map(_key_value)
+            grouped = keyed.reduce_by_key(_add)
+            lookup = ctx.parallelize([(f"k{i}", i) for i in range(7)])
+            joined = grouped.join(lookup, strategy="shuffle")
+            result = sorted(joined.collect())
+            assert len(result) == 7
+            assert ctx.metrics.parallel_tasks > 0
+            assert ctx.metrics.process_fallbacks == 0
+            assert ctx.metrics.shuffle_map_tasks > 0
+            assert ctx.metrics.shuffle_reduce_tasks > 0
+
+    def test_unpicklable_wide_stage_falls_back_to_driver(self):
+        captured = {"offset": 1}
+        with DistributedContext(num_partitions=4, executor="processes") as ctx:
+            ds = ctx.parallelize([(i % 5, i) for i in range(50)])
+            result = ds.reduce_by_key(lambda a, b: a + b + captured["offset"] - 1)
+            assert len(result.collect()) == 5
+            assert ctx.metrics.process_fallbacks > 0
 
 
 # ---------------------------------------------------------------------------

@@ -245,16 +245,33 @@ class TestShuffleOperations:
     def test_reduce_by_key_counts_one_shuffle(self, ctx):
         dataset = ctx.parallelize([("a", 1)] * 100)
         ctx.metrics.reset()
-        dataset.reduce_by_key(lambda a, b: a + b)
+        dataset.reduce_by_key(lambda a, b: a + b).materialize()
         assert ctx.metrics.shuffles == 1
         # Map-side combining means at most one record per partition is shuffled.
         assert ctx.metrics.shuffled_records <= dataset.num_partitions
+        assert ctx.metrics.combiner_input_records == 100
+        assert ctx.metrics.combiner_output_records <= dataset.num_partitions
+        assert ctx.metrics.combiner_hit_rate > 0.9
 
     def test_group_by_key_shuffles_all_records(self, ctx):
         dataset = ctx.parallelize([("a", 1)] * 100)
         ctx.metrics.reset()
-        dataset.group_by_key()
+        dataset.group_by_key().materialize()
         assert ctx.metrics.shuffled_records == 100
+        assert ctx.metrics.shuffled_bytes > 0
+
+    def test_shuffles_are_lazy_plan_nodes(self, ctx):
+        dataset = ctx.parallelize([("a", 1)] * 20)
+        ctx.metrics.reset()
+        pending = dataset.map_values(lambda v: v + 1).group_by_key()
+        assert not pending.is_materialized
+        assert ctx.metrics.shuffles == 0, "building the plan must not shuffle"
+        assert "groupByKey" in repr(pending)
+        pending.materialize()
+        assert ctx.metrics.shuffles == 1
+        # The pending map_values chain was fused into the shuffle's map side.
+        assert ctx.metrics.fused_stages == 1
+        assert ctx.metrics.fused_operators == 1
 
     def test_aggregate_by_key(self, ctx):
         dataset = ctx.parallelize([("a", 1), ("a", 2), ("b", 5)])
@@ -385,5 +402,5 @@ class TestMetrics:
         assert ctx.metrics.snapshot()["narrow_tasks"] == 0
 
     def test_shuffle_operations_are_named(self, ctx):
-        ctx.parallelize([("a", 1)]).group_by_key()
+        ctx.parallelize([("a", 1)]).group_by_key().materialize()
         assert "groupByKey" in ctx.metrics.shuffle_operations
