@@ -38,18 +38,18 @@ def fused_pipeline(ctx: DistributedContext) -> dict:
 
 def main() -> None:
     print("== One fused pass for a three-operator chain ==")
-    ctx = DistributedContext(num_partitions=4)
-    base = ctx.parallelize(range(10_000)).materialize()
-    ctx.metrics.reset()
-    chain = base.map(lambda x: x + 1).filter(lambda x: x % 2 == 0).map(lambda x: x * 10)
-    print(f"datasets materialized after chaining: {ctx.metrics.datasets_created}")
-    total = chain.sum()
-    print(
-        f"after forcing: fused_stages={ctx.metrics.fused_stages}, "
-        f"fused_operators={ctx.metrics.fused_operators}, "
-        f"datasets_created={ctx.metrics.datasets_created}, sum={total}"
-    )
-    assert ctx.metrics.fused_stages == 1 and ctx.metrics.fused_operators == 3
+    with DistributedContext(num_partitions=4) as ctx:
+        base = ctx.parallelize(range(10_000)).materialize()
+        ctx.metrics.reset()
+        chain = base.map(lambda x: x + 1).filter(lambda x: x % 2 == 0).map(lambda x: x * 10)
+        print(f"datasets materialized after chaining: {ctx.metrics.datasets_created}")
+        total = chain.sum()
+        print(
+            f"after forcing: fused_stages={ctx.metrics.fused_stages}, "
+            f"fused_operators={ctx.metrics.fused_operators}, "
+            f"datasets_created={ctx.metrics.datasets_created}, sum={total}"
+        )
+        assert ctx.metrics.fused_stages == 1 and ctx.metrics.fused_operators == 3
 
     print("\n== Identical results across executor modes ==")
     results = {}

@@ -35,26 +35,28 @@ def main() -> None:
     centroids = kmeans_initial_centroids()
     inputs = {"P": points, "C": centroids, "N": len(points), "K": len(centroids)}
 
-    # Part 1: the Appendix-B loop program through DIABLO.
+    # Part 1: the Appendix-B loop program through DIABLO.  Contexts are
+    # context managers, so the worker pools never leak.
     spec = get_program("kmeans")
-    context = DistributedContext(num_partitions=4)
-    diablo = diablo_for(spec, context)
-    result = diablo.compile(spec.source).run(**inputs)
-    new_centroids = result.array("C")
+    with DistributedContext(num_partitions=4) as context, DistributedContext(
+        num_partitions=4
+    ) as baseline_context:
+        diablo = diablo_for(spec, context)
+        result = diablo.compile(spec.source).run(**inputs)
+        new_centroids = result.array("C")
 
-    baseline_context = DistributedContext(num_partitions=4)
-    baseline = handwritten.distributed(baseline_context, inputs)
-    worst = max(
-        max(abs(a - b) for a, b in zip(new_centroids[index], baseline["C"][index]))
-        for index in baseline["C"]
-    )
-    print(f"KMeans step on {POINTS} points, {len(centroids)} centroids")
-    print(f"  max centroid difference vs hand-written: {worst:.2e}")
-    print(
-        f"  shuffled records -- DIABLO: {context.metrics.shuffled_records}, "
-        f"hand-written (broadcast): {baseline_context.metrics.shuffled_records}"
-    )
-    assert worst < 1e-9
+        baseline = handwritten.distributed(baseline_context, inputs)
+        worst = max(
+            max(abs(a - b) for a, b in zip(new_centroids[index], baseline["C"][index]))
+            for index in baseline["C"]
+        )
+        print(f"KMeans step on {POINTS} points, {len(centroids)} centroids")
+        print(f"  max centroid difference vs hand-written: {worst:.2e}")
+        print(
+            f"  shuffled records -- DIABLO: {context.metrics.shuffled_records}, "
+            f"hand-written (broadcast): {baseline_context.metrics.shuffled_records}"
+        )
+        assert worst < 1e-9
 
     # Part 2: the Python frontend on a restricted Python function.  Assign each
     # point to its nearest centroid in the driver, then count cluster sizes
@@ -65,14 +67,16 @@ def main() -> None:
         )
 
     assignments = [nearest(point) for point in points]
-    frontend_diablo = Diablo(DistributedContext(num_partitions=4))
-    program = from_python_function(cluster_size_histogram)
-    compiled = frontend_diablo.compile(program)
-    counted = compiled.run(assignments=assignments, counts={}, total=0)
-    sizes = counted.array("counts")
-    print(f"  python-frontend cluster counts: {counted['total']} points in {len(sizes)} clusters")
-    assert counted["total"] == POINTS
-    assert sum(sizes.values()) == POINTS
+    with Diablo(DistributedContext(num_partitions=4)) as frontend_diablo:
+        program = from_python_function(cluster_size_histogram)
+        compiled = frontend_diablo.compile(program)
+        counted = compiled.run(assignments=assignments, counts={}, total=0)
+        sizes = counted.array("counts")
+        print(
+            f"  python-frontend cluster counts: {counted['total']} points in {len(sizes)} clusters"
+        )
+        assert counted["total"] == POINTS
+        assert sum(sizes.values()) == POINTS
 
 
 if __name__ == "__main__":

@@ -26,22 +26,22 @@ def main() -> None:
     print(f"RMAT graph: {VERTICES} vertices, {len(edges)} edges, {STEPS} PageRank steps")
 
     spec = get_program("pagerank")
-    context = DistributedContext(num_partitions=4)
-    diablo = diablo_for(spec, context)
-    translated = diablo.compile(spec.source).run(**inputs)
-    ranks = translated.array("P")
-    print(
-        f"translated program: {context.metrics.shuffles} shuffle stages, "
-        f"{context.metrics.shuffled_records} shuffled records"
-    )
+    with DistributedContext(num_partitions=4) as context:
+        diablo = diablo_for(spec, context)
+        translated = diablo.compile(spec.source).run(**inputs)
+        ranks = translated.array("P")
+        print(
+            f"translated program: {context.metrics.shuffles} shuffle stages, "
+            f"{context.metrics.shuffled_records} shuffled records"
+        )
 
-    baseline_context = DistributedContext(num_partitions=4)
-    baseline = handwritten.distributed(baseline_context, inputs)
-    worst = max(abs(ranks[v] - baseline["P"][v]) for v in baseline["P"])
-    print(
-        f"hand-written baseline: {baseline_context.metrics.shuffles} shuffle stages, "
-        f"{baseline_context.metrics.shuffled_records} shuffled records"
-    )
+    with DistributedContext(num_partitions=4) as baseline_context:
+        baseline = handwritten.distributed(baseline_context, inputs)
+        worst = max(abs(ranks[v] - baseline["P"][v]) for v in baseline["P"])
+        print(
+            f"hand-written baseline: {baseline_context.metrics.shuffles} shuffle stages, "
+            f"{baseline_context.metrics.shuffled_records} shuffled records"
+        )
     print(f"max rank difference vs baseline: {worst:.2e}")
     assert worst < 1e-9
 

@@ -36,38 +36,40 @@ for i = 0, n-1 do
 
 
 def main() -> None:
-    diablo = Diablo(DistributedContext(num_partitions=4))
+    # The facade is a context manager: worker pools shut down on exit.
+    with Diablo(DistributedContext(num_partitions=4)) as diablo:
+        # 1. A conditional aggregation over a plain collection.
+        values = random_doubles(10_000, seed=1)
+        program = diablo.compile(CONDITIONAL_SUM)
+        print("== Conditional Sum: generated target code ==")
+        print(program.explain())
+        result = program.run(V=values)
+        expected = sum(v for v in values if v < 100)
+        print(f"distributed sum = {result['sum']:.3f}, expected {expected:.3f}\n")
 
-    # 1. A conditional aggregation over a plain collection.
-    values = random_doubles(10_000, seed=1)
-    program = diablo.compile(CONDITIONAL_SUM)
-    print("== Conditional Sum: generated target code ==")
-    print(program.explain())
-    result = program.run(V=values)
-    expected = sum(v for v in values if v < 100)
-    print(f"distributed sum = {result['sum']:.3f}, expected {expected:.3f}\n")
+        # 2. A per-key aggregation (group-by + sum).
+        records = [{"K": i % 50, "A": float(i)} for i in range(5_000)]
+        grouped = diablo.run(GROUP_BY, V=records)
+        print("== Group By ==")
+        print(f"number of groups: {len(grouped.array('C'))}")
+        print(f"C[0] = {grouped.array('C')[0]}\n")
 
-    # 2. A per-key aggregation (group-by + sum).
-    records = [{"K": i % 50, "A": float(i)} for i in range(5_000)]
-    grouped = diablo.run(GROUP_BY, V=records)
-    print("== Group By ==")
-    print(f"number of groups: {len(grouped.array('C'))}")
-    print(f"C[0] = {grouped.array('C')[0]}\n")
-
-    # 3. Sparse matrix multiplication: the loop with recurrences becomes a
-    #    join + reduceByKey, exactly as in Section 1 of the paper.
-    n = 12
-    left = random_matrix(n, n, seed=2)
-    right = random_matrix(n, n, seed=3)
-    product = diablo.run(MATRIX_MULTIPLICATION, M=left, N=right, n=n)
-    sequential = diablo.interpret(MATRIX_MULTIPLICATION, {"M": left, "N": right, "n": n})
-    worst = max(
-        abs(product.array("R")[(i, j)] - sequential["R"][(i, j)]) for i in range(n) for j in range(n)
-    )
-    print("== Matrix Multiplication ==")
-    print(f"max |distributed - sequential| = {worst:.2e}")
-    assert worst < 1e-9, "translated program must agree with the interpreter"
-    print("translated program agrees with the sequential interpreter")
+        # 3. Sparse matrix multiplication: the loop with recurrences becomes a
+        #    join + reduceByKey, exactly as in Section 1 of the paper.
+        n = 12
+        left = random_matrix(n, n, seed=2)
+        right = random_matrix(n, n, seed=3)
+        product = diablo.run(MATRIX_MULTIPLICATION, M=left, N=right, n=n)
+        sequential = diablo.interpret(MATRIX_MULTIPLICATION, {"M": left, "N": right, "n": n})
+        worst = max(
+            abs(product.array("R")[(i, j)] - sequential["R"][(i, j)])
+            for i in range(n)
+            for j in range(n)
+        )
+        print("== Matrix Multiplication ==")
+        print(f"max |distributed - sequential| = {worst:.2e}")
+        assert worst < 1e-9, "translated program must agree with the interpreter"
+        print("translated program agrees with the sequential interpreter")
 
 
 if __name__ == "__main__":

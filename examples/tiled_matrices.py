@@ -18,7 +18,11 @@ TILE = 8
 
 
 def main() -> None:
-    context = DistributedContext(num_partitions=4)
+    with DistributedContext(num_partitions=4) as context:
+        _run(context)
+
+
+def _run(context: DistributedContext) -> None:
     left_entries = random_matrix(SIZE, SIZE, seed=1)
     right_entries = random_matrix(SIZE, SIZE, seed=2)
 

@@ -69,6 +69,25 @@ class ProgramResult:
             return dict(value)
         raise ExecutionError(f"variable {name!r} is not an array")
 
+    def returned(self, names: tuple[str, ...], as_tuple: bool = False) -> Any:
+        """Map the result environment back to a function's returned names.
+
+        This is how the jit API turns ``return total`` / ``return total, C``
+        into call results: scalars come back as plain Python values (the
+        environment already stores them unwrapped), arrays as Datasets, and a
+        single returned name is unwrapped out of its 1-tuple unless the
+        source spelled an explicit tuple (``as_tuple=True``).
+        """
+        missing = [name for name in names if name not in self.values]
+        if missing:
+            raise ExecutionError(
+                f"program did not produce returned variable(s): {', '.join(missing)}"
+            )
+        values = tuple(self.values[name] for name in names)
+        if not as_tuple and len(values) == 1:
+            return values[0]
+        return values
+
 
 class ProgramRunner:
     """Runs translated target programs on a :class:`DistributedContext`."""

@@ -1,0 +1,139 @@
+"""Unified configuration for the DIABLO user-facing API.
+
+Historically the knobs lived in three places: the runtime
+(``DistributedContext(num_partitions=..., executor=...,
+broadcast_join_threshold=...)``), the compiler (``DiabloCompiler(optimize=...,
+check_restrictions=...)``) and per-call-site wiring in examples and
+benchmarks.  :class:`DiabloConfig` consolidates all of them in one immutable
+dataclass, with two ways to change the active configuration:
+
+* :func:`configure` sets the process-wide defaults;
+* :func:`options` scopes an override to a ``with`` block (backed by a
+  :class:`~contextvars.ContextVar`, so concurrent threads and async tasks
+  see only their own overrides)::
+
+      with diablo.options(executor_mode="processes", num_partitions=16):
+          ranks = pagerank(E, N, 10)   # jit call under the scoped config
+
+Jit-compiled functions resolve their configuration at call time, so the same
+decorated function can serve requests under different executors without
+recompiling -- the compilation cache is keyed by the compiler-relevant
+options only.
+"""
+
+from __future__ import annotations
+
+import contextlib
+from contextvars import ContextVar
+from dataclasses import dataclass, fields, replace
+from typing import Any, Iterator
+
+from repro.runtime.context import EXECUTOR_MODES, DistributedContext
+from repro.runtime.dataset import DEFAULT_BROADCAST_JOIN_THRESHOLD
+
+
+@dataclass(frozen=True)
+class DiabloConfig:
+    """Every user-facing knob of the compiler and the runtime, in one place.
+
+    Attributes:
+        executor_mode: ``"sequential"``, ``"threads"`` or ``"processes"``
+            (see :class:`~repro.runtime.context.DistributedContext`).
+        num_partitions: default number of partitions for datasets.
+        num_threads: thread-pool size for ``executor_mode="threads"``
+            (None = one thread per partition).
+        num_processes: process-pool size for ``executor_mode="processes"``
+            (None = ``min(num_partitions, cpu count)``).
+        broadcast_join_threshold: joins whose build side is at most this many
+            records run as broadcast hash joins.
+        check_restrictions: reject programs violating Definition 3.1.
+        optimize: apply the Section 3.6 / Section 4 rewrites.
+    """
+
+    executor_mode: str = "sequential"
+    num_partitions: int = 8
+    num_threads: int | None = None
+    num_processes: int | None = None
+    broadcast_join_threshold: int = DEFAULT_BROADCAST_JOIN_THRESHOLD
+    check_restrictions: bool = True
+    optimize: bool = True
+
+    def __post_init__(self) -> None:
+        if self.executor_mode not in EXECUTOR_MODES:
+            raise ValueError(
+                f"unknown executor_mode {self.executor_mode!r}; choose from {EXECUTOR_MODES}"
+            )
+        if self.num_partitions <= 0:
+            raise ValueError("num_partitions must be positive")
+
+    def replace(self, **overrides: Any) -> "DiabloConfig":
+        """A copy with the given fields changed; unknown names raise TypeError."""
+        known = {f.name for f in fields(self)}
+        unknown = set(overrides) - known
+        if unknown:
+            raise TypeError(
+                f"unknown DiabloConfig option(s): {', '.join(sorted(unknown))} "
+                f"(known: {', '.join(sorted(known))})"
+            )
+        return replace(self, **overrides)
+
+    def make_context(self) -> DistributedContext:
+        """A fresh :class:`DistributedContext` honouring the runtime fields."""
+        return DistributedContext.from_config(self)
+
+    def runtime_key(self) -> tuple:
+        """The fields that determine runtime behaviour (context reuse key)."""
+        return (
+            self.executor_mode,
+            self.num_partitions,
+            self.num_threads,
+            self.num_processes,
+            self.broadcast_join_threshold,
+        )
+
+    def compiler_options(self) -> dict[str, bool]:
+        """The fields consumed by :class:`~repro.translate.translator.DiabloCompiler`."""
+        return {
+            "check_restrictions": self.check_restrictions,
+            "optimize": self.optimize,
+        }
+
+
+_BASE = DiabloConfig()
+_SCOPED: ContextVar[DiabloConfig | None] = ContextVar("diablo_scoped_config", default=None)
+
+
+def current_config() -> DiabloConfig:
+    """The active configuration: the innermost :func:`options` scope, else the base."""
+    scoped = _SCOPED.get()
+    return scoped if scoped is not None else _BASE
+
+
+def configure(**overrides: Any) -> DiabloConfig:
+    """Change the process-wide default configuration and return it."""
+    global _BASE
+    _BASE = _BASE.replace(**overrides)
+    return _BASE
+
+
+def reset_config() -> DiabloConfig:
+    """Restore the built-in defaults (used by tests)."""
+    global _BASE
+    _BASE = DiabloConfig()
+    return _BASE
+
+
+@contextlib.contextmanager
+def options(**overrides: Any) -> Iterator[DiabloConfig]:
+    """Scope configuration overrides to a ``with`` block.
+
+    Overrides compose: nested ``options`` blocks start from the enclosing
+    scope's configuration, and the previous configuration is restored on
+    exit even when the block raises.
+    """
+    config = current_config().replace(**overrides)
+    token = _SCOPED.set(config)
+    try:
+        yield config
+    finally:
+        _SCOPED.reset(token)

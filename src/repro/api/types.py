@@ -1,0 +1,165 @@
+"""Typed parameter annotations for jit-compiled functions.
+
+The paper's loop language declares array variables explicitly
+(``var R: matrix[double]``); plain Python functions carry the same
+information in parameter annotations.  This module defines the markers the
+:func:`repro.api.jit` decorator understands::
+
+    @diablo.jit
+    def pagerank(E: Matrix, N: int, num_steps: int):
+        ...
+
+and the conversion from an annotation to the
+:class:`~repro.translate.target.VariableInfo` that flows into translation as
+a *declared* type -- replacing kind inference for that input.  Recognized
+annotations:
+
+* ``float`` / ``int`` / ``bool`` / ``str`` -- scalar inputs;
+* ``Vector`` / ``Matrix`` / ``Map`` (optionally parameterized, e.g.
+  ``Vector[float]`` or ``Map[str, float]``) -- sparse array inputs;
+* ``Bag``, ``Dataset``, ``list``, ``tuple`` -- un-indexed collection inputs;
+* ``dict`` -- a key-value map input.
+
+Unknown annotations (e.g. ``typing`` constructs) are ignored and the
+variable's kind is inferred from its uses, exactly as before.
+
+The markers are also callable (returning an empty dict) so annotated
+declarations inside a jit function body -- ``R: Matrix = Matrix()`` -- are
+valid Python as written, even though the body is only ever parsed, never
+executed.
+"""
+
+from __future__ import annotations
+
+import inspect
+from dataclasses import dataclass
+from typing import Any
+
+from repro.loop_lang import ast as loop_ast
+from repro.loop_lang.python_frontend import COLLECTION_ANNOTATION_TYPES, FrontendError
+from repro.runtime.dataset import Dataset
+from repro.translate.target import VariableInfo
+
+_SCALAR_TYPES: dict[type, loop_ast.Type] = {
+    float: loop_ast.DOUBLE,
+    int: loop_ast.INT,
+    bool: loop_ast.BOOL,
+    str: loop_ast.STRING,
+}
+
+
+def _element_type(annotation: Any) -> loop_ast.Type:
+    if isinstance(annotation, loop_ast.Type):
+        return annotation
+    scalar = _SCALAR_TYPES.get(annotation)
+    if scalar is None:
+        raise FrontendError(
+            f"unsupported array element annotation: {annotation!r} "
+            "(use float, int, bool or str)"
+        )
+    return scalar
+
+
+@dataclass(frozen=True)
+class ArrayAnnotation:
+    """A subscriptable annotation marker for sparse-array parameters."""
+
+    constructor: str
+    parameters: tuple[loop_ast.Type, ...]
+
+    def __getitem__(self, item: Any) -> "ArrayAnnotation":
+        items = item if isinstance(item, tuple) else (item,)
+        return ArrayAnnotation(self.constructor, tuple(_element_type(i) for i in items))
+
+    def __call__(self) -> dict:
+        # Lets ``R: Matrix = Matrix()`` declarations execute as plain Python.
+        return {}
+
+    def loop_type(self) -> loop_ast.ParametricType:
+        """The loop-language type this annotation declares."""
+        return loop_ast.ParametricType(self.constructor, self.parameters)
+
+    def __repr__(self) -> str:
+        return str(self.loop_type())
+
+
+@dataclass(frozen=True)
+class BagAnnotation:
+    """Annotation marker for un-indexed collection parameters."""
+
+    element: loop_ast.Type
+
+    def __getitem__(self, item: Any) -> "BagAnnotation":
+        return BagAnnotation(_element_type(item))
+
+    def __call__(self) -> list:
+        return []
+
+    def loop_type(self) -> loop_ast.ParametricType:
+        return loop_ast.bag_of(self.element)
+
+    def __repr__(self) -> str:
+        return str(self.loop_type())
+
+
+# Default element types come from the frontend's canonical table, so a
+# parameter annotation (``M: Matrix``) and a body declaration
+# (``R: Matrix = Matrix()``) always declare the same loop type.
+
+#: A sparse vector input: a dict keyed by index, a list (indexed by position)
+#: or a Dataset of ``(index, value)`` pairs.
+Vector = ArrayAnnotation("vector", COLLECTION_ANNOTATION_TYPES["vector"].parameters)
+#: A sparse matrix input: a dict keyed by ``(i, j)`` or a Dataset of pairs.
+Matrix = ArrayAnnotation("matrix", COLLECTION_ANNOTATION_TYPES["matrix"].parameters)
+#: A key-value map input.
+Map = ArrayAnnotation("map", COLLECTION_ANNOTATION_TYPES["map"].parameters)
+#: An un-indexed input collection, traversed with ``for x in V``.
+Bag = BagAnnotation(COLLECTION_ANNOTATION_TYPES["bag"].parameters[0])
+
+#: Names resolvable inside string annotations (``from __future__ import
+#: annotations`` turns every annotation into a string).
+ANNOTATION_NAMESPACE: dict[str, Any] = {
+    "float": float,
+    "int": int,
+    "bool": bool,
+    "str": str,
+    "list": list,
+    "tuple": tuple,
+    "dict": dict,
+    "Vector": Vector,
+    "Matrix": Matrix,
+    "Map": Map,
+    "Bag": Bag,
+    "Dataset": Dataset,
+}
+
+
+def annotation_info(name: str, annotation: Any) -> VariableInfo | None:
+    """The declared :class:`VariableInfo` for a parameter annotation.
+
+    Returns None when the parameter is unannotated or the annotation is not
+    one the loop language understands (the variable's kind is then inferred
+    from its uses).
+    """
+    if annotation is inspect.Parameter.empty or annotation is None:
+        return None
+    if isinstance(annotation, str):
+        try:
+            annotation = eval(annotation, {"__builtins__": {}}, ANNOTATION_NAMESPACE)  # noqa: S307
+        except Exception:
+            return None
+    if isinstance(annotation, ArrayAnnotation):
+        return VariableInfo(name, "array", annotation.loop_type(), is_input=True)
+    if isinstance(annotation, BagAnnotation):
+        return VariableInfo(name, "collection", annotation.loop_type(), is_input=True)
+    if isinstance(annotation, type):
+        if issubclass(annotation, Dataset):
+            return VariableInfo(name, "collection", None, is_input=True)
+        scalar = _SCALAR_TYPES.get(annotation)
+        if scalar is not None:
+            return VariableInfo(name, "scalar", scalar, is_input=True)
+        if annotation in (list, tuple):
+            return VariableInfo(name, "collection", None, is_input=True)
+        if annotation is dict:
+            return VariableInfo(name, "array", Map.loop_type(), is_input=True)
+    return None

@@ -16,6 +16,7 @@ arg-min record, ``^^`` for the running average).
 
 from __future__ import annotations
 
+import itertools
 from dataclasses import dataclass
 from typing import Any, Callable
 
@@ -72,6 +73,10 @@ def builtin_monoids() -> dict[str, Monoid]:
     }
 
 
+#: Monotonic source of registry identities for compilation-cache keys.
+_REGISTRY_COUNTER = itertools.count()
+
+
 class MonoidRegistry:
     """A mutable mapping from operator symbols to :class:`Monoid` instances."""
 
@@ -79,10 +84,22 @@ class MonoidRegistry:
         self._monoids: dict[str, Monoid] = builtin_monoids()
         if extra:
             self._monoids.update(extra)
+        self._uid = next(_REGISTRY_COUNTER)
+        self._version = 0
 
     def register(self, monoid: Monoid) -> None:
         """Register (or replace) a monoid under its symbol."""
         self._monoids[monoid.symbol] = monoid
+        self._version += 1
+
+    def fingerprint(self) -> tuple[int, int]:
+        """An identity that changes whenever the registry's contents change.
+
+        Used in compilation-cache keys: registering (or replacing) a monoid
+        must invalidate translations made under the old registry state, and
+        distinct registries never share cache entries.
+        """
+        return (self._uid, self._version)
 
     def get(self, symbol: str) -> Monoid:
         """Look up the monoid for ``symbol``; raises ``KeyError`` if unknown."""

@@ -15,13 +15,16 @@ Supported Python constructs:
 * ``for x in V:``                           -> collection traversal;
 * ``while cond:`` and ``if/else``;
 * assignments ``x = e``, ``A[i] = e``, ``A[i, j] = e`` and annotated
-  declarations ``x: float = 0.0``;
+  declarations ``x: float = 0.0`` / ``R: Matrix = Matrix()``;
 * augmented assignments ``+=``, ``*=`` (incremental updates);
 * arithmetic / comparison / boolean operators, function calls, tuples,
-  attribute access and constants.
+  attribute access and constants;
+* ``return name`` / ``return a, b`` as the **final** statement of a function
+  (consumed by the :mod:`repro.api` jit layer; see :class:`FunctionSpec`).
 
-Anything else (nested functions, comprehensions, ``return`` with a value,
-``break``/``continue``) is rejected with a :class:`FrontendError`.
+Anything else (nested functions, comprehensions, a ``return`` before the
+function tail, ``break``/``continue``) is rejected with a
+:class:`FrontendError` carrying the offending source line number.
 """
 
 from __future__ import annotations
@@ -29,14 +32,30 @@ from __future__ import annotations
 import ast as python_ast
 import inspect
 import textwrap
-from typing import Callable
+from dataclasses import dataclass
+from typing import Callable, NoReturn
 
 from repro.errors import DiabloError
 from repro.loop_lang import ast as loop_ast
 
 
 class FrontendError(DiabloError):
-    """Raised when a Python function uses constructs outside the supported subset."""
+    """Raised when a Python function uses constructs outside the supported subset.
+
+    Attributes:
+        line: 1-based line number of the offending construct inside the
+            (dedented) source handed to the frontend, or None when unknown.
+    """
+
+    def __init__(self, message: str, line: int | None = None):
+        self.line = line
+        if line is not None:
+            message = f"{message} (line {line})"
+        super().__init__(message)
+
+
+def _reject(node: python_ast.AST, message: str) -> NoReturn:
+    raise FrontendError(message, line=getattr(node, "lineno", None))
 
 
 _BINOP_SYMBOLS = {
@@ -65,28 +84,130 @@ _TYPE_NAMES = {
     "str": loop_ast.STRING,
 }
 
+#: Bare collection annotations (``R: Matrix = Matrix()``); element types
+#: default to the translator's standard sparse representation.  This is the
+#: single source of truth for those defaults -- the ``Vector`` / ``Matrix`` /
+#: ``Map`` / ``Bag`` parameter-annotation markers in :mod:`repro.api.types`
+#: derive from it, so a parameter annotation and a body declaration of the
+#: same constructor always agree.
+COLLECTION_ANNOTATION_TYPES: dict[str, loop_ast.ParametricType] = {
+    "vector": loop_ast.vector_of(loop_ast.DOUBLE),
+    "matrix": loop_ast.matrix_of(loop_ast.DOUBLE),
+    "map": loop_ast.map_of(loop_ast.LONG, loop_ast.DOUBLE),
+    "dict": loop_ast.map_of(loop_ast.LONG, loop_ast.DOUBLE),
+    "bag": loop_ast.bag_of(loop_ast.DOUBLE),
+}
+
+#: Python-level spellings of the loop language's collection constructors.
+_CALL_ALIASES = {"dict": "map", "Map": "map", "Vector": "vector", "Matrix": "matrix", "Bag": "bag"}
+
+
+@dataclass(frozen=True)
+class FunctionSpec:
+    """A Python function converted to a loop program, plus its signature facts.
+
+    The jit API (:mod:`repro.api`) compiles ``program`` through the regular
+    pipeline, binds call arguments to ``parameters``, and maps the result
+    environment back to ``returns``.
+
+    Attributes:
+        name: the Python function name (``"<module>"`` for bare source).
+        parameters: parameter names in declaration order; they become free
+            (input) variables of the loop program.
+        program: the converted loop-language program (tail ``return`` removed).
+        returns: variable names returned by a tail ``return``, or None when
+            the function does not return a value.
+        returns_tuple: True when the tail return was a tuple expression
+            (``return a, b`` -- the call result is then always a tuple, even
+            for a single name).
+    """
+
+    name: str
+    parameters: tuple[str, ...]
+    program: loop_ast.Program
+    returns: tuple[str, ...] | None = None
+    returns_tuple: bool = False
+
 
 def from_python_function(function: Callable) -> loop_ast.Program:
     """Convert a Python function into a loop-language program.
 
     The function's parameters become free (input) variables of the loop
-    program; its body becomes the program statements.
+    program; its body becomes the program statements.  A tail ``return`` of
+    variable names is accepted and dropped from the program -- the returned
+    variables remain available in the result environment; use
+    :func:`parse_python_function` (or the jit API) to have them mapped back
+    to a call result.
     """
-    source = textwrap.dedent(inspect.getsource(function))
-    return from_python_source(source)
+    return parse_python_function(function).program
 
 
 def from_python_source(source: str) -> loop_ast.Program:
-    """Convert Python source text (a module or single function) into a program."""
+    """Convert Python source text (a module or single function) into a program.
+
+    Like :func:`from_python_function`, a tail ``return`` of names is accepted
+    but only recorded by :func:`parse_python_source`; the program itself ends
+    before it.
+    """
+    return parse_python_source(source).program
+
+
+def parse_python_function(function: Callable) -> FunctionSpec:
+    """Convert a Python function, keeping its signature and tail-return facts."""
+    try:
+        source = textwrap.dedent(inspect.getsource(function))
+    except (OSError, TypeError) as error:
+        raise FrontendError(f"cannot read the source of {function!r}: {error}") from error
+    return parse_python_source(source)
+
+
+def parse_python_source(source: str) -> FunctionSpec:
+    """Convert Python source text into a :class:`FunctionSpec`."""
     module = python_ast.parse(textwrap.dedent(source))
     body = module.body
+    name = "<module>"
+    parameters: tuple[str, ...] = ()
     if len(body) == 1 and isinstance(body[0], python_ast.FunctionDef):
-        statements = body[0].body
+        function = body[0]
+        name = function.name
+        if function.args.vararg or function.args.kwarg:
+            _reject(function, "*args / **kwargs parameters are not supported")
+        parameters = tuple(
+            argument.arg
+            for argument in (
+                *function.args.posonlyargs,
+                *function.args.args,
+                *function.args.kwonlyargs,
+            )
+        )
+        statements = function.body
     else:
         statements = body
+    returns: tuple[str, ...] | None = None
+    returns_tuple = False
+    if (
+        statements
+        and isinstance(statements[-1], python_ast.Return)
+        and statements[-1].value is not None
+    ):
+        returns, returns_tuple = _convert_return(statements[-1])
+        statements = statements[:-1]
     converted = [_convert_statement(stmt) for stmt in statements]
-    flattened = [s for s in converted if s is not None]
-    return loop_ast.Program(tuple(flattened))
+    flattened = tuple(s for s in converted if s is not None)
+    return FunctionSpec(name, parameters, loop_ast.Program(flattened), returns, returns_tuple)
+
+
+def _convert_return(node: python_ast.Return) -> tuple[tuple[str, ...], bool]:
+    value = node.value
+    if isinstance(value, python_ast.Name):
+        return (value.id,), False
+    if (
+        isinstance(value, python_ast.Tuple)
+        and value.elts
+        and all(isinstance(element, python_ast.Name) for element in value.elts)
+    ):
+        return tuple(element.id for element in value.elts), True
+    _reject(node, "return value must be a variable name or a tuple of variable names")
 
 
 # ---------------------------------------------------------------------------
@@ -112,9 +233,17 @@ def _convert_statement(node: python_ast.stmt) -> loop_ast.Stmt | None:
         return None
     if isinstance(node, python_ast.Pass):
         return None
-    if isinstance(node, python_ast.Return) and node.value is None:
-        return None
-    raise FrontendError(f"unsupported Python statement: {python_ast.dump(node)[:80]}")
+    if isinstance(node, python_ast.Return):
+        if node.value is None:
+            return None
+        _reject(node, "return with a value is only supported as the function's final statement")
+    if isinstance(node, python_ast.Break):
+        _reject(node, "break is not supported; loops must run to completion (Definition 3.1)")
+    if isinstance(node, python_ast.Continue):
+        _reject(node, "continue is not supported; guard the loop body with `if` instead")
+    if isinstance(node, (python_ast.FunctionDef, python_ast.AsyncFunctionDef)):
+        _reject(node, "nested function definitions are not supported")
+    _reject(node, f"unsupported Python statement: {python_ast.dump(node)[:80]}")
 
 
 def _convert_body(body: list[python_ast.stmt]) -> loop_ast.Stmt:
@@ -127,9 +256,9 @@ def _convert_body(body: list[python_ast.stmt]) -> loop_ast.Stmt:
 
 def _convert_declaration(node: python_ast.AnnAssign) -> loop_ast.Stmt:
     if not isinstance(node.target, python_ast.Name):
-        raise FrontendError("annotated declarations must target a simple name")
+        _reject(node, "annotated declarations must target a simple name")
     if node.value is None:
-        raise FrontendError("annotated declarations must have an initializer")
+        _reject(node, "annotated declarations must have an initializer")
     return loop_ast.VarDecl(
         node.target.id, _convert_annotation(node.annotation), _convert_expression(node.value)
     )
@@ -139,9 +268,10 @@ def _convert_annotation(node: python_ast.expr) -> loop_ast.Type:
     if isinstance(node, python_ast.Name):
         if node.id in _TYPE_NAMES:
             return _TYPE_NAMES[node.id]
-        if node.id == "dict":
-            return loop_ast.map_of(loop_ast.LONG, loop_ast.DOUBLE)
-        return loop_ast.BasicType(node.id.lower())
+        lowered = node.id.lower()
+        if lowered in COLLECTION_ANNOTATION_TYPES:
+            return COLLECTION_ANNOTATION_TYPES[lowered]
+        return loop_ast.BasicType(lowered)
     if isinstance(node, python_ast.Subscript) and isinstance(node.value, python_ast.Name):
         constructor = node.value.id.lower()
         inner = node.slice
@@ -154,16 +284,19 @@ def _convert_annotation(node: python_ast.expr) -> loop_ast.Type:
             constructor = "map"
         return loop_ast.ParametricType(constructor, tuple(parameters))
     if isinstance(node, python_ast.Constant) and isinstance(node.value, str):
-        return loop_ast.BasicType(node.value.lower())
-    raise FrontendError(f"unsupported type annotation: {python_ast.dump(node)[:80]}")
+        lowered = node.value.lower()
+        if lowered in COLLECTION_ANNOTATION_TYPES:
+            return COLLECTION_ANNOTATION_TYPES[lowered]
+        return loop_ast.BasicType(lowered)
+    _reject(node, f"unsupported type annotation: {python_ast.dump(node)[:80]}")
 
 
 def _convert_assignment(node: python_ast.Assign) -> loop_ast.Stmt:
     if len(node.targets) != 1:
-        raise FrontendError("chained assignments are not supported")
+        _reject(node, "chained assignments are not supported")
     destination = _convert_expression(node.targets[0])
     if not loop_ast.is_destination(destination):
-        raise FrontendError(f"invalid assignment destination: {destination}")
+        _reject(node, f"invalid assignment destination: {destination}")
     value = _convert_expression(node.value)
     # dict() / {} initializers become variable declarations for key-value maps.
     if isinstance(node.value, python_ast.Dict) and not node.value.keys:
@@ -178,18 +311,18 @@ def _convert_assignment(node: python_ast.Assign) -> loop_ast.Stmt:
 def _convert_augmented(node: python_ast.AugAssign) -> loop_ast.Stmt:
     op_type = type(node.op)
     if op_type not in _BINOP_SYMBOLS:
-        raise FrontendError(f"unsupported augmented operator: {op_type.__name__}")
+        _reject(node, f"unsupported augmented operator: {op_type.__name__}")
     destination = _convert_expression(node.target)
     if not loop_ast.is_destination(destination):
-        raise FrontendError(f"invalid update destination: {destination}")
+        _reject(node, f"invalid update destination: {destination}")
     return loop_ast.IncrementalUpdate(destination, _BINOP_SYMBOLS[op_type], _convert_expression(node.value))
 
 
 def _convert_for(node: python_ast.For) -> loop_ast.Stmt:
     if node.orelse:
-        raise FrontendError("for/else is not supported")
+        _reject(node, "for/else is not supported")
     if not isinstance(node.target, python_ast.Name):
-        raise FrontendError("for-loop targets must be simple names")
+        _reject(node, "for-loop targets must be simple names")
     variable = node.target.id
     body = _convert_body(node.body)
     iterator = node.iter
@@ -202,7 +335,7 @@ def _convert_for(node: python_ast.For) -> loop_ast.Stmt:
             elif len(arguments) >= 2:
                 lower, upper = arguments[0], arguments[1]
             else:
-                raise FrontendError("range() needs at least one argument")
+                _reject(iterator, "range() needs at least one argument")
             # Python's upper bound is exclusive, the loop language's inclusive.
             inclusive_upper = loop_ast.BinOp("-", upper, loop_ast.Const(1))
             if isinstance(upper, loop_ast.Const) and isinstance(upper.value, int):
@@ -213,7 +346,7 @@ def _convert_for(node: python_ast.For) -> loop_ast.Stmt:
 
 def _convert_while(node: python_ast.While) -> loop_ast.Stmt:
     if node.orelse:
-        raise FrontendError("while/else is not supported")
+        _reject(node, "while/else is not supported")
     return loop_ast.While(_convert_expression(node.test), _convert_body(node.body))
 
 
@@ -233,7 +366,7 @@ def _convert_if(node: python_ast.If) -> loop_ast.Stmt:
 def _convert_expression(node: python_ast.expr) -> loop_ast.Expr:
     if isinstance(node, python_ast.Constant):
         if node.value is None:
-            raise FrontendError("None has no loop-language equivalent")
+            _reject(node, "None has no loop-language equivalent")
         return loop_ast.Const(node.value)
     if isinstance(node, python_ast.Name):
         return loop_ast.Var(node.id)
@@ -250,7 +383,7 @@ def _convert_expression(node: python_ast.expr) -> loop_ast.Expr:
     if isinstance(node, python_ast.BinOp):
         op_type = type(node.op)
         if op_type not in _BINOP_SYMBOLS:
-            raise FrontendError(f"unsupported binary operator: {op_type.__name__}")
+            _reject(node, f"unsupported binary operator: {op_type.__name__}")
         return loop_ast.BinOp(
             _BINOP_SYMBOLS[op_type], _convert_expression(node.left), _convert_expression(node.right)
         )
@@ -262,7 +395,7 @@ def _convert_expression(node: python_ast.expr) -> loop_ast.Expr:
             return loop_ast.UnaryOp("-", operand)
         if isinstance(node.op, python_ast.Not):
             return loop_ast.UnaryOp("!", _convert_expression(node.operand))
-        raise FrontendError(f"unsupported unary operator: {type(node.op).__name__}")
+        _reject(node, f"unsupported unary operator: {type(node.op).__name__}")
     if isinstance(node, python_ast.BoolOp):
         symbol = "&&" if isinstance(node.op, python_ast.And) else "||"
         result = _convert_expression(node.values[0])
@@ -271,10 +404,10 @@ def _convert_expression(node: python_ast.expr) -> loop_ast.Expr:
         return result
     if isinstance(node, python_ast.Compare):
         if len(node.ops) != 1 or len(node.comparators) != 1:
-            raise FrontendError("chained comparisons are not supported")
+            _reject(node, "chained comparisons are not supported")
         op_type = type(node.ops[0])
         if op_type not in _COMPARE_SYMBOLS:
-            raise FrontendError(f"unsupported comparison: {op_type.__name__}")
+            _reject(node, f"unsupported comparison: {op_type.__name__}")
         return loop_ast.BinOp(
             _COMPARE_SYMBOLS[op_type],
             _convert_expression(node.left),
@@ -286,12 +419,18 @@ def _convert_expression(node: python_ast.expr) -> loop_ast.Expr:
         elif isinstance(node.func, python_ast.Attribute):
             name = node.func.attr
         else:
-            raise FrontendError("unsupported call target")
-        if name == "dict":
-            name = "map"
+            _reject(node, "unsupported call target")
+        name = _CALL_ALIASES.get(name, name)
         return loop_ast.Call(name, tuple(_convert_expression(a) for a in node.args))
     if isinstance(node, python_ast.Tuple):
         return loop_ast.TupleExpr(tuple(_convert_expression(e) for e in node.elts))
     if isinstance(node, python_ast.Dict) and not node.keys:
         return loop_ast.Call("map", ())
-    raise FrontendError(f"unsupported Python expression: {python_ast.dump(node)[:80]}")
+    if isinstance(
+        node,
+        (python_ast.ListComp, python_ast.SetComp, python_ast.DictComp, python_ast.GeneratorExp),
+    ):
+        _reject(node, "comprehensions are not supported; write an explicit loop instead")
+    if isinstance(node, python_ast.Lambda):
+        _reject(node, "lambda expressions are not supported")
+    _reject(node, f"unsupported Python expression: {python_ast.dump(node)[:80]}")

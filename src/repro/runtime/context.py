@@ -77,6 +77,22 @@ class DistributedContext:
         self._pool: ThreadPoolExecutor | None = None
         self._process_pool: ProcessPoolExecutor | None = None
 
+    @classmethod
+    def from_config(cls, config: Any) -> "DistributedContext":
+        """Build a context from a configuration object.
+
+        ``config`` is duck-typed (any object with the runtime fields of
+        :class:`repro.api.DiabloConfig`) so the runtime layer does not depend
+        on the api layer.
+        """
+        return cls(
+            num_partitions=config.num_partitions,
+            executor=config.executor_mode,
+            num_threads=config.num_threads,
+            num_processes=config.num_processes,
+            broadcast_join_threshold=config.broadcast_join_threshold,
+        )
+
     # -- dataset creation -------------------------------------------------------
 
     def parallelize(self, data: Iterable[Any], num_partitions: int | None = None) -> Dataset:
@@ -370,12 +386,28 @@ class DistributedContext:
             self._process_pool.shutdown(wait=False, cancel_futures=True)
             self._process_pool = None
 
-    def shutdown(self) -> None:
-        """Stop the worker pools (if any were started)."""
+    def shutdown(self, cancel_pending: bool = True) -> None:
+        """Stop the worker pools (if any were started); safe to call twice.
+
+        The context stays usable afterwards -- pools are recreated lazily on
+        the next parallel task -- so ``shutdown`` is a release of OS
+        resources, not a terminal state.  With ``cancel_pending=False``
+        pending process-pool tasks run to completion before the pool closes
+        (used when another caller may still be mid-computation on this
+        context, e.g. jit context eviction).
+        """
         if self._pool is not None:
             self._pool.shutdown(wait=True)
             self._pool = None
-        self._shutdown_process_pool()
+        if self._process_pool is not None:
+            if cancel_pending:
+                self._shutdown_process_pool()
+            else:
+                self._process_pool.shutdown(wait=True)
+                self._process_pool = None
+
+    #: Alias so contexts close like other resource-owning Python objects.
+    close = shutdown
 
     def __enter__(self) -> "DistributedContext":
         return self

@@ -1,0 +1,83 @@
+"""A keyed cache for compiler output, shared by the facade and the jit API.
+
+Translation is pure: the same source text (or program AST), the same declared
+input types and the same compiler options always produce the same target
+program, and every compiler artifact is an immutable dataclass that can be
+shared freely between callers.  That makes translation results safe to
+memoize, which is what lets iterative drivers (k-means sweeps, PageRank
+convergence loops, serving many requests for the same program) stop paying
+translation on every call.
+
+The cache is a bounded LRU map guarded by a lock so jit-compiled functions
+can be called from multiple threads.  :func:`CompilationCache.info` mirrors
+``functools.lru_cache``'s ``cache_info()`` shape; ``misses`` equals the number
+of real translations performed through the cache.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Any, Hashable
+
+
+@dataclass(frozen=True)
+class CacheInfo:
+    """A snapshot of a :class:`CompilationCache`'s counters."""
+
+    hits: int
+    misses: int
+    size: int
+    maxsize: int
+
+    def __str__(self) -> str:
+        return f"CacheInfo(hits={self.hits}, misses={self.misses}, size={self.size}/{self.maxsize})"
+
+
+class CompilationCache:
+    """A bounded, thread-safe LRU cache of translation results."""
+
+    def __init__(self, maxsize: int = 128):
+        if maxsize <= 0:
+            raise ValueError("maxsize must be positive")
+        self.maxsize = maxsize
+        self._entries: OrderedDict[Hashable, Any] = OrderedDict()
+        self._hits = 0
+        self._misses = 0
+        self._lock = threading.Lock()
+
+    def get(self, key: Hashable) -> Any | None:
+        """The cached value for ``key``, or None (counted as a miss)."""
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is None:
+                self._misses += 1
+                return None
+            self._entries.move_to_end(key)
+            self._hits += 1
+            return entry
+
+    def put(self, key: Hashable, value: Any) -> None:
+        """Store ``value`` under ``key``, evicting the least recently used entry."""
+        with self._lock:
+            self._entries[key] = value
+            self._entries.move_to_end(key)
+            while len(self._entries) > self.maxsize:
+                self._entries.popitem(last=False)
+
+    def clear(self) -> None:
+        """Drop every entry and reset the hit/miss counters."""
+        with self._lock:
+            self._entries.clear()
+            self._hits = 0
+            self._misses = 0
+
+    def info(self) -> CacheInfo:
+        """Current counters (`misses` == translations performed through the cache)."""
+        with self._lock:
+            return CacheInfo(self._hits, self._misses, len(self._entries), self.maxsize)
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)

@@ -17,9 +17,11 @@ algebra compiler (:mod:`repro.algebra`) turns into executable dataflow plans.
 
 from __future__ import annotations
 
+import inspect
+import textwrap
 import time
 from dataclasses import dataclass
-from typing import Callable
+from typing import Callable, Hashable, Mapping
 
 from repro.analysis.restrictions import RestrictionChecker
 from repro.comprehension import ir
@@ -29,6 +31,7 @@ from repro.comprehension.optimize import Optimizer, OptimizerStats
 from repro.loop_lang import ast
 from repro.loop_lang.parser import parse_program
 from repro.loop_lang.python_frontend import from_python_function
+from repro.translate.cache import CacheInfo, CompilationCache
 from repro.translate.canonicalize import canonicalize_increments
 from repro.translate.rules import TranslationRules
 from repro.translate.target import TargetAssign, TargetProgram, TargetStatement, TargetWhile, VariableInfo
@@ -62,6 +65,9 @@ class DiabloCompiler:
             Definition 3.1 are rejected with :class:`RestrictionError`.
         optimize: when False the Section 3.6 / Section 4 rewrites are skipped
             (used by the ablation benchmarks).
+        cache: the compilation cache consulted by :meth:`compile` (a private
+            one is created when omitted; the jit API passes a shared cache so
+            every decorated function draws from one pool).
     """
 
     def __init__(
@@ -71,23 +77,59 @@ class DiabloCompiler:
         optimize: bool = True,
         enable_range_elimination: bool = True,
         enable_group_by_elimination: bool = True,
+        cache: CompilationCache | None = None,
     ):
         self.monoids = monoids or DEFAULT_MONOIDS
         self.check_restrictions = check_restrictions
         self.optimize = optimize
         self.enable_range_elimination = enable_range_elimination
         self.enable_group_by_elimination = enable_group_by_elimination
+        self.cache = cache if cache is not None else CompilationCache()
 
     # -- public API -----------------------------------------------------------
 
-    def compile(self, source: str | ast.Program | Callable) -> TranslationResult:
-        """Compile loop-language source text, a program AST or a Python function."""
+    def compile(
+        self,
+        source: str | ast.Program | Callable,
+        input_types: Mapping[str, VariableInfo] | None = None,
+    ) -> TranslationResult:
+        """Compile loop-language source text, a program AST or a Python function.
+
+        Args:
+            source: the program to translate.
+            input_types: declared :class:`VariableInfo` for free (input)
+                variables -- e.g. from jit parameter annotations -- which
+                override kind inference for those names.
+        """
+        key = self._cache_key(source, input_types)
+        if key is not None:
+            cached = self.cache.get(key)
+            if cached is not None:
+                return cached
+        result = self._translate(source, input_types)
+        if key is not None:
+            self.cache.put(key, result)
+        return result
+
+    def cache_info(self) -> CacheInfo:
+        """Hit/miss counters of the compilation cache."""
+        return self.cache.info()
+
+    def cache_clear(self) -> None:
+        """Drop every cached translation."""
+        self.cache.clear()
+
+    def _translate(
+        self,
+        source: str | ast.Program | Callable,
+        input_types: Mapping[str, VariableInfo] | None = None,
+    ) -> TranslationResult:
         started = time.perf_counter()
         program = self._to_program(source)
         program = canonicalize_increments(program, self.monoids)
         if self.check_restrictions:
             RestrictionChecker(self.monoids).require(program)
-        variables = infer_variables(program)
+        variables = infer_variables(program, input_types)
         fresh = ir.NameGenerator()
         rules = TranslationRules(variables, fresh)
         statements: list[TargetStatement] = []
@@ -109,6 +151,49 @@ class DiabloCompiler:
         )
 
     # -- helpers ---------------------------------------------------------------
+
+    def _cache_key(
+        self,
+        source: str | ast.Program | Callable,
+        input_types: Mapping[str, VariableInfo] | None,
+    ) -> Hashable | None:
+        """The cache key for a compile call, or None when the call is uncacheable.
+
+        Keys combine the source (text or hashable program AST), the declared
+        input types, the compiler options and the registered monoid symbols,
+        so compilers with different configurations never share entries.
+        """
+        source_key: Hashable
+        if isinstance(source, (str, ast.Program)):
+            source_key = source
+        elif callable(source):
+            try:
+                source_key = textwrap.dedent(inspect.getsource(source))
+            except (OSError, TypeError):
+                return None
+        else:
+            return None
+        types_key: tuple = ()
+        if input_types:
+            types_key = tuple(
+                (name, info.kind, info.declared_type)
+                for name, info in sorted(input_types.items(), key=lambda item: item[0])
+            )
+        options_key = (
+            self.check_restrictions,
+            self.optimize,
+            self.enable_range_elimination,
+            self.enable_group_by_elimination,
+            # Registry identity + mutation version: replacing a monoid under
+            # an existing symbol must not serve a stale translation.
+            self.monoids.fingerprint(),
+        )
+        key = (source_key, types_key, options_key)
+        try:
+            hash(key)
+        except TypeError:
+            return None
+        return key
 
     @staticmethod
     def _to_program(source: str | ast.Program | Callable) -> ast.Program:
@@ -142,12 +227,19 @@ class DiabloCompiler:
 # ---------------------------------------------------------------------------
 
 
-def infer_variables(program: ast.Program) -> dict[str, VariableInfo]:
+def infer_variables(
+    program: ast.Program,
+    input_types: Mapping[str, VariableInfo] | None = None,
+) -> dict[str, VariableInfo]:
     """Classify every program variable as array, collection or scalar.
 
     * Variables declared with ``var v: vector[...] / matrix[...] / map[...]``
       are arrays; other declarations are scalars.
-    * Free variables (inputs) indexed with ``[...]`` anywhere are arrays;
+    * Free variables (inputs) with an entry in ``input_types`` (e.g. from jit
+      parameter annotations) use the declared kind and type instead of
+      inference; a declared scalar/collection that the program indexes is
+      still promoted to an array.
+    * Remaining free variables indexed with ``[...]`` anywhere are arrays;
       free variables traversed with ``for x in V`` are collections; all other
       free variables are scalars.
     * Loop index variables and traversal element variables are bound by their
@@ -202,9 +294,19 @@ def infer_variables(program: ast.Program) -> dict[str, VariableInfo]:
     for stmt in program.statements:
         visit(stmt)
 
+    declared_inputs = dict(input_types or {})
     variables: dict[str, VariableInfo] = dict(declared)
-    for name in sorted(referenced | indexed | traversed):
+    for name in sorted(referenced | indexed | traversed | set(declared_inputs)):
         if name in variables or name in bound:
+            continue
+        declared_info = declared_inputs.get(name)
+        if declared_info is not None:
+            kind = declared_info.kind
+            if name in indexed and kind != "array":
+                kind = "array"
+            elif name in traversed and kind == "scalar":
+                kind = "collection"
+            variables[name] = VariableInfo(name, kind, declared_info.declared_type, is_input=True)
             continue
         if name in indexed:
             kind = "array"

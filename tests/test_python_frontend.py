@@ -4,7 +4,12 @@ import pytest
 
 from repro.loop_lang import ast
 from repro.loop_lang.interpreter import interpret_program
-from repro.loop_lang.python_frontend import FrontendError, from_python_function, from_python_source
+from repro.loop_lang.python_frontend import (
+    FrontendError,
+    from_python_function,
+    from_python_source,
+    parse_python_source,
+)
 
 
 class TestConversion:
@@ -94,6 +99,86 @@ class TestRejections:
     def test_for_else_rejected(self):
         with pytest.raises(FrontendError):
             from_python_source("for x in V:\n    s += x\nelse:\n    s = 0\n")
+
+
+class TestDiagnostics:
+    """Rejected constructs carry the offending 1-based source line number."""
+
+    def _line_of(self, source: str) -> FrontendError:
+        with pytest.raises(FrontendError) as excinfo:
+            parse_python_source(source)
+        return excinfo.value
+
+    def test_break_carries_line_number(self):
+        error = self._line_of(
+            "def f(V):\n"
+            "    total: float = 0.0\n"
+            "    for v in V:\n"
+            "        if v > 10:\n"
+            "            break\n"
+        )
+        assert error.line == 5
+        assert "break" in str(error)
+        assert "line 5" in str(error)
+
+    def test_continue_carries_line_number(self):
+        error = self._line_of("def f(V):\n    for v in V:\n        continue\n")
+        assert error.line == 3
+        assert "continue" in str(error)
+
+    def test_comprehension_carries_line_number(self):
+        error = self._line_of("def f(V):\n    y = [x for x in V]\n")
+        assert error.line == 2
+        assert "comprehension" in str(error)
+
+    def test_nested_def_carries_line_number(self):
+        error = self._line_of(
+            "def f(V):\n    total: float = 0.0\n    def helper(x):\n        return x\n"
+        )
+        assert error.line == 3
+        assert "nested function" in str(error)
+
+    def test_mid_function_return_carries_line_number(self):
+        error = self._line_of(
+            "def f(x):\n    if x > 0:\n        return x\n    y = 1\n"
+        )
+        assert error.line == 3
+        assert "final statement" in str(error)
+
+    def test_return_of_expression_is_still_rejected(self):
+        error = self._line_of("def f(x):\n    y = x + 1\n    return y + 1\n")
+        assert error.line == 3
+        assert "variable name" in str(error)
+
+
+class TestFunctionSpec:
+    """Tail returns and signature facts surface through parse_python_source."""
+
+    def test_tail_return_of_a_name(self):
+        spec = parse_python_source(
+            "def f(V):\n    total: float = 0.0\n    for v in V:\n        total += v\n    return total\n"
+        )
+        assert spec.name == "f"
+        assert spec.parameters == ("V",)
+        assert spec.returns == ("total",)
+        assert spec.returns_tuple is False
+        # The return is not part of the converted program.
+        assert len(spec.program.statements) == 2
+
+    def test_tail_return_of_a_tuple(self):
+        spec = parse_python_source(
+            "def f(V):\n    a: float = 0.0\n    b: float = 0.0\n    return a, b\n"
+        )
+        assert spec.returns == ("a", "b")
+        assert spec.returns_tuple is True
+
+    def test_no_return(self):
+        spec = parse_python_source("def f(V):\n    total: float = 0.0\n")
+        assert spec.returns is None
+
+    def test_star_args_rejected(self):
+        with pytest.raises(FrontendError):
+            parse_python_source("def f(*args):\n    s: float = 0.0\n")
 
 
 class TestEndToEnd:
