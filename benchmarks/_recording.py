@@ -18,6 +18,7 @@ overwrite each other.
 from __future__ import annotations
 
 import json
+import os
 from pathlib import Path
 from typing import Any
 
@@ -25,6 +26,18 @@ RESULTS_PATH = Path(__file__).resolve().parent.parent / "BENCH_results.json"
 
 #: Entries recorded during this session.
 _RESULTS: list[dict[str, Any]] = []
+
+
+def results_path() -> Path:
+    """Where this session's results are merged.
+
+    The ``BENCH_RESULTS_PATH`` environment variable redirects the output --
+    the perf-regression gate uses it to collect a fresh run without touching
+    the committed baseline, and the nightly job uses it to upload scaled-size
+    results as an artifact.
+    """
+    override = os.environ.get("BENCH_RESULTS_PATH")
+    return Path(override) if override else RESULTS_PATH
 
 
 def record_entry(entry: dict[str, Any]) -> None:
@@ -40,7 +53,7 @@ def write_results(path: Path | None = None) -> None:
     """Merge this session's entries into the results file (no-op when empty)."""
     if not _RESULTS:
         return
-    target = path or RESULTS_PATH
+    target = path or results_path()
     merged: dict[tuple, dict[str, Any]] = {}
     if target.exists():
         try:

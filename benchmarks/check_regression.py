@@ -1,0 +1,230 @@
+#!/usr/bin/env python
+"""CI perf-regression gate: fresh benchmark walls vs. the committed baseline.
+
+Runs the smoke benchmark suite (``pytest benchmarks --benchmark-disable``)
+with ``BENCH_RESULTS_PATH`` redirected to a scratch file, then compares every
+matching (workload, size, system, method) entry's ``wall_seconds`` against
+the committed ``BENCH_results.json`` baseline.
+
+CI runners and the machines that committed the baseline differ in absolute
+speed, so the comparison is **normalized**: the median new/baseline ratio
+across all entries is taken as the machine-speed factor, and an entry fails
+only when it is more than ``--tolerance`` (default 30%) slower than the
+baseline *after* dividing out that factor.  A per-entry absolute grace
+(default 50 ms) additionally ignores micro-benchmark jitter -- entries whose
+excess over the allowance is smaller than the grace never fail.  A uniform
+machine-wide slowdown therefore passes while a *per-workload* regression
+(one workload suddenly 2x its peers) fails.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/check_regression.py              # run + compare
+    python benchmarks/check_regression.py --results fresh.json       # compare only
+    python benchmarks/check_regression.py --no-normalize ...         # raw ratios
+
+Exit status: 0 when no entry regressed, 1 when at least one did, 2 when the
+benchmark run itself failed or the inputs are unusable.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import statistics
+import subprocess
+import sys
+import tempfile
+from pathlib import Path
+from typing import Any, NamedTuple
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+DEFAULT_BASELINE = REPO_ROOT / "BENCH_results.json"
+
+#: Default relative tolerance: fail entries > 30% slower than the
+#: (normalized) baseline.
+DEFAULT_TOLERANCE = 0.30
+
+#: Default absolute grace in seconds: sub-50ms excursions are timer noise on
+#: the tiny smoke sizes, never regressions.
+DEFAULT_GRACE_SECONDS = 0.05
+
+
+class Comparison(NamedTuple):
+    """One baseline/new entry pair with its verdict."""
+
+    key: tuple
+    baseline_seconds: float
+    new_seconds: float
+    allowed_seconds: float
+    regressed: bool
+
+
+def entry_key(entry: dict[str, Any]) -> tuple:
+    return (
+        entry["workload"],
+        entry["size"],
+        entry["system"],
+        entry.get("method", ""),
+    )
+
+
+def load_entries(path: Path) -> dict[tuple, dict[str, Any]]:
+    payload = json.loads(path.read_text())
+    entries = payload.get("entries", [])
+    if not entries:
+        raise ValueError(f"{path} contains no benchmark entries")
+    return {entry_key(entry): entry for entry in entries}
+
+
+def compare(
+    baseline: dict[tuple, dict[str, Any]],
+    fresh: dict[tuple, dict[str, Any]],
+    tolerance: float = DEFAULT_TOLERANCE,
+    grace_seconds: float = DEFAULT_GRACE_SECONDS,
+    normalize: bool = True,
+) -> tuple[list[Comparison], float]:
+    """Compare matching entries; returns (comparisons, machine factor).
+
+    Only keys present on both sides are compared: the benchmark set may
+    gain or lose entries between PRs without breaking the gate.
+    """
+    shared = sorted(set(baseline) & set(fresh))
+    if not shared:
+        raise ValueError("no benchmark entries in common between baseline and fresh results")
+    ratios = []
+    for key in shared:
+        base_wall = baseline[key]["wall_seconds"]
+        new_wall = fresh[key]["wall_seconds"]
+        if base_wall > 0:
+            ratios.append(new_wall / base_wall)
+    factor = statistics.median(ratios) if (normalize and ratios) else 1.0
+    comparisons = []
+    for key in shared:
+        base_wall = baseline[key]["wall_seconds"]
+        new_wall = fresh[key]["wall_seconds"]
+        allowed = base_wall * factor * (1.0 + tolerance) + grace_seconds
+        comparisons.append(
+            Comparison(key, base_wall, new_wall, allowed, new_wall > allowed)
+        )
+    return comparisons, factor
+
+
+def format_report(comparisons: list[Comparison], factor: float) -> str:
+    lines = [
+        f"perf gate: {len(comparisons)} entries compared, "
+        f"machine-speed factor {factor:.3f} (median new/baseline ratio)"
+    ]
+    for result in sorted(comparisons, key=lambda c: c.key):
+        workload, size, system, method = result.key
+        verdict = "REGRESSED" if result.regressed else "ok"
+        lines.append(
+            f"  [{verdict:>9}] {workload}/{size}/{system}/{method}: "
+            f"{result.new_seconds:.4f}s vs baseline {result.baseline_seconds:.4f}s "
+            f"(allowed {result.allowed_seconds:.4f}s)"
+        )
+    return "\n".join(lines)
+
+
+def run_benchmarks(output: Path) -> None:
+    """Run the smoke benchmark suite, recording results into ``output``."""
+    environment = dict(os.environ)
+    environment["BENCH_RESULTS_PATH"] = str(output)
+    source_dir = str(REPO_ROOT / "src")
+    existing = environment.get("PYTHONPATH")
+    environment["PYTHONPATH"] = f"{source_dir}:{existing}" if existing else source_dir
+    command = [
+        sys.executable,
+        "-m",
+        "pytest",
+        "benchmarks",
+        "-q",
+        "-x",
+        "--benchmark-disable",
+    ]
+    completed = subprocess.run(command, cwd=REPO_ROOT, env=environment)
+    if completed.returncode != 0:
+        raise RuntimeError(f"benchmark run failed with exit code {completed.returncode}")
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--baseline",
+        type=Path,
+        default=DEFAULT_BASELINE,
+        help="committed baseline results file (default: BENCH_results.json)",
+    )
+    parser.add_argument(
+        "--results",
+        type=Path,
+        default=None,
+        help="compare an existing results file instead of running the benchmarks",
+    )
+    parser.add_argument(
+        "--output",
+        type=Path,
+        default=None,
+        help="where to write the fresh results when running (default: temp file)",
+    )
+    parser.add_argument("--tolerance", type=float, default=DEFAULT_TOLERANCE)
+    parser.add_argument("--grace-seconds", type=float, default=DEFAULT_GRACE_SECONDS)
+    parser.add_argument(
+        "--no-normalize",
+        action="store_true",
+        help="compare raw ratios without dividing out the machine-speed factor",
+    )
+    arguments = parser.parse_args(argv)
+
+    try:
+        baseline = load_entries(arguments.baseline)
+    except (OSError, ValueError, json.JSONDecodeError) as error:
+        print(f"perf gate: cannot load baseline: {error}", file=sys.stderr)
+        return 2
+
+    if arguments.results is not None:
+        results_file = arguments.results
+    else:
+        if arguments.output is not None:
+            # Resolve against the invoker's cwd *before* the benchmark
+            # subprocess runs with cwd=REPO_ROOT, so both sides agree.
+            results_file = arguments.output.resolve()
+        else:
+            descriptor, temp_name = tempfile.mkstemp(prefix="fresh-bench-", suffix=".json")
+            os.close(descriptor)
+            results_file = Path(temp_name)
+        results_file.unlink(missing_ok=True)  # conftest merges into an existing file
+        try:
+            run_benchmarks(results_file)
+        except RuntimeError as error:
+            print(f"perf gate: {error}", file=sys.stderr)
+            return 2
+
+    try:
+        fresh = load_entries(results_file)
+        comparisons, factor = compare(
+            baseline,
+            fresh,
+            tolerance=arguments.tolerance,
+            grace_seconds=arguments.grace_seconds,
+            normalize=not arguments.no_normalize,
+        )
+    except (OSError, ValueError, json.JSONDecodeError) as error:
+        print(f"perf gate: cannot compare results: {error}", file=sys.stderr)
+        return 2
+
+    print(format_report(comparisons, factor))
+    regressions = [c for c in comparisons if c.regressed]
+    if regressions:
+        print(
+            f"perf gate: {len(regressions)} workload(s) regressed beyond "
+            f"{arguments.tolerance:.0%} + {arguments.grace_seconds * 1000:.0f}ms",
+            file=sys.stderr,
+        )
+        return 1
+    print("perf gate: no regressions")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

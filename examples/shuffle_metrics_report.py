@@ -1,4 +1,4 @@
-"""Print the shuffle/combiner metrics of the wide-stage workloads.
+"""Print the shuffle/combiner/spill metrics of the wide-stage workloads.
 
 The CI benchmark-smoke job runs this after the benchmark suite so shuffle
 regressions (extra stages, lost combiner effectiveness, a join silently
@@ -6,7 +6,9 @@ switching strategy) are visible in plain logs.  It runs the two
 shuffle-dominated Figure 3 workloads -- group_by and matrix_multiplication --
 as both the translated DIABLO program and the hand-written baseline, under the
 sequential and processes executors, and prints the structural metrics plus one
-physical plan.
+physical plan.  A final section reruns group_by with a deliberately tiny
+``spill_threshold_bytes`` so the out-of-core spill counters (``spilled_bytes``
+/ ``spill_files`` / ``peak_shuffle_memory``) show up in the report.
 
 Usage::
 
@@ -44,6 +46,24 @@ def main() -> None:
             with DistributedContext(num_partitions=4, executor=executor) as context:
                 get_baseline(name).distributed(context, inputs)
                 report(f"hand-written {name} [{executor}]", context)
+
+    # The same group_by, but forced out-of-core: a 4 KiB map-side budget
+    # makes every shuffle spill framed-pickle runs to disk, and the spill
+    # counters appear in the metrics report.
+    name, size = "group_by", WORKLOADS["group_by"]
+    inputs = workload_for_program(name, size)
+    with DistributedContext(
+        num_partitions=4, spill_threshold_bytes=4096
+    ) as context:
+        spec = get_program(name)
+        diablo = diablo_for(spec, context)
+        diablo.compile(spec.source).run(**inputs)
+        report(f"DIABLO {name} [sequential, spill_threshold_bytes=4096]", context)
+        print(
+            f"  (spilled {context.metrics.spilled_bytes} bytes across "
+            f"{context.metrics.spill_files} files; peak shuffle memory "
+            f"{context.metrics.peak_shuffle_memory} bytes)"
+        )
 
     # One pending physical plan, as Dataset.explain() renders it.
     with DistributedContext(num_partitions=4) as context:

@@ -185,6 +185,11 @@ def explain_metrics(metrics: Metrics) -> list[str]:
             f"{metrics.combiner_output_records} records "
             f"(hit rate {metrics.combiner_hit_rate:.1%})"
         )
+    if metrics.spill_files:
+        lines.append(
+            f"spill: {metrics.spilled_bytes} bytes in {metrics.spill_files} files "
+            f"(peak shuffle memory {metrics.peak_shuffle_memory} bytes)"
+        )
     if metrics.join_strategies:
         chosen = ", ".join(
             f"{strategy}={count}" for strategy, count in sorted(metrics.join_strategies.items())

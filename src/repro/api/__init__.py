@@ -18,6 +18,9 @@ functions::
     with diablo.options(executor_mode="processes", num_partitions=16):
         ranks = pagerank(adjacency, 100, 10)      # same translation, new runtime
 
+    with diablo.options(spill_threshold_bytes=64 << 20):
+        ranks = pagerank(adjacency, 100, 10)      # out-of-core shuffles past 64 MiB
+
 The pieces:
 
 * :func:`jit` / :class:`JitFunction` -- the decorator (``repro.api.jit``);

@@ -46,6 +46,13 @@ class DiabloConfig:
             (None = ``min(num_partitions, cpu count)``).
         broadcast_join_threshold: joins whose build side is at most this many
             records run as broadcast hash joins.
+        spill_threshold_bytes: out-of-core shuffle budget -- estimated bytes
+            a shuffle map task may buffer before spilling bucket runs to
+            disk.  ``None`` (default) keeps shuffles in memory (the
+            ``DIABLO_SPILL_THRESHOLD_BYTES`` environment variable still
+            applies as a fallback).  Affects memory use only, never results.
+        spill_dir: directory for shuffle spill files (``None`` = system temp
+            dir or ``DIABLO_SPILL_DIR``).
         check_restrictions: reject programs violating Definition 3.1.
         optimize: apply the Section 3.6 / Section 4 rewrites.
     """
@@ -55,6 +62,8 @@ class DiabloConfig:
     num_threads: int | None = None
     num_processes: int | None = None
     broadcast_join_threshold: int = DEFAULT_BROADCAST_JOIN_THRESHOLD
+    spill_threshold_bytes: int | None = None
+    spill_dir: str | None = None
     check_restrictions: bool = True
     optimize: bool = True
 
@@ -65,6 +74,8 @@ class DiabloConfig:
             )
         if self.num_partitions <= 0:
             raise ValueError("num_partitions must be positive")
+        if self.spill_threshold_bytes is not None and self.spill_threshold_bytes <= 0:
+            raise ValueError("spill_threshold_bytes must be positive (or None to disable)")
 
     def replace(self, **overrides: Any) -> "DiabloConfig":
         """A copy with the given fields changed; unknown names raise TypeError."""
@@ -89,6 +100,8 @@ class DiabloConfig:
             self.num_threads,
             self.num_processes,
             self.broadcast_join_threshold,
+            self.spill_threshold_bytes,
+            self.spill_dir,
         )
 
     def compiler_options(self) -> dict[str, bool]:

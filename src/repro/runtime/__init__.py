@@ -28,6 +28,7 @@ from repro.runtime.dataset import DEFAULT_BROADCAST_JOIN_THRESHOLD, Dataset
 from repro.runtime.broadcast import Broadcast
 from repro.runtime.metrics import Metrics
 from repro.runtime.partitioner import HashPartitioner, Partitioner, RangePartitioner, stable_hash
+from repro.runtime.spill import BucketPayload, ShuffleStore, SpillRun, SpillSpec
 from repro.runtime.stage import NarrowStage, ShuffleInput, ShuffleStage
 
 __all__ = [
@@ -40,6 +41,10 @@ __all__ = [
     "NarrowStage",
     "ShuffleInput",
     "ShuffleStage",
+    "BucketPayload",
+    "ShuffleStore",
+    "SpillRun",
+    "SpillSpec",
     "HashPartitioner",
     "RangePartitioner",
     "Partitioner",

@@ -15,6 +15,16 @@ modes are supported:
   ``functools.partial`` over them); chains that close over driver state fall
   back to sequential in-driver execution, counted by
   ``metrics.process_fallbacks``.
+
+The context also owns the out-of-core shuffle lifecycle: a
+:class:`~repro.runtime.spill.ShuffleStore` that hands each shuffle a private
+spill directory when ``spill_threshold_bytes`` is set (map tasks flush bucket
+runs to disk over that budget; reduce tasks stream them back), removes it as
+soon as the shuffle completes or fails, and removes everything on
+``shutdown``/``close``.  ``DIABLO_SPILL_THRESHOLD_BYTES`` and
+``DIABLO_SPILL_DIR`` environment variables supply defaults when the
+constructor arguments are omitted, which is how the nightly CI job forces
+every shuffle in the test suite through the spill path.
 """
 
 from __future__ import annotations
@@ -34,10 +44,27 @@ from repro.runtime.dataset import (
 )
 from repro.runtime.metrics import Metrics
 from repro.runtime.partitioner import HashPartitioner
+from repro.runtime.spill import ShuffleStore
 from repro.runtime.stage import NarrowStage, ShuffleStage
 
 #: Executor modes accepted by :class:`DistributedContext`.
 EXECUTOR_MODES = ("sequential", "threads", "processes")
+
+
+def _spill_threshold_from_env() -> int | None:
+    """The ``DIABLO_SPILL_THRESHOLD_BYTES`` default: unset, empty or
+    non-positive all mean "spilling disabled" (so ``=0`` is the natural way
+    to switch it off in an environment that otherwise sets it)."""
+    raw = os.environ.get("DIABLO_SPILL_THRESHOLD_BYTES", "").strip()
+    if not raw:
+        return None
+    try:
+        value = int(raw)
+    except ValueError:
+        raise ValueError(
+            f"DIABLO_SPILL_THRESHOLD_BYTES must be an integer byte count, got {raw!r}"
+        ) from None
+    return value if value > 0 else None
 
 
 class DistributedContext:
@@ -53,6 +80,14 @@ class DistributedContext:
         broadcast_join_threshold: joins whose build side has at most this many
             records run as broadcast hash joins instead of shuffle joins (the
             strategy knob; only affects performance, never results).
+        spill_threshold_bytes: estimated in-memory bytes a shuffle map task
+            may buffer before spilling its buckets to framed-pickle runs on
+            disk (out-of-core shuffle).  ``None`` (the default) keeps every
+            shuffle in memory; the ``DIABLO_SPILL_THRESHOLD_BYTES``
+            environment variable supplies a default when unset.  Spilling
+            only affects memory use, never results.
+        spill_dir: directory hosting the spill files (``None`` = the system
+            temp dir, or ``DIABLO_SPILL_DIR`` when set).
     """
 
     def __init__(
@@ -62,6 +97,8 @@ class DistributedContext:
         num_threads: int | None = None,
         num_processes: int | None = None,
         broadcast_join_threshold: int = DEFAULT_BROADCAST_JOIN_THRESHOLD,
+        spill_threshold_bytes: int | None = None,
+        spill_dir: str | None = None,
     ):
         if num_partitions <= 0:
             raise ValueError("num_partitions must be positive")
@@ -72,6 +109,12 @@ class DistributedContext:
         self.num_threads = num_threads or num_partitions
         self.num_processes = num_processes or min(num_partitions, os.cpu_count() or 2)
         self.broadcast_join_threshold = broadcast_join_threshold
+        if spill_threshold_bytes is None:
+            spill_threshold_bytes = _spill_threshold_from_env()
+        self.spill_threshold_bytes = spill_threshold_bytes
+        self.shuffle_store = ShuffleStore(
+            spill_dir or os.environ.get("DIABLO_SPILL_DIR") or None, spill_threshold_bytes
+        )
         self.metrics = Metrics()
         self._broadcast_counter = 0
         self._pool: ThreadPoolExecutor | None = None
@@ -91,6 +134,8 @@ class DistributedContext:
             num_threads=config.num_threads,
             num_processes=config.num_processes,
             broadcast_join_threshold=config.broadcast_join_threshold,
+            spill_threshold_bytes=config.spill_threshold_bytes,
+            spill_dir=config.spill_dir,
         )
 
     # -- dataset creation -------------------------------------------------------
@@ -234,11 +279,17 @@ class DistributedContext:
         """Execute a :class:`~repro.runtime.stage.ShuffleStage` plan node.
 
         Map side: each input's narrow chain + combiner + partitioner bucketing
-        runs as one :meth:`run_tasks` pass per input.  The driver only
-        transposes the resulting buckets into reduce-side partitions; the
-        reduce side (merge/group/join of each bucket) is a second
+        runs as one :meth:`run_tasks` pass per input.  Map tasks emit one
+        :class:`~repro.runtime.spill.BucketPayload` per reduce partition --
+        spilled framed-pickle runs (when ``spill_threshold_bytes`` is set)
+        plus the in-memory remainder -- and the driver only *routes* those
+        descriptors; it never concatenates record lists.  The reduce side
+        (streaming merge/group/join of each bucket) is a second
         :meth:`run_tasks` pass.  Joins with an ``"auto"``/``"broadcast"``
         strategy may instead resolve to a broadcast hash join (no shuffle).
+
+        The shuffle's spill directory is removed as soon as the reduce side
+        has consumed the runs -- including when either side raises.
 
         Returns ``(partitions, partitioner)`` for the result dataset.
         """
@@ -249,9 +300,25 @@ class DistributedContext:
         if shuffle.join_type is not None:
             self.metrics.record_join_strategy("shuffle")
 
+        spill = self.shuffle_store.begin_shuffle()
+        try:
+            return self._run_shuffle_spillable(shuffle, spill)
+        finally:
+            self.shuffle_store.end_shuffle(spill)
+
+    def _run_shuffle_spillable(
+        self, shuffle: ShuffleStage, spill: Any
+    ) -> tuple[list[list[Any]], Any]:
+        """The map and reduce passes of a shuffle, writing through ``spill``."""
         tagged = len(shuffle.inputs) > 1
+        sort_spec = (
+            (shuffle.key_function, shuffle.sort_ascending)
+            if shuffle.sort_ascending is not None and spill is not None
+            else None
+        )
         merged: list[list[Any]] = [[] for _ in range(shuffle.num_output_partitions)]
         total_records = total_bytes = map_tasks = 0
+        spilled_bytes = spill_files = peak_memory = 0
         for input_index, shuffle_input in enumerate(shuffle.inputs):
             source_partitions = shuffle_input.source.partitions
             chain = shuffle_input.stages
@@ -261,17 +328,25 @@ class DistributedContext:
                 )
             if shuffle.partitioner is None:
                 writer = functools.partial(
-                    stage_mod.repartition_write, shuffle.num_output_partitions
+                    stage_mod.repartition_write,
+                    shuffle.num_output_partitions,
+                    spill,
+                    input_index,
                 )
-                chain += (NarrowStage(stage_mod.PARTITIONS_INDEXED, writer),)
             else:
                 key_of = shuffle.key_function or (
                     stage_mod.tagged_key if tagged else stage_mod.pair_key
                 )
                 writer = functools.partial(
-                    stage_mod.shuffle_write, shuffle.partitioner, shuffle_input.combiner, key_of
+                    stage_mod.shuffle_write,
+                    shuffle.partitioner,
+                    shuffle_input.combiner,
+                    key_of,
+                    spill,
+                    input_index,
+                    sort_spec,
                 )
-                chain += (NarrowStage(stage_mod.PARTITIONS, writer),)
+            chain += (NarrowStage(stage_mod.PARTITIONS_INDEXED, writer),)
             outputs = self.run_tasks(stage_mod.compose(chain), source_partitions, task_spec=chain)
             records_in = records_out = bytes_out = 0
             for output in outputs:
@@ -279,8 +354,12 @@ class DistributedContext:
                 records_in += stats.records_in
                 records_out += stats.records_out
                 bytes_out += stats.bytes_out
-                for bucket_index, bucket in enumerate(output[1:]):
-                    merged[bucket_index].extend(bucket)
+                spilled_bytes += stats.spilled_bytes
+                spill_files += stats.spill_files
+                peak_memory = max(peak_memory, stats.peak_memory)
+                for bucket_index, payload in enumerate(output[1:]):
+                    if payload.runs or payload.records:
+                        merged[bucket_index].append(payload)
             if shuffle_input.captured_operators:
                 self.metrics.record_fused(shuffle_input.captured_operators)
             self.metrics.record_narrow(len(source_partitions), records_in)
@@ -290,13 +369,29 @@ class DistributedContext:
             total_bytes += bytes_out
             map_tasks += len(source_partitions)
 
+        # Spill traffic is map-side work: account for it before the reduce
+        # pass so a reduce failure still reports what was written to disk.
+        if spill is not None:
+            self.metrics.record_spill(spilled_bytes, spill_files, peak_memory)
+
         if shuffle.reduce_stages:
             result = self.run_tasks(
                 stage_mod.compose(shuffle.reduce_stages), merged, task_spec=shuffle.reduce_stages
             )
             reduce_tasks = len(merged)
+        elif spill is not None:
+            # The routed payloads *are* the result (repartition/partitionBy),
+            # but spilled runs still need reading -- a real reduce pass.
+            read_stages = (NarrowStage(stage_mod.PARTITIONS, stage_mod.read_bucket),)
+            result = self.run_tasks(
+                stage_mod.compose(read_stages), merged, task_spec=read_stages
+            )
+            reduce_tasks = len(merged)
         else:
-            result = merged
+            # In-memory payloads concatenate for free in the driver; a
+            # run_tasks pass here would only round-trip every record through
+            # the worker pool to do the same thing.
+            result = [stage_mod.read_bucket(bucket) for bucket in merged]
             reduce_tasks = 0
         if shuffle.reverse_output:
             result = list(reversed(result))
@@ -387,14 +482,17 @@ class DistributedContext:
             self._process_pool = None
 
     def shutdown(self, cancel_pending: bool = True) -> None:
-        """Stop the worker pools (if any were started); safe to call twice.
+        """Stop the worker pools and remove spill files; safe to call twice.
 
-        The context stays usable afterwards -- pools are recreated lazily on
-        the next parallel task -- so ``shutdown`` is a release of OS
-        resources, not a terminal state.  With ``cancel_pending=False``
-        pending process-pool tasks run to completion before the pool closes
-        (used when another caller may still be mid-computation on this
-        context, e.g. jit context eviction).
+        The context stays usable afterwards -- pools and spill directories
+        are recreated lazily on the next parallel task / spilled shuffle --
+        so ``shutdown`` is a release of OS resources, not a terminal state.
+        With ``cancel_pending=False`` pending process-pool tasks run to
+        completion before the pool closes (used when another caller may
+        still be mid-computation on this context, e.g. jit context
+        eviction); the spill root is then left for the store's GC finalizer,
+        because an in-flight shuffle on another thread may still be reading
+        and writing runs under it.
         """
         if self._pool is not None:
             self._pool.shutdown(wait=True)
@@ -405,6 +503,8 @@ class DistributedContext:
             else:
                 self._process_pool.shutdown(wait=True)
                 self._process_pool = None
+        if cancel_pending:
+            self.shuffle_store.close()
 
     #: Alias so contexts close like other resource-owning Python objects.
     close = shutdown

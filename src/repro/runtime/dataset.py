@@ -34,6 +34,13 @@ executed by :meth:`DistributedContext.run_shuffle`.  Either way the task
 descriptors are picklable stage chains the ``"processes"`` executor can ship
 to worker processes.
 
+Shuffles move :class:`~repro.runtime.spill.BucketPayload` descriptors, not
+record lists: when the context enables ``spill_threshold_bytes`` the map side
+spills bucket runs to disk past the budget and the reduce side streams them
+back (``sort_by`` external-merges pre-sorted runs), so datasets larger than
+the memory budget shuffle correctly -- with identical results, because the
+streamed record order equals the in-memory order.
+
 Joins pick a strategy when forced: a **broadcast hash join** when one side has
 at most ``context.broadcast_join_threshold`` records (the build side is
 collected into a lookup table shipped inside the probe tasks), a **shuffle
@@ -674,6 +681,9 @@ class Dataset:
             result_partitioner=range_partitioner if (ascending and keyed_by_pair) else None,
             key_function=key_function,
             reverse_output=not ascending,
+            # Lets a spill-enabled context write pre-sorted runs on the map
+            # side and external-merge them on the reduce side.
+            sort_ascending=ascending,
         )
         return Dataset._pending_shuffle(self.context, shuffle)
 

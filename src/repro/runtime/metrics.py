@@ -52,6 +52,15 @@ class Metrics:
     combiner_input_records: int = 0
     #: Records leaving map-side combiners (what actually gets shuffled).
     combiner_output_records: int = 0
+    #: Bytes written to shuffle spill files (0 unless spilling is enabled
+    #: via ``spill_threshold_bytes`` and a shuffle actually exceeded it).
+    spilled_bytes: int = 0
+    #: Spill files created by shuffle map tasks.
+    spill_files: int = 0
+    #: Largest estimated in-memory bucket footprint any single map task
+    #: reached between flushes -- should hover near the spill threshold when
+    #: spilling is active (only tracked while spilling is enabled).
+    peak_shuffle_memory: int = 0
     #: Per-operation shuffle counts (operation name -> count).
     shuffle_operations: dict[str, int] = field(default_factory=dict)
     #: Chosen join strategies ("broadcast" / "shuffle" / "cartesian" -> count).
@@ -102,6 +111,12 @@ class Metrics:
         saved = self.combiner_input_records - self.combiner_output_records
         return saved / self.combiner_input_records
 
+    def record_spill(self, spilled_bytes: int, spill_files: int, peak_memory: int) -> None:
+        """Account for one spill-enabled shuffle's out-of-core traffic."""
+        self.spilled_bytes += spilled_bytes
+        self.spill_files += spill_files
+        self.peak_shuffle_memory = max(self.peak_shuffle_memory, peak_memory)
+
     def record_join_strategy(self, strategy: str) -> None:
         """Account for one join planned as ``strategy``."""
         self.join_strategies[strategy] = self.join_strategies.get(strategy, 0) + 1
@@ -146,6 +161,9 @@ class Metrics:
         self.shuffle_reduce_tasks = 0
         self.combiner_input_records = 0
         self.combiner_output_records = 0
+        self.spilled_bytes = 0
+        self.spill_files = 0
+        self.peak_shuffle_memory = 0
         self.shuffle_operations = {}
         self.join_strategies = {}
         self.shuffle_stage_log = []
@@ -172,6 +190,9 @@ class Metrics:
             "shuffle_reduce_tasks": self.shuffle_reduce_tasks,
             "combiner_input_records": self.combiner_input_records,
             "combiner_output_records": self.combiner_output_records,
+            "spilled_bytes": self.spilled_bytes,
+            "spill_files": self.spill_files,
+            "peak_shuffle_memory": self.peak_shuffle_memory,
             "broadcast_joins": self.join_strategies.get("broadcast", 0),
             "shuffle_joins": self.join_strategies.get("shuffle", 0),
         }

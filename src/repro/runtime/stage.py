@@ -23,6 +23,18 @@ the module-level worker functions below (:func:`shuffle_write`,
 existing ``run_tasks`` dispatch -- thread pool, process pool with pickle
 fallback -- executes the hot map and reduce sides of every wide operator.
 :meth:`DistributedContext.run_shuffle` is the interpreter for these nodes.
+
+**The shuffle data path is an iterator protocol, not list-of-lists.**  A map
+task's output per reduce partition is a
+:class:`~repro.runtime.spill.BucketPayload` -- spilled framed-pickle runs (see
+:mod:`repro.runtime.spill`) plus the in-memory remainder.  The driver only
+*routes* payload descriptors to reduce partitions; it never concatenates
+record lists.  Every reduce-side processor streams the records back with
+:func:`repro.runtime.spill.iter_merged` (or an external
+``heapq.merge`` for sorted runs), applying its merge/group/join combiner
+incrementally, so reduce-side memory is bounded by the live accumulator --
+not by the shuffled partition -- and the behaviour is identical in
+sequential, threads, and processes executor modes.
 """
 
 from __future__ import annotations
@@ -31,6 +43,9 @@ import pickle
 import random
 import sys
 from typing import Any, Callable, Iterable, NamedTuple
+
+from repro.runtime import spill as spill_mod
+from repro.runtime.spill import BucketPayload, SpillSpec
 
 #: Stage kinds understood by :func:`apply_stage`.
 MAP = "map"
@@ -157,10 +172,11 @@ class ShuffleStage(NamedTuple):
     """A wide operator as a first-class plan node.
 
     Executed by :meth:`DistributedContext.run_shuffle`: every input runs its
-    map side (narrow chain + combiner + partitioner bucketing) as one
-    ``run_tasks`` pass, the driver transposes the resulting buckets into
-    reduce-side partitions, and ``reduce_stages`` runs over those buckets in a
-    second ``run_tasks`` pass.
+    map side (narrow chain + combiner + partitioner bucketing + spilling) as
+    one ``run_tasks`` pass, the driver routes the resulting
+    :class:`~repro.runtime.spill.BucketPayload` descriptors to reduce-side
+    partitions, and ``reduce_stages`` streams those payloads in a second
+    ``run_tasks`` pass.
 
     Attributes:
         operation: metric/explain name (``"reduceByKey"``, ``"join"``, ...).
@@ -178,6 +194,11 @@ class ShuffleStage(NamedTuple):
         strategy: ``"shuffle"``, ``"auto"`` (pick broadcast hash join when a
             side is small enough) or ``"broadcast"`` (force it).
         reverse_output: reverse the output partition order (descending sorts).
+        sort_ascending: set (by ``sort_by``) when the reduce side is an
+            order-preserving sort of ``key_function``; the map side then
+            writes *pre-sorted* spill runs so the reduce side can external-
+            merge instead of materializing the bucket.  ``None`` for every
+            other operator.
     """
 
     operation: str
@@ -190,15 +211,19 @@ class ShuffleStage(NamedTuple):
     join_type: str | None = None
     strategy: str = "shuffle"
     reverse_output: bool = False
+    sort_ascending: bool | None = None
 
 
 class ShuffleWriteStats(NamedTuple):
     """Per-map-task shuffle-write accounting, returned as the first element of
-    every map-side output (ahead of the buckets)."""
+    every map-side output (ahead of the bucket payloads)."""
 
     records_in: int
     records_out: int
     bytes_out: int
+    spilled_bytes: int = 0
+    spill_files: int = 0
+    peak_memory: int = 0
 
 
 def pair_key(record: Any) -> Any:
@@ -250,8 +275,8 @@ def estimate_bytes(value: Any) -> int:
 BYTES_SAMPLE_SIZE = 64
 
 
-def estimate_shuffle_bytes(buckets: list[list[Any]]) -> int:
-    """Extrapolated serialized size of one map task's shuffle output.
+def estimate_shuffle_bytes(buckets: list[Iterable[Any]]) -> int:
+    """Extrapolated serialized size of in-memory shuffle output.
 
     Pickling everything just for a metric would double serialization cost on
     the hot path (and run even under the sequential executor), so only the
@@ -270,50 +295,105 @@ def estimate_shuffle_bytes(buckets: list[list[Any]]) -> int:
     return (estimate_bytes(sample) * total) // len(sample)
 
 
+def _writer_output(writer: spill_mod.BucketWriter, records_in: int) -> list[Any]:
+    """Finalize a map task's writer into ``[stats, payload_0, ...]``.
+
+    ``bytes_out`` counts the spilled run bytes exactly (they *were*
+    serialized) plus a sampled estimate of the in-memory remainders, so the
+    metric agrees with the historical all-in-memory estimate when nothing
+    spills.
+    """
+    payloads = writer.finish()
+    records_out = sum(payload.record_count for payload in payloads)
+    bytes_out = writer.spilled_bytes + estimate_shuffle_bytes(
+        [payload.records for payload in payloads]
+    )
+    stats = ShuffleWriteStats(
+        records_in,
+        records_out,
+        bytes_out,
+        writer.spilled_bytes,
+        writer.spill_files,
+        writer.peak_memory,
+    )
+    return [stats, *payloads]
+
+
 def shuffle_write(
     partitioner: Any,
     combiner: tuple[Any, ...] | None,
     key_of: Callable[[Any], Any],
+    spill: SpillSpec | None,
+    input_index: int,
+    sort_spec: tuple[Callable[[Any], Any], bool] | None,
     records: list[Any],
+    index: int,
 ) -> list[Any]:
-    """Map-side shuffle writer: combine (optionally), bucket by key.
+    """Map-side shuffle writer: combine (optionally), bucket by key, spill
+    over budget.
 
-    Returns ``[stats, bucket_0, ..., bucket_{n-1}]``; the driver pops the
-    stats and transposes the buckets into reduce-side partitions.  Runs inside
+    Returns ``[stats, payload_0, ..., payload_{n-1}]``; the driver pops the
+    stats and routes the payloads to reduce-side partitions.  Runs inside
     executor tasks, so the partitioner must hash process-stably (see
-    :func:`repro.runtime.partitioner.stable_hash`).
+    :func:`repro.runtime.partitioner.stable_hash`) and ``spill`` must point
+    at a directory shared with worker processes.  A combiner's accumulator
+    stays in memory (bounded by the task's distinct keys); the bucketed
+    *output* is what spills.
     """
     records_in = len(records)
     if combiner is not None:
         records = apply_combiner(combiner, records)
-    buckets: list[list[Any]] = [[] for _ in range(partitioner.num_partitions)]
+    writer = spill_mod.BucketWriter(
+        partitioner.num_partitions, spill, f"i{input_index}-m{index}", sort_spec
+    )
     for record in records:
-        buckets[partitioner.partition(key_of(record))].append(record)
-    stats = ShuffleWriteStats(records_in, len(records), estimate_shuffle_bytes(buckets))
-    return [stats, *buckets]
+        writer.add(partitioner.partition(key_of(record)), record)
+    return _writer_output(writer, records_in)
 
 
-def repartition_write(num_output: int, records: list[Any], index: int) -> list[Any]:
+def repartition_write(
+    num_output: int,
+    spill: SpillSpec | None,
+    input_index: int,
+    records: list[Any],
+    index: int,
+) -> list[Any]:
     """Round-robin shuffle writer for ``repartition`` (keys not required).
 
     The start offset rotates with the map partition index so small partitions
     do not all pile into bucket 0; placement stays deterministic under every
     executor because it depends only on ``(index, position)``.
     """
-    buckets: list[list[Any]] = [[] for _ in range(num_output)]
+    writer = spill_mod.BucketWriter(num_output, spill, f"i{input_index}-m{index}")
     for position, record in enumerate(records):
-        buckets[(index + position) % num_output].append(record)
-    stats = ShuffleWriteStats(len(records), len(records), estimate_shuffle_bytes(buckets))
-    return [stats, *buckets]
+        writer.add((index + position) % num_output, record)
+    return _writer_output(writer, len(records))
 
 
 # -- reduce-side bucket processors ------------------------------------------------
+#
+# Each processor receives its reduce partition as a list of BucketPayloads
+# (one per contributing map task, in map-task order) and streams the records
+# back through the spill layer, applying its combiner incrementally -- the
+# full record list is never materialized unless the operator's semantics
+# require it (grouping keeps its value lists, joins build their hash sides).
 
 
-def reduce_bucket(function: Callable[[Any, Any], Any], records: list[Any]) -> list[Any]:
-    """Merge key-value records with ``function`` (reduceByKey reduce side)."""
+def read_bucket(payloads: list[BucketPayload]) -> list[Any]:
+    """Materialize one reduce partition (repartition / partitionBy, where the
+    routed records *are* the result)."""
+    return list(spill_mod.iter_merged(payloads))
+
+
+def reduce_bucket(function: Callable[[Any, Any], Any], payloads: list[BucketPayload]) -> list[Any]:
+    """Merge key-value records with ``function`` (reduceByKey reduce side).
+
+    Streams the payloads and combines incrementally: live memory is one
+    accumulator entry per distinct key plus one spill run, regardless of how
+    many records were shuffled.
+    """
     accumulator: dict[Any, Any] = {}
-    for key, value in records:
+    for key, value in spill_mod.iter_merged(payloads):
         if key in accumulator:
             accumulator[key] = function(accumulator[key], value)
         else:
@@ -321,31 +401,31 @@ def reduce_bucket(function: Callable[[Any, Any], Any], records: list[Any]) -> li
     return list(accumulator.items())
 
 
-def group_bucket(records: list[Any]) -> list[Any]:
+def group_bucket(payloads: list[BucketPayload]) -> list[Any]:
     """Group key-value records into ``(key, [values])`` (groupByKey reduce side)."""
     groups: dict[Any, list[Any]] = {}
-    for key, value in records:
+    for key, value in spill_mod.iter_merged(payloads):
         groups.setdefault(key, []).append(value)
     return list(groups.items())
 
 
-def split_tagged(records: list[Any]) -> tuple[dict[Any, list[Any]], dict[Any, list[Any]]]:
-    """Split tagged ``(side, (key, value))`` records into per-side group dicts.
+def split_tagged(payloads: list[BucketPayload]) -> tuple[dict[Any, list[Any]], dict[Any, list[Any]]]:
+    """Stream tagged ``(side, (key, value))`` records into per-side group dicts.
 
     Plain dicts (insertion-ordered) rather than sets keep the output order
     independent of per-process hash randomization.
     """
     left: dict[Any, list[Any]] = {}
     right: dict[Any, list[Any]] = {}
-    for side, (key, value) in records:
+    for side, (key, value) in spill_mod.iter_merged(payloads):
         target = left if side == 0 else right
         target.setdefault(key, []).append(value)
     return left, right
 
 
-def cogroup_bucket(records: list[Any]) -> list[Any]:
+def cogroup_bucket(payloads: list[BucketPayload]) -> list[Any]:
     """coGroup reduce side: ``(key, ([left values], [right values]))``."""
-    left, right = split_tagged(records)
+    left, right = split_tagged(payloads)
     merged: list[Any] = []
     for key, left_values in left.items():
         merged.append((key, (left_values, right.get(key, []))))
@@ -355,9 +435,9 @@ def cogroup_bucket(records: list[Any]) -> list[Any]:
     return merged
 
 
-def join_bucket(how: str, records: list[Any]) -> list[Any]:
+def join_bucket(how: str, payloads: list[BucketPayload]) -> list[Any]:
     """Join reduce side: cogroup one bucket and expand per the join type."""
-    left, right = split_tagged(records)
+    left, right = split_tagged(payloads)
     out: list[Any] = []
     if how == "inner":
         for key, left_values in left.items():
@@ -413,9 +493,17 @@ def broadcast_join_partition(
     return out
 
 
-def sort_bucket(key_function: Callable[[Any], Any], ascending: bool, records: list[Any]) -> list[Any]:
-    """sortBy reduce side: stable sort of one range-partitioned bucket."""
-    return sorted(records, key=key_function, reverse=not ascending)
+def sort_bucket(
+    key_function: Callable[[Any], Any], ascending: bool, payloads: list[BucketPayload]
+) -> list[Any]:
+    """sortBy reduce side: ordered merge of one range-partitioned bucket.
+
+    Spilled runs were written pre-sorted by the map side (the shuffle carries
+    ``sort_ascending``), so this is an external k-way merge over sorted runs
+    plus the sorted in-memory remainders.  ``heapq.merge``'s tie-breaking by
+    input order makes the result identical to a stable in-memory sort.
+    """
+    return list(spill_mod.merge_sorted_payloads(payloads, key_function, ascending))
 
 
 def pair_with_none(record: Any) -> tuple[Any, None]:

@@ -57,12 +57,18 @@ def interpreter_outputs(name: str) -> dict:
     return diablo_for(spec).interpret(spec.source, dict(workload(name)))
 
 
-def run_translated_under(name: str, mode: str) -> dict:
+def run_translated_under(name: str, mode: str, spill_threshold_bytes: int | None = None) -> dict:
     spec = get_program(name)
-    with DistributedContext(num_partitions=4, executor=mode) as context:
+    with DistributedContext(
+        num_partitions=4, executor=mode, spill_threshold_bytes=spill_threshold_bytes
+    ) as context:
         diablo = diablo_for(spec, context)
         result = diablo.compile(spec.source).run(**workload(name))
-        return translated_outputs(name, result)
+        outputs = translated_outputs(name, result)
+        if spill_threshold_bytes is not None and context.metrics.shuffles > 0:
+            assert context.metrics.spilled_bytes > 0, f"{name}: shuffled but never spilled"
+            assert context.metrics.spill_files > 0
+        return outputs
 
 
 class _Outputs:
@@ -358,6 +364,130 @@ class TestWideOperatorEquivalence:
             assert ds.num_partitions == 6
             assert sorted(ds.collect()) == list(range(40))
             assert ctx.metrics.shuffle_operations.get("repartition") == 1
+
+
+# ---------------------------------------------------------------------------
+# Out-of-core shuffles: the spill path must be invisible in the results
+# ---------------------------------------------------------------------------
+
+#: Forces every shuffled record straight to disk -- the harshest spill setting.
+TINY_SPILL = 1
+
+#: Figure 3 programs whose translation actually shuffles (the wide-operator
+#: differential set; the rest are pure narrow pipelines with nothing to spill).
+SPILLING_PROGRAMS = (
+    "word_count",
+    "histogram",
+    "group_by",
+    "matrix_addition",
+    "matrix_multiplication",
+    "pagerank",
+    "kmeans",
+    "matrix_factorization",
+)
+
+
+class TestSpillEquivalence:
+    """The acceptance criterion of the out-of-core shuffle: with a ~1-byte
+    budget every wide operator spills every record, and nothing changes."""
+
+    @pytest.mark.parametrize("mode", EXECUTOR_MODES)
+    def test_wide_operators_spilled_match_oracle_under_every_executor(self, mode):
+        oracle = _oracle_results()
+        with DistributedContext(
+            num_partitions=4, executor=mode, spill_threshold_bytes=TINY_SPILL
+        ) as ctx:
+            for name, thunk in _wide_pipelines(ctx):
+                assert thunk() == oracle[name], f"{name} diverged under spill + {mode!r}"
+            assert ctx.metrics.spilled_bytes > 0
+            assert ctx.metrics.spill_files > 0
+            assert ctx.metrics.peak_shuffle_memory > 0
+            assert ctx.shuffle_store.active_shuffle_dirs() == [], (
+                "per-shuffle spill dirs must be removed as soon as each shuffle completes"
+            )
+
+    def test_spill_metrics_identical_across_executors(self):
+        """Spill traffic is a function of the plan, the data and the budget
+        -- not of the executor (runs are flushed at deterministic points)."""
+        snapshots = {}
+        for mode in EXECUTOR_MODES:
+            with DistributedContext(
+                num_partitions=4, executor=mode, spill_threshold_bytes=TINY_SPILL
+            ) as ctx:
+                for _name, thunk in _wide_pipelines(ctx):
+                    thunk()
+                snapshot = ctx.metrics.snapshot()
+                snapshot.pop("process_fallbacks")
+                snapshot.pop("parallel_tasks")
+                snapshots[mode] = snapshot
+        assert snapshots["sequential"] == snapshots["threads"] == snapshots["processes"]
+
+    def test_spilled_results_equal_in_memory_results(self, monkeypatch):
+        """The same pipelines with and without spilling are bit-identical --
+        unsorted, so output ordering is covered too."""
+        # The nightly job exports DIABLO_SPILL_THRESHOLD_BYTES, which would
+        # silently turn harvest(None) into a second spilled run and make
+        # this comparison vacuous; pin the in-memory side down.
+        monkeypatch.delenv("DIABLO_SPILL_THRESHOLD_BYTES", raising=False)
+
+        def harvest(threshold):
+            with DistributedContext(num_partitions=4, spill_threshold_bytes=threshold) as ctx:
+                pairs = [_key_value(i) for i in range(150)]
+                return {
+                    "reduce": ctx.parallelize(pairs).reduce_by_key(_add).collect(),
+                    "group": ctx.parallelize(pairs).group_by_key().collect(),
+                    "sort": ctx.parallelize([i % 13 for i in range(120)]).sort_by(_identity).collect(),
+                    "sort_desc": ctx.parallelize([i % 13 for i in range(120)])
+                    .sort_by(_identity, ascending=False)
+                    .collect(),
+                    "join": ctx.parallelize(_LEFT_PAIRS)
+                    .join(ctx.parallelize(_RIGHT_PAIRS), strategy="shuffle")
+                    .collect(),
+                    "repartition": ctx.parallelize(range(75)).repartition(3).collect(),
+                }
+
+        assert harvest(None) == harvest(TINY_SPILL)
+
+    @pytest.mark.parametrize("mode", EXECUTOR_MODES)
+    @pytest.mark.parametrize("name", SPILLING_PROGRAMS)
+    def test_figure3_wide_workloads_spilled_match_interpreter(self, name, mode):
+        spec = get_program(name)
+        translated = run_translated_under(name, mode, spill_threshold_bytes=TINY_SPILL)
+        assert_same_outputs(spec, _Outputs(translated), interpreter_outputs(name))
+
+    def test_spill_files_cleaned_up_after_context_close(self, tmp_path):
+        ctx = DistributedContext(
+            num_partitions=4, spill_threshold_bytes=TINY_SPILL, spill_dir=str(tmp_path)
+        )
+        ctx.parallelize([_key_value(i) for i in range(80)]).group_by_key().collect()
+        root = ctx.shuffle_store.root
+        assert root is not None and root.startswith(str(tmp_path))
+        ctx.close()
+        import os
+
+        assert not os.path.exists(root), "close() must remove the spill root"
+
+    def test_spill_files_cleaned_up_after_crash(self, tmp_path):
+        """A reduce-side failure mid-shuffle must not leak the shuffle's
+        spill directory."""
+        with DistributedContext(
+            num_partitions=4, spill_threshold_bytes=TINY_SPILL, spill_dir=str(tmp_path)
+        ) as ctx:
+            # Keys are unique within each (contiguous) partition, so the
+            # map-side combiner never calls the function and the map side
+            # spills successfully; keys repeat across partitions, so the
+            # reduce-side merge calls it and crashes mid-shuffle.
+            pairs = ctx.parallelize([(f"k{i}", i) for i in range(15)] * 2)
+            with pytest.raises(Exception):
+                pairs.reduce_by_key(_failing_combine).collect()
+            assert ctx.metrics.spilled_bytes > 0, "the map side must have spilled first"
+            assert ctx.shuffle_store.active_shuffle_dirs() == [], (
+                "failed shuffles must clean their spill dirs"
+            )
+
+
+def _failing_combine(_a, _b):
+    raise ZeroDivisionError("reduce-side boom")
 
 
 # ---------------------------------------------------------------------------
