@@ -126,6 +126,46 @@ def format_report(comparisons: list[Comparison], factor: float) -> str:
     return "\n".join(lines)
 
 
+#: Structural planner counters tracked (informationally) across PRs: losing
+#: eliminations or loop-invariant reuses is an optimizer regression even when
+#: the wall clock hides it in noise.
+TRACKED_STRUCTURAL_COUNTERS = (
+    "shuffles",
+    "shuffled_bytes",
+    "shuffles_eliminated",
+    "loop_invariant_reuses",
+)
+
+
+def structural_drift(
+    baseline: dict[tuple, dict[str, Any]], fresh: dict[tuple, dict[str, Any]]
+) -> list[str]:
+    """Per-entry changes in the tracked structural shuffle counters.
+
+    Reported, not gated: structural metrics legitimately change when the
+    planner changes, and the committed baseline is refreshed in the same PR.
+    The report makes *unintentional* drift (an optimization silently lost)
+    visible in the gate's log.
+    """
+    lines: list[str] = []
+    for key in sorted(set(baseline) & set(fresh)):
+        old_metrics = baseline[key].get("shuffle_metrics") or {}
+        new_metrics = fresh[key].get("shuffle_metrics") or {}
+        deltas = []
+        for counter in TRACKED_STRUCTURAL_COUNTERS:
+            old_value = old_metrics.get(counter)
+            new_value = new_metrics.get(counter)
+            if old_value is None or new_value is None or old_value == new_value:
+                continue
+            deltas.append(f"{counter} {old_value} -> {new_value}")
+        if deltas:
+            workload, size, system, method = key
+            lines.append(f"  {workload}/{size}/{system}/{method}: {', '.join(deltas)}")
+    if lines:
+        lines.insert(0, "structural shuffle counters changed vs baseline (informational):")
+    return lines
+
+
 def run_benchmarks(output: Path) -> None:
     """Run the smoke benchmark suite, recording results into ``output``."""
     environment = dict(os.environ)
@@ -214,6 +254,8 @@ def main(argv: list[str] | None = None) -> int:
         return 2
 
     print(format_report(comparisons, factor))
+    for line in structural_drift(baseline, fresh):
+        print(line)
     regressions = [c for c in comparisons if c.regressed]
     if regressions:
         print(

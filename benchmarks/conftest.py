@@ -84,6 +84,12 @@ def record_run(
             "combiner_hit_rate": round(metrics.combiner_hit_rate, 6),
             "join_strategies": dict(metrics.join_strategies),
             "fused_stages": metrics.fused_stages,
+            # PR 5 planner counters: tracked across PRs by the perf gate so a
+            # regression that re-introduces eliminated shuffles is visible.
+            "shuffles_eliminated": metrics.shuffles_eliminated,
+            "narrow_joins": metrics.narrow_joins,
+            "prepartitioned_inputs": metrics.prepartitioned_inputs,
+            "loop_invariant_reuses": metrics.loop_invariant_reuses,
         }
     record_entry(entry)
 

@@ -1,23 +1,34 @@
 """Compilation of monoid comprehensions to DISC dataflow and execution.
 
-* :mod:`repro.algebra.evaluator` -- evaluates comprehension terms against the
-  local DISC runtime, discovering equi-joins from generator/condition
-  patterns, turning group-bys into groupByKey or reduceByKey, and the array
-  merges ⊳ / ⊳⊕ into coGroups.
+* :mod:`repro.algebra.evaluator` -- walks comprehension terms and builds the
+  logical plan: equi-joins discovered from generator/condition patterns,
+  group-bys turned into groupByKey or reduceByKey, array merges ⊳ / ⊳⊕ into
+  coGroups.
+* :mod:`repro.algebra.plan` -- the logical plan nodes the evaluator builds
+  (scan / narrow / hash-join / product / reduce- and group-by-key), carrying
+  the IR terms and invariance metadata the planner optimizes with.
+* :mod:`repro.algebra.planner` -- annotates plans (partitioner propagation)
+  and lowers them to runtime Datasets, eliminating shuffles over
+  co-partitioned inputs and caching loop-invariant sub-plans.
 * :mod:`repro.algebra.runner` -- executes whole target programs (the output of
-  the translator) over caller-supplied inputs.
+  the translator) over caller-supplied inputs, with while-loop invariant
+  hoisting and per-iteration shuffle accounting.
 * :mod:`repro.algebra.explain` -- renders the dataflow decisions taken for a
-  term (which joins, which shuffles) for documentation and tests.
+  term (which joins, which shuffles, which eliminations) for docs and tests.
 """
 
 from repro.algebra.evaluator import TermEvaluator, EvaluationEnvironment
+from repro.algebra.planner import LoopInvariantCache, Planner
 from repro.algebra.runner import ProgramRunner, ProgramResult
-from repro.algebra.explain import explain_term
+from repro.algebra.explain import explain_plan, explain_term
 
 __all__ = [
     "TermEvaluator",
     "EvaluationEnvironment",
+    "LoopInvariantCache",
+    "Planner",
     "ProgramRunner",
     "ProgramResult",
+    "explain_plan",
     "explain_term",
 ]

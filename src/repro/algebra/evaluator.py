@@ -2,7 +2,9 @@
 
 The :class:`TermEvaluator` is the analogue of DIQL's comprehension-to-algebra
 compiler: it walks the qualifiers of a comprehension from left to right and
-builds a dataflow of :class:`~repro.runtime.dataset.Dataset` operations.
+builds a **logical plan** (:mod:`repro.algebra.plan`) that the partition-aware
+:class:`~repro.algebra.planner.Planner` annotates and lowers to a dataflow of
+:class:`~repro.runtime.dataset.Dataset` operations.
 
 The important plan decisions are the ones the paper relies on:
 
@@ -16,17 +18,25 @@ The important plan decisions are the ones the paper relies on:
   a **reduceByKey**; otherwise it is a **groupByKey**;
 * the array merges ⊳ and ⊳⊕ become **coGroups**.
 
+Building the plan first (instead of emitting Dataset calls inline) lets the
+planner eliminate work the inline emission could not see:
+
+* the same comprehension sub-term scanned twice in one statement shares one
+  dataset (**common sub-expression elimination**, memoized per statement);
+* sub-terms and join sides that depend only on variables the enclosing
+  ``while`` loop never assigns are evaluated -- and shuffled -- **once per
+  loop** through the runner-owned
+  :class:`~repro.algebra.planner.LoopInvariantCache`;
+* group-by outputs whose head re-keys by the group key keep their
+  partitioner, so downstream merges and joins on the same key run as narrow,
+  shuffle-free stages.
+
 Scalar sub-terms are evaluated locally inside tasks with the shared operator
 semantics of :mod:`repro.operators`, so the distributed path and the
-sequential interpreter agree on every arithmetic detail.
-
-The Dataset operations emitted here are lazy: the scans, per-row expansions,
-filters and head projections built from consecutive qualifiers accumulate as
-pending narrow stages and run as a *single* fused per-partition pass at the
-next shuffle (join, group-by, merge) or action.  The evaluator itself only
-forces a pipeline where a plan decision needs driver-side facts: the
-empty-result early exit after a generator, and the size comparison that picks
-the broadcast side of a nested-loop join.
+sequential interpreter agree on every arithmetic detail.  The Dataset
+operations the planner emits are lazy: scans, per-row expansions, filters and
+head projections fuse into single per-partition passes at the next shuffle or
+action, exactly as before.
 """
 
 from __future__ import annotations
@@ -35,12 +45,24 @@ from dataclasses import dataclass, field
 from typing import Any
 
 from repro import operators
+from repro.algebra import plan as plan_mod
+from repro.algebra.plan import (
+    GroupByKeyNode,
+    HashJoinNode,
+    NarrowNode,
+    PlanNode,
+    ProductNode,
+    ReduceByKeyNode,
+    ScanNode,
+)
+from repro.algebra.planner import LoopInvariantCache, Planner
 from repro.comprehension import ir
 from repro.comprehension.monoids import DEFAULT_MONOIDS, MonoidRegistry
 from repro.errors import CompilationError, ExecutionError
 from repro.functions import DEFAULT_FUNCTIONS, FunctionRegistry
 from repro.runtime.context import DistributedContext
-from repro.runtime.dataset import DEFAULT_BROADCAST_JOIN_THRESHOLD, Dataset, choose_broadcast_side
+from repro.runtime.dataset import DEFAULT_BROADCAST_JOIN_THRESHOLD, Dataset
+from repro.runtime.partitioner import HashPartitioner
 
 #: Backwards-compatible alias: the evaluator now shares the runtime's join
 #: strategy knob (``context.broadcast_join_threshold``) instead of keeping its
@@ -71,12 +93,51 @@ class EvaluationEnvironment:
         return EvaluationEnvironment(self.context, merged, self.functions, self.monoids)
 
 
+@dataclass
+class _CompBuild:
+    """Mutable state of one comprehension's plan construction.
+
+    ``driver_invariant`` tracks whether every driver-level binding so far was
+    computed from loop-invariant data -- a prerequisite for marking plan
+    nodes (whose closures capture those bindings) loop-invariant.
+    """
+
+    rows: PlanNode | None = None
+    bound_order: list[str] = field(default_factory=list)
+    driver_bindings: dict[str, Any] = field(default_factory=dict)
+    driver_invariant: bool = True
+    driver_alive: bool = True
+    #: Set when a generator's domain is empty: the comprehension denotes the
+    #: empty bag and the remaining qualifiers are neither built nor
+    #: evaluated (matching the sequential interpreter, which never reaches
+    #: inner loops of an empty outer loop).
+    dead: bool = False
+
+    def bound_names(self) -> frozenset[str]:
+        return frozenset(self.bound_order) | frozenset(self.driver_bindings)
+
+
 class TermEvaluator:
     """Evaluates comprehension terms against an :class:`EvaluationEnvironment`."""
 
-    def __init__(self, environment: EvaluationEnvironment, trace: list[str] | None = None):
+    def __init__(
+        self,
+        environment: EvaluationEnvironment,
+        trace: list[str] | None = None,
+        loop_cache: LoopInvariantCache | None = None,
+    ):
         self.env = environment
-        self._local_bag_cache: dict[int, list[Any]] = {}
+        # Keyed by id() for speed but the value keeps a strong reference to
+        # the keyed object *and* re-checks identity on lookup: a bare
+        # id()-keyed dict would silently serve a stale bag when the original
+        # object was garbage collected and its id reused.
+        self._local_bag_cache: dict[int, tuple[Any, list[Any]]] = {}
+        #: Per-statement CSE memo: comprehension sub-term -> lowered Dataset.
+        self._term_dataset_cache: dict[Any, Dataset] = {}
+        #: While-loop cache shared across iterations (None outside loops).
+        self.loop_cache = loop_cache
+        #: The last logical plan lowered by :meth:`evaluate_comprehension`.
+        self.last_plan: PlanNode | None = None
         #: Human-readable log of plan decisions (joins, group-bys, merges).
         self.trace: list[str] = trace if trace is not None else []
 
@@ -89,13 +150,13 @@ class TermEvaluator:
         if isinstance(term, ir.Comprehension):
             return self.evaluate_comprehension(term)
         if isinstance(term, ir.Merge):
-            left = self.as_dataset(self.evaluate(term.left))
-            right = self.as_dataset(self.evaluate(term.right))
+            left = self._merge_operand(term.left)
+            right = self._merge_operand(term.right)
             self.trace.append("merge (<|) via coGroup")
             return left.merge(right)
         if isinstance(term, ir.MergeWith):
-            left = self.as_dataset(self.evaluate(term.left))
-            right = self.as_dataset(self.evaluate(term.right))
+            left = self._merge_operand(term.left)
+            right = self._merge_operand(term.right)
             monoid = self.env.monoids.get(term.op)
             self.trace.append(f"merge (<|{term.op}) via coGroup")
             return left.merge_with(right, monoid.combine)
@@ -123,57 +184,124 @@ class TermEvaluator:
             return self.env.context.parallelize(list(value))
         raise ExecutionError(f"expected a collection, got {value!r}")
 
+    def _merge_operand(self, term: ir.Term) -> Dataset:
+        """Evaluate one side of an array merge (⊳ / ⊳⊕).
+
+        A loop-invariant side is materialized and hash-partitioned *once* per
+        while loop: the merge's coGroup then either skips that side's
+        map-side shuffle or (when the other side is co-partitioned too) runs
+        as a fully narrow zip stage.  Merge operands are always key-value
+        arrays, so partitioning by the pair key is well-defined.
+        """
+        cache = self.loop_cache
+        if (
+            cache is not None
+            and self.env.context.plan_optimize
+            and self._term_is_invariant(term)
+        ):
+            key = ("merge-side", term)
+            hit = cache.get(key)
+            if hit is not None:
+                self.env.context.metrics.record_loop_invariant_reuse()
+                self.trace.append(f"loop-invariant merge side reused: {term}")
+                return hit
+            placed = (
+                self.as_dataset(self.evaluate(term))
+                .materialize()
+                .partition_by(HashPartitioner(self.env.context.num_partitions))
+            )
+            cache.put(key, placed, ir.free_variables(term))
+            self.trace.append(f"loop-invariant merge side cached (hash-partitioned): {term}")
+            return placed
+        return self.as_dataset(self.evaluate(term))
+
+    # ------------------------------------------------------------------
+    # loop-invariance helpers
+    # ------------------------------------------------------------------
+
+    def _term_is_invariant(self, term: ir.Term, bound: frozenset[str] = frozenset()) -> bool:
+        """Whether ``term``'s free variables are loop-invariant (or locally bound)."""
+        if self.loop_cache is None:
+            return False
+        invariants = self.loop_cache.invariants
+        return all(
+            name in invariants or name in bound for name in ir.free_variables(term)
+        )
+
+    def _node_invariant(self, build: _CompBuild, child_invariant: bool, *terms: ir.Term | None) -> bool:
+        """Invariance of a new plan node: child subtree, driver bindings and
+        every referenced term must be iteration-independent."""
+        if self.loop_cache is None or not build.driver_invariant or not child_invariant:
+            return False
+        bound = build.bound_names()
+        return all(
+            self._term_is_invariant(term, bound) for term in terms if term is not None
+        )
+
     # ------------------------------------------------------------------
     # comprehension evaluation
     # ------------------------------------------------------------------
 
     def evaluate_comprehension(self, comp: ir.Comprehension) -> Dataset | list[Any]:
-        """Build the dataflow for one comprehension.
+        """Build and lower the logical plan for one comprehension.
 
         Returns a Dataset when the comprehension ranges over at least one
         dataset generator, or a plain list for purely local comprehensions
         (e.g. singleton bags).
         """
-        rows: Dataset | None = None
-        bound_order: list[str] = []
-        driver_bindings: dict[str, Any] = {}
-        driver_alive = True
+        build = _CompBuild()
         consumed: set[int] = set()
         qualifiers = list(comp.qualifiers)
 
         for position, qualifier in enumerate(qualifiers):
             if position in consumed:
                 continue
-            if not driver_alive:
+            if not build.driver_alive or build.dead:
                 break
             if isinstance(qualifier, ir.Generator):
-                rows, bound_order, driver_bindings = self._generator(
-                    qualifier, qualifiers, position, consumed, rows, bound_order, driver_bindings
-                )
-                if rows is not None and rows.is_empty():
-                    # Nothing left to do; the result is empty regardless of the
-                    # remaining qualifiers.
-                    return self.env.context.empty()
+                self._generator(qualifier, qualifiers, position, consumed, build)
             elif isinstance(qualifier, ir.LetBinding):
-                rows, bound_order, driver_bindings = self._let(
-                    qualifier, rows, bound_order, driver_bindings
-                )
+                self._let(qualifier, build)
             elif isinstance(qualifier, ir.Condition):
-                rows, driver_alive = self._condition(qualifier, rows, driver_bindings, driver_alive)
+                self._condition(qualifier, build)
             elif isinstance(qualifier, ir.GroupBy):
-                rows, bound_order = self._group_by(
-                    qualifier, qualifiers[position + 1 :], comp.head, rows, bound_order, driver_bindings
-                )
+                self._group_by(qualifier, qualifiers[position + 1 :], comp.head, build)
             else:
                 raise CompilationError(f"unknown qualifier {qualifier!r}")
 
-        if not driver_alive:
+        if build.dead:
+            # Nothing left to do; the result is empty regardless of the
+            # remaining qualifiers.
+            return self.env.context.empty()
+        if not build.driver_alive:
             return []
-        if rows is None:
-            return [self.evaluate_local(comp.head, dict(driver_bindings))]
+        if build.rows is None:
+            return [self.evaluate_local(comp.head, dict(build.driver_bindings))]
         head = comp.head
-        base = dict(driver_bindings)
-        return rows.map(lambda row: self.evaluate_local(head, {**base, **row}))
+        base = dict(build.driver_bindings)
+        evaluator = self
+
+        def project_head(row: dict[str, Any]) -> Any:
+            return evaluator.evaluate_local(head, {**base, **row})
+
+        head_key_term = None
+        if isinstance(head, ir.CTuple) and len(head.elements) == 2:
+            head_key_term = head.elements[0]
+        node = NarrowNode(
+            kind=plan_mod.MAP,
+            function=project_head,
+            child=build.rows,
+            describe="head",
+            head_key_term=head_key_term,
+        )
+        node.sig = ("head", head)
+        node.invariant = self._node_invariant(build, build.rows.invariant, head)
+        return self._lower_plan(node)
+
+    def _lower_plan(self, root: PlanNode) -> Dataset:
+        self.last_plan = root
+        planner = Planner(self.env.context, self.trace, self.loop_cache)
+        return planner.lower(root)
 
     # -- generators -----------------------------------------------------------
 
@@ -183,18 +311,18 @@ class TermEvaluator:
         qualifiers: list[ir.Qualifier],
         position: int,
         consumed: set[int],
-        rows: Dataset | None,
-        bound_order: list[str],
-        driver_bindings: dict[str, Any],
-    ) -> tuple[Dataset | None, list[str], dict[str, Any]]:
+        build: _CompBuild,
+    ) -> None:
         pattern = qualifier.pattern
         domain = qualifier.domain
         domain_variables = ir.free_variables(domain)
-        row_dependent = rows is not None and any(name in bound_order for name in domain_variables)
+        row_dependent = build.rows is not None and any(
+            name in build.bound_order for name in domain_variables
+        )
 
         if row_dependent:
             # The domain depends on per-row values: expand it locally per row.
-            base = dict(driver_bindings)
+            base = dict(build.driver_bindings)
             evaluator = self
 
             def expand(row: dict[str, Any]) -> list[dict[str, Any]]:
@@ -207,52 +335,143 @@ class TermEvaluator:
                 return out
 
             self.trace.append(f"per-row expansion of generator over {domain}")
-            new_rows = rows.flat_map(expand)
-            return new_rows, bound_order + list(pattern.variables()), driver_bindings
+            node = NarrowNode(
+                kind=plan_mod.FLAT_MAP,
+                function=expand,
+                child=build.rows,
+                describe=f"expand {domain}",
+            )
+            node.sig = ("expand", pattern, domain)
+            node.invariant = self._node_invariant(build, build.rows.invariant, domain)
+            build.rows = node
+            build.bound_order.extend(pattern.variables())
+            return
 
-        dataset = self._domain_dataset(domain, driver_bindings)
+        dataset = self._domain_dataset(domain, build.driver_bindings)
+        domain_invariant = build.driver_invariant and self._term_is_invariant(
+            domain, frozenset(build.driver_bindings)
+        )
         if dataset is None:
             # The domain is a local (driver) bag: bind it per element.
-            bag = self._as_local_bag(self.evaluate_local(domain, dict(driver_bindings)))
-            if rows is None:
+            bag = self._as_local_bag(self.evaluate_local(domain, dict(build.driver_bindings)))
+            if build.rows is None:
                 if len(bag) == 1:
                     binding = _bind_pattern(pattern, bag[0])
-                    return None, bound_order, {**driver_bindings, **binding}
+                    build.driver_bindings.update(binding)
+                    build.driver_invariant = build.driver_invariant and domain_invariant
+                    return
                 dataset = self.env.context.parallelize(bag)
             else:
-                base = dict(driver_bindings)
+                if not bag:
+                    build.dead = True
+                    return
 
                 def expand_local(row: dict[str, Any]) -> list[dict[str, Any]]:
                     return [{**row, **_bind_pattern(pattern, element)} for element in bag]
 
-                new_rows = rows.flat_map(expand_local)
-                return new_rows, bound_order + list(pattern.variables()), driver_bindings
+                node = NarrowNode(
+                    kind=plan_mod.FLAT_MAP,
+                    function=expand_local,
+                    child=build.rows,
+                    describe=f"expand local {domain}",
+                )
+                node.sig = ("local-expand", pattern, domain)
+                node.invariant = self._node_invariant(build, build.rows.invariant, domain)
+                build.rows = node
+                build.bound_order.extend(pattern.variables())
+                return
 
-        if rows is None:
-            base = dict(driver_bindings)
-            new_rows = dataset.map(lambda element: {**_bind_pattern(pattern, element)})
+        if dataset.is_empty():
+            # A generator over an empty bag empties the whole comprehension:
+            # stop here so the remaining qualifiers' domains are never
+            # evaluated (the interpreter oracle never reaches them either).
+            build.dead = True
+            return
+
+        scan = ScanNode(dataset=dataset, term=domain, name=str(domain))
+        scan.sig = ("scan", domain)
+        scan.invariant = domain_invariant
+
+        if build.rows is None:
+            def bind_element(element: Any) -> dict[str, Any]:
+                return {**_bind_pattern(pattern, element)}
+
+            node = NarrowNode(
+                kind=plan_mod.MAP,
+                function=bind_element,
+                child=scan,
+                describe=f"bind {pattern}",
+            )
+            node.sig = ("bind", pattern)
+            node.invariant = scan.invariant
             self.trace.append(f"scan {domain}")
-            return new_rows, bound_order + list(pattern.variables()), driver_bindings
+            build.rows = node
+            build.bound_order.extend(pattern.variables())
+            return
 
         # Try to find equi-join conditions linking the new pattern to the rows
         # built so far.
         join_conditions = self._find_join_conditions(
-            qualifiers, position, consumed, set(bound_order), set(pattern.variables()), driver_bindings
+            qualifiers,
+            position,
+            consumed,
+            set(build.bound_order),
+            set(pattern.variables()),
+            build.driver_bindings,
         )
         if join_conditions:
-            new_rows = self._hash_join(rows, dataset, pattern, join_conditions, driver_bindings)
+            node = self._hash_join_node(build, scan, pattern, join_conditions, domain)
             for condition_position, _left, _right in join_conditions:
                 consumed.add(condition_position)
             self.trace.append(
                 f"hash join on {len(join_conditions)} key(s) with {domain}"
             )
         else:
-            new_rows = self._broadcast_product(rows, dataset, pattern)
+            node = self._product_node(build, scan, pattern, domain)
             self.trace.append(f"broadcast nested-loop join with {domain} (no join key)")
-        return new_rows, bound_order + list(pattern.variables()), driver_bindings
+        build.rows = node
+        build.bound_order.extend(pattern.variables())
 
     def _domain_dataset(self, domain: ir.Term, driver_bindings: dict[str, Any]) -> Dataset | None:
-        """Return the domain as a Dataset when it is naturally one, else None."""
+        """Return the domain as a Dataset when it is naturally one, else None.
+
+        Datasets are memoized per statement by the domain *term* (common
+        sub-expression elimination) and, when the term only mentions
+        loop-invariant variables, per while loop -- so a sub-term scanned by
+        several generators (or re-scanned every iteration) is computed once.
+        """
+        cacheable = not (ir.free_variables(domain) & set(driver_bindings))
+        cache_key = ("bag", domain)
+        if cacheable:
+            hit = self._term_dataset_cache.get(cache_key)
+            if hit is not None:
+                self.trace.append(f"CSE: reused sub-term dataset for {domain}")
+                return hit
+            if self.loop_cache is not None and self._term_is_invariant(domain):
+                loop_hit = self.loop_cache.get(cache_key)
+                if loop_hit is not None:
+                    self.env.context.metrics.record_loop_invariant_reuse()
+                    self.trace.append(f"loop-invariant sub-term reused: {domain}")
+                    self._term_dataset_cache[cache_key] = loop_hit
+                    return loop_hit
+        dataset = self._build_domain_dataset(domain, driver_bindings)
+        if dataset is not None and cacheable:
+            self._term_dataset_cache[cache_key] = dataset
+            if (
+                self.loop_cache is not None
+                and self.env.context.plan_optimize
+                and self._term_is_invariant(domain)
+                and not isinstance(domain, ir.CVar)
+            ):
+                # Environment variables are already shared objects; derived
+                # datasets (ranges, nested comprehensions) are worth hoisting.
+                self.loop_cache.put(cache_key, dataset, ir.free_variables(domain))
+                self.trace.append(f"loop-invariant sub-term cached: {domain}")
+        return dataset
+
+    def _build_domain_dataset(
+        self, domain: ir.Term, driver_bindings: dict[str, Any]
+    ) -> Dataset | None:
         if isinstance(domain, ir.CVar):
             value = self._lookup(domain.name, driver_bindings)
             if isinstance(value, Dataset):
@@ -323,78 +542,94 @@ class TermEvaluator:
     def _scalar_names(self) -> set[str]:
         return {name for name, value in self.env.values.items() if not isinstance(value, Dataset)}
 
-    def _hash_join(
+    def _hash_join_node(
         self,
-        rows: Dataset,
-        dataset: Dataset,
+        build: _CompBuild,
+        scan: ScanNode,
         pattern: ir.Pattern,
         join_conditions: list[tuple[int, ir.Term, ir.Term]],
-        driver_bindings: dict[str, Any],
-    ) -> Dataset:
-        base = dict(driver_bindings)
-        left_terms = [left for _, left, _ in join_conditions]
-        right_terms = [right for _, _, right in join_conditions]
+        domain: ir.Term,
+    ) -> HashJoinNode:
+        base = dict(build.driver_bindings)
+        left_terms = tuple(left for _, left, _ in join_conditions)
+        right_terms = tuple(right for _, _, right in join_conditions)
         evaluator = self
 
-        def left_key(row: dict[str, Any]) -> tuple[Any, ...]:
+        def left_key(row: dict[str, Any]) -> tuple[Any, Any]:
             local = {**base, **row}
-            return tuple(evaluator.evaluate_local(term, local) for term in left_terms)
+            return (
+                tuple(evaluator.evaluate_local(term, local) for term in left_terms),
+                row,
+            )
 
-        def right_key(element: Any) -> tuple[Any, ...]:
+        def right_key(element: Any) -> tuple[Any, Any]:
             local = {**base, **_bind_pattern(pattern, element)}
-            return tuple(evaluator.evaluate_local(term, local) for term in right_terms)
+            return (
+                tuple(evaluator.evaluate_local(term, local) for term in right_terms),
+                element,
+            )
 
-        keyed_rows = rows.map(lambda row: (left_key(row), row))
-        keyed_elements = dataset.map(lambda element: (right_key(element), element))
-        joined = keyed_rows.join(keyed_elements)
-        return joined.map(lambda pair: {**pair[1][0], **_bind_pattern(pattern, pair[1][1])})
+        def rebuild(pair: Any) -> dict[str, Any]:
+            return {**pair[1][0], **_bind_pattern(pattern, pair[1][1])}
 
-    def _broadcast_product(self, rows: Dataset, dataset: Dataset, pattern: ir.Pattern) -> Dataset:
+        node = HashJoinNode(
+            left=build.rows,
+            right=scan,
+            left_key_fn=left_key,
+            right_key_fn=right_key,
+            rebuild_fn=rebuild,
+            left_key_terms=left_terms,
+            right_key_terms=right_terms,
+            domain_label=str(domain),
+        )
+        node.sig = ("hash-join", left_terms, right_terms, pattern)
+        node.invariant = self._node_invariant(
+            build,
+            build.rows.invariant and scan.invariant,
+            *left_terms,
+            *right_terms,
+        )
+        return node
+
+    def _product_node(
+        self, build: _CompBuild, scan: ScanNode, pattern: ir.Pattern, domain: ir.Term
+    ) -> ProductNode:
         """Cartesian combination, broadcasting the smaller side when possible.
 
-        Reuses the runtime's join-strategy heuristic
-        (:func:`~repro.runtime.dataset.choose_broadcast_side` with the
-        context's ``broadcast_join_threshold``), so the query layer and
-        :meth:`Dataset.join` agree on one knob.
+        The strategy itself (broadcast vs. cartesian, which side) is chosen
+        by the planner at lowering time with the runtime's shared
+        ``broadcast_join_threshold`` heuristic.
         """
-        context = self.env.context
-        side = choose_broadcast_side(
-            rows.count(), dataset.count(), context.broadcast_join_threshold
+
+        def bind_right(element: Any) -> dict[str, Any]:
+            return _bind_pattern(pattern, element)
+
+        node = ProductNode(
+            left=build.rows,
+            right=scan,
+            bind_right_fn=bind_right,
+            domain_label=str(domain),
         )
-        if side == "right":
-            elements = dataset.collect()
-            context.metrics.record_broadcast()
-            context.metrics.record_join_strategy("broadcast")
-            return rows.flat_map(
-                lambda row: [{**row, **_bind_pattern(pattern, element)} for element in elements]
-            )
-        if side == "left":
-            row_list = rows.collect()
-            context.metrics.record_broadcast()
-            context.metrics.record_join_strategy("broadcast")
-            return dataset.flat_map(
-                lambda element: [{**row, **_bind_pattern(pattern, element)} for row in row_list]
-            )
-        context.metrics.record_join_strategy("cartesian")
-        product = rows.cartesian(dataset)
-        return product.map(lambda pair: {**pair[0], **_bind_pattern(pattern, pair[1])})
+        node.sig = ("product", pattern, domain)
+        node.invariant = self._node_invariant(
+            build, build.rows.invariant and scan.invariant
+        )
+        return node
 
     # -- let bindings and conditions ----------------------------------------------
 
-    def _let(
-        self,
-        qualifier: ir.LetBinding,
-        rows: Dataset | None,
-        bound_order: list[str],
-        driver_bindings: dict[str, Any],
-    ) -> tuple[Dataset | None, list[str], dict[str, Any]]:
+    def _let(self, qualifier: ir.LetBinding, build: _CompBuild) -> None:
         pattern = qualifier.pattern
         term = qualifier.term
-        if rows is None:
-            value = self.evaluate_local_or_dataset(term, dict(driver_bindings))
+        if build.rows is None:
+            value = self.evaluate_local_or_dataset(term, dict(build.driver_bindings))
             binding = _bind_pattern(pattern, value)
-            return None, bound_order, {**driver_bindings, **binding}
-        base = dict(driver_bindings)
+            build.driver_bindings.update(binding)
+            build.driver_invariant = build.driver_invariant and self._term_is_invariant(
+                term, frozenset(build.driver_bindings)
+            )
+            return
+        base = dict(build.driver_bindings)
         evaluator = self
 
         def add_binding(row: dict[str, Any]) -> dict[str, Any]:
@@ -402,22 +637,41 @@ class TermEvaluator:
             value = evaluator.evaluate_local(term, local)
             return {**row, **_bind_pattern(pattern, value)}
 
-        return rows.map(add_binding), bound_order + list(pattern.variables()), driver_bindings
+        node = NarrowNode(
+            kind=plan_mod.MAP,
+            function=add_binding,
+            child=build.rows,
+            describe=f"let {pattern}",
+            key_transparent=True,
+            binds=tuple(pattern.variables()),
+        )
+        node.sig = ("let", pattern, term)
+        node.invariant = self._node_invariant(build, build.rows.invariant, term)
+        build.rows = node
+        build.bound_order.extend(pattern.variables())
 
-    def _condition(
-        self,
-        qualifier: ir.Condition,
-        rows: Dataset | None,
-        driver_bindings: dict[str, Any],
-        driver_alive: bool,
-    ) -> tuple[Dataset | None, bool]:
-        if rows is None:
-            value = self.evaluate_local(qualifier.term, dict(driver_bindings))
-            return None, driver_alive and bool(value)
-        base = dict(driver_bindings)
+    def _condition(self, qualifier: ir.Condition, build: _CompBuild) -> None:
+        if build.rows is None:
+            value = self.evaluate_local(qualifier.term, dict(build.driver_bindings))
+            build.driver_alive = build.driver_alive and bool(value)
+            return
+        base = dict(build.driver_bindings)
         term = qualifier.term
         evaluator = self
-        return rows.filter(lambda row: bool(evaluator.evaluate_local(term, {**base, **row}))), driver_alive
+
+        def keep_row(row: dict[str, Any]) -> bool:
+            return bool(evaluator.evaluate_local(term, {**base, **row}))
+
+        node = NarrowNode(
+            kind=plan_mod.FILTER,
+            function=keep_row,
+            child=build.rows,
+            describe=f"filter {term}",
+            key_transparent=True,
+        )
+        node.sig = ("filter", term)
+        node.invariant = self._node_invariant(build, build.rows.invariant, term)
+        build.rows = node
 
     # -- group-by -------------------------------------------------------------------
 
@@ -426,34 +680,39 @@ class TermEvaluator:
         qualifier: ir.GroupBy,
         post_qualifiers: list[ir.Qualifier],
         head: ir.Term,
-        rows: Dataset | None,
-        bound_order: list[str],
-        driver_bindings: dict[str, Any],
-    ) -> tuple[Dataset | None, list[str]]:
-        if rows is None:
+        build: _CompBuild,
+    ) -> None:
+        if build.rows is None:
             # With no generators the group-by degenerates to a let of the key;
             # every "lifted" variable is already a single value.
-            key_value = self.evaluate_local(qualifier.key_term(), dict(driver_bindings))
-            driver_bindings.update(_bind_pattern(qualifier.pattern, key_value))
-            return None, bound_order
-        base = dict(driver_bindings)
+            key_value = self.evaluate_local(qualifier.key_term(), dict(build.driver_bindings))
+            build.driver_bindings.update(_bind_pattern(qualifier.pattern, key_value))
+            build.driver_invariant = build.driver_invariant and self._term_is_invariant(
+                qualifier.key_term(), frozenset(build.driver_bindings)
+            )
+            return
+        base = dict(build.driver_bindings)
         key_term = qualifier.key_term()
         pattern = qualifier.pattern
         pattern_variables = list(pattern.variables())
-        lifted = [name for name in bound_order if name not in pattern_variables]
+        lifted = [name for name in build.bound_order if name not in pattern_variables]
         evaluator = self
+        pattern_term = ir.pattern_to_term(pattern)
+
+        def key_row(row: dict[str, Any]) -> tuple[Any, Any]:
+            return (evaluator.evaluate_local(key_term, {**base, **row}), row)
 
         aggregation = self._aggregation_only_plan(head, post_qualifiers, pattern_variables, lifted)
         if aggregation is not None:
             op, value_name = aggregation
             monoid = self.env.monoids.get(op)
-            keyed = rows.map(
-                lambda row: (
+
+            def key_value_row(row: dict[str, Any]) -> tuple[Any, Any]:
+                return (
                     evaluator.evaluate_local(key_term, {**base, **row}),
                     row.get(value_name),
                 )
-            )
-            reduced = keyed.reduce_by_key(monoid.combine)
+
             self.trace.append(f"group-by on {key_term} compiled to reduceByKey({op})")
             aggregate_marker = f"__aggregate_{value_name}"
 
@@ -467,10 +726,21 @@ class TermEvaluator:
                 row[value_name] = _PreAggregated(value)
                 return row
 
-            return reduced.map(rebuild), pattern_variables + lifted
+            node = ReduceByKeyNode(
+                child=build.rows,
+                key_fn=key_value_row,
+                combine_fn=monoid.combine,
+                rebuild_fn=rebuild,
+                key_term=key_term,
+                pattern_term=pattern_term,
+                monoid_op=op,
+            )
+            node.sig = ("reduce-by-key", op, key_term, pattern)
+            node.invariant = self._node_invariant(build, build.rows.invariant, key_term)
+            build.rows = node
+            build.bound_order[:] = pattern_variables + lifted
+            return
 
-        keyed_rows = rows.map(lambda row: (evaluator.evaluate_local(key_term, {**base, **row}), row))
-        grouped = keyed_rows.group_by_key()
         self.trace.append(f"group-by on {key_term} compiled to groupByKey")
 
         def lift(pair: Any) -> dict[str, Any]:
@@ -480,7 +750,17 @@ class TermEvaluator:
                 row[name] = [member.get(name) for member in group_rows]
             return row
 
-        return grouped.map(lift), pattern_variables + lifted
+        node = GroupByKeyNode(
+            child=build.rows,
+            key_fn=key_row,
+            lift_fn=lift,
+            key_term=key_term,
+            pattern_term=pattern_term,
+        )
+        node.sig = ("group-by-key", key_term, pattern, tuple(lifted))
+        node.invariant = self._node_invariant(build, build.rows.invariant, key_term)
+        build.rows = node
+        build.bound_order[:] = pattern_variables + lifted
 
     @staticmethod
     def _aggregation_only_plan(
@@ -646,9 +926,16 @@ class TermEvaluator:
     def _as_local_bag(self, value: Any) -> list[Any]:
         if isinstance(value, Dataset):
             cache_key = id(value)
-            if cache_key not in self._local_bag_cache:
-                self._local_bag_cache[cache_key] = value.collect()
-            return self._local_bag_cache[cache_key]
+            entry = self._local_bag_cache.get(cache_key)
+            # The identity check guards against id() reuse: holding the
+            # dataset in the entry keeps it alive, so a live cache entry can
+            # only collide with a *different* object if the entry was
+            # planted externally -- recompute in that case.
+            if entry is not None and entry[0] is value:
+                return entry[1]
+            collected = value.collect()
+            self._local_bag_cache[cache_key] = (value, collected)
+            return collected
         if isinstance(value, dict):
             return list(value.items())
         if isinstance(value, (list, tuple, set)):

@@ -8,18 +8,24 @@ the generated plans have the shapes the paper describes (e.g. matrix multiply
 = one join + one reduceByKey; the DIABLO KMeans step contains a join with the
 centroid array that the hand-written version avoids by broadcasting).
 
-Two runtime-facing companions cover what static analysis cannot know:
-``explain_dataset`` renders a lazy Dataset's physical plan (its pending
-:class:`~repro.runtime.stage.ShuffleStage` nodes and fused narrow chains), and
+Three runtime-facing companions cover what static analysis cannot know:
+``explain_plan`` renders the partition-aware logical plan the evaluator
+builds for a comprehension (see :mod:`repro.algebra.plan`), including the
+planner's per-node decisions; ``explain_dataset`` renders a lazy Dataset's
+physical plan (its pending :class:`~repro.runtime.stage.ShuffleStage` nodes
+and fused narrow chains, plus shuffle-elimination notes); and
 ``explain_metrics`` formats the execution counters -- shuffle stages,
-records/bytes moved, combiner hit rate, and the join strategies the planner
-actually chose (broadcast vs. shuffle is a force-time, size-based decision).
+records/bytes moved, combiner hit rate, the join strategies the planner
+actually chose, and **which shuffles were eliminated and why** (narrow
+co-partitioned passes, pre-partitioned map-side bypasses, loop-invariant
+reuses).
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from repro.algebra import plan as plan_mod
 from repro.comprehension import ir
 from repro.runtime.dataset import Dataset
 from repro.runtime.metrics import Metrics
@@ -154,6 +160,17 @@ def _is_aggregation_only(
 # ---------------------------------------------------------------------------
 
 
+def explain_plan(node: plan_mod.PlanNode) -> str:
+    """Render a logical plan tree with the planner's per-node decisions.
+
+    Plans are exposed by :attr:`TermEvaluator.last_plan` after a
+    comprehension evaluates; nodes show loop-invariance, the key term their
+    rows are partitioned by, and annotations such as cached join sides or
+    preserved partitioners.
+    """
+    return plan_mod.render_plan(node)
+
+
 def explain_dataset(dataset: Dataset) -> str:
     """The physical plan of a (possibly pending) runtime Dataset.
 
@@ -168,9 +185,10 @@ def explain_metrics(metrics: Metrics) -> list[str]:
     """Format the execution counters a run actually produced.
 
     Reports the shuffle-stage breakdown (records and estimated bytes moved,
-    map/reduce task counts), the map-side combiner hit rate, and the join
-    strategies the planner chose -- the dynamic complement of the static
-    ``explain_term`` summary.
+    map/reduce task counts), the map-side combiner hit rate, the join
+    strategies the planner chose, and every shuffle the partition-aware
+    planner eliminated (with the reason) -- the dynamic complement of the
+    static ``explain_term`` summary.
     """
     lines = [
         f"shuffle stages: {metrics.shuffles} "
@@ -179,6 +197,18 @@ def explain_metrics(metrics: Metrics) -> list[str]:
     ]
     for operation, count in sorted(metrics.shuffle_operations.items()):
         lines.append(f"  {operation}: {count}")
+    if metrics.shuffles_eliminated or metrics.prepartitioned_inputs:
+        lines.append(
+            f"shuffles eliminated: {metrics.shuffles_eliminated} "
+            f"(narrow joins: {metrics.narrow_joins}, "
+            f"pre-partitioned map sides skipped: {metrics.prepartitioned_inputs})"
+        )
+        for entry in metrics.elimination_log:
+            lines.append(
+                f"  {entry['operation']} [{entry['kind']}]: {entry['reason']}"
+            )
+    if metrics.loop_invariant_reuses:
+        lines.append(f"loop-invariant reuses: {metrics.loop_invariant_reuses}")
     if metrics.combiner_input_records:
         lines.append(
             f"combiner: {metrics.combiner_input_records} -> "

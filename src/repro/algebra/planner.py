@@ -1,0 +1,313 @@
+"""The partition-aware planner: annotates and lowers logical plans.
+
+The :class:`Planner` consumes the :class:`~repro.algebra.plan.PlanNode` trees
+built by the :class:`~repro.algebra.evaluator.TermEvaluator` and produces
+runtime :class:`~repro.runtime.dataset.Dataset` dataflows.  Lowering emits
+exactly the Dataset operations the evaluator historically emitted inline, so
+results are record-for-record identical; what the planner adds are the
+*decisions* the inline emission could not make:
+
+* **partitioner propagation** (:meth:`Planner.annotate`): group-by nodes
+  place their output rows by the group key term; key-transparent nodes
+  (lets, conditions, rebuilds) pass that placement along; when the
+  comprehension head re-keys its output pairs by the same term, the chain is
+  lowered with ``preserves_partitioning=True`` and the runtime's
+  partitioner metadata survives -- enabling the Dataset layer's narrow
+  (shuffle-free) fast paths for every downstream merge, join and group-by
+  over the same key.
+* **plan-time join strategy** (:meth:`Planner._lower_product`): the
+  no-join-key nested loop picks broadcast vs. cartesian by comparing the
+  materialized side sizes against ``context.broadcast_join_threshold`` --
+  the same knob the runtime's hash joins use.
+* **loop-invariant caching**: subtrees whose :meth:`PlanNode.signature` is
+  defined (structurally identifiable *and* independent of every variable the
+  enclosing ``while`` body assigns) are looked up in the loop's
+  :class:`LoopInvariantCache`.  A hash-join side built from invariant data
+  is keyed, materialized and -- when too big to broadcast -- hash-partitioned
+  *once*; iterations 2+ reuse the placed dataset, so only the mutated side
+  of the join is ever re-shuffled (``metrics.loop_invariant_reuses`` counts
+  the hits).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable
+
+from repro.algebra import plan as plan_mod
+from repro.algebra.plan import (
+    FILTER,
+    FLAT_MAP,
+    MAP,
+    GroupByKeyNode,
+    HashJoinNode,
+    NarrowNode,
+    PlanNode,
+    ProductNode,
+    ReduceByKeyNode,
+    ScanNode,
+)
+from repro.comprehension import ir
+from repro.errors import ExecutionError
+from repro.runtime.context import DistributedContext
+from repro.runtime.dataset import Dataset, choose_broadcast_side
+from repro.runtime.partitioner import HashPartitioner
+
+
+class LoopInvariantCache:
+    """Datasets hoisted out of a ``while`` loop, keyed by plan signature.
+
+    Created by the :class:`~repro.algebra.runner.ProgramRunner` per ``while``
+    statement.  ``invariants`` are the environment variables the loop body
+    never assigns; only values derived exclusively from them are admitted.
+    Every entry records the environment variables it was derived from, so a
+    defensive :meth:`invalidate` on each assignment drops entries even if the
+    static analysis and the executed writes ever disagree.
+    """
+
+    def __init__(self, invariants: frozenset[str]):
+        self.invariants = invariants
+        self._entries: dict[Any, tuple[Any, frozenset[str]]] = {}
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def get(self, key: Any) -> Any | None:
+        entry = self._entries.get(key)
+        return entry[0] if entry is not None else None
+
+    def put(self, key: Any, value: Any, depends: frozenset[str]) -> None:
+        self._entries[key] = (value, frozenset(depends))
+
+    def invalidate(self, name: str) -> int:
+        """Drop every cached value derived from environment variable ``name``."""
+        stale = [key for key, (_value, depends) in self._entries.items() if name in depends]
+        for key in stale:
+            del self._entries[key]
+        return len(stale)
+
+
+def signature_env_deps(signature: Any) -> frozenset[str]:
+    """Environment variable names a plan signature's terms mention.
+
+    Bound row variables show up too; they are harmless extras -- invalidation
+    only ever asks about assigned program variables.
+    """
+    names: set[str] = set()
+
+    def walk(obj: Any) -> None:
+        if isinstance(obj, ir.Term):
+            names.update(ir.free_variables(obj))
+        elif isinstance(obj, tuple):
+            for element in obj:
+                walk(element)
+
+    walk(signature)
+    return frozenset(names)
+
+
+class Planner:
+    """Annotates a logical plan and lowers it to a runtime Dataset."""
+
+    def __init__(
+        self,
+        context: DistributedContext,
+        trace: list[str] | None = None,
+        loop_cache: LoopInvariantCache | None = None,
+    ):
+        self.context = context
+        self.trace = trace if trace is not None else []
+        self.loop_cache = loop_cache if context.plan_optimize else None
+        self._lowered: dict[int, Dataset] = {}
+
+    # -- the public entry point --------------------------------------------------
+
+    def lower(self, root: PlanNode) -> Dataset:
+        """Annotate ``root`` and lower it to a Dataset."""
+        self.annotate(root)
+        return self._lower(root)
+
+    # -- annotation --------------------------------------------------------------
+
+    def annotate(self, node: PlanNode) -> None:
+        """Post-order pass computing partitioner propagation decisions."""
+        for child in node.children:
+            self.annotate(child)
+        if not self.context.plan_optimize:
+            return
+        if isinstance(node, (ReduceByKeyNode, GroupByKeyNode)):
+            child_key = node.child.row_key_term
+            if child_key is not None and child_key == node.key_term:
+                node.input_prepartitioned = True
+                node.notes.append("input rows already placed by the group key")
+                # Thread the upstream group's runtime partitioner through the
+                # intermediate rebuild/let maps so the keying map's
+                # preserves_partitioning claim is backed by real metadata and
+                # the keyed shuffle lowers to a narrow pass.
+                self._mark_carry_chain(node.child)
+            node.row_key_term = node.pattern_term
+        elif isinstance(node, NarrowNode):
+            if node.key_transparent and node.child is not None:
+                incoming = node.child.row_key_term
+                if incoming is not None and set(node.binds) & ir.free_variables(incoming):
+                    # A let rebinding a variable of the key term: the rows
+                    # remain placed by the *old* value, so the claim (which a
+                    # later head would compare against the *new* binding)
+                    # must be dropped.
+                    incoming = None
+                node.row_key_term = incoming
+            if node.head_key_term is not None and node.child is not None:
+                incoming = node.child.row_key_term
+                if incoming is not None and incoming == node.head_key_term:
+                    node.carry_partitioner = True
+                    node.row_key_term = node.head_key_term
+                    node.notes.append(
+                        f"head re-keys by {node.head_key_term}: partitioner preserved"
+                    )
+                    self._mark_carry_chain(node.child)
+
+    def _mark_carry_chain(self, node: PlanNode) -> None:
+        """Thread ``preserves_partitioning`` from a group node to the head."""
+        current: PlanNode | None = node
+        while current is not None:
+            if isinstance(current, NarrowNode) and current.key_transparent:
+                current.carry_partitioner = True
+                current = current.child
+                continue
+            if isinstance(current, (ReduceByKeyNode, GroupByKeyNode)):
+                current.carry_partitioner = True
+            return
+
+    # -- lowering ----------------------------------------------------------------
+
+    def _lower(self, node: PlanNode) -> Dataset:
+        cached = self._lowered.get(id(node))
+        if cached is not None:
+            return cached
+        if isinstance(node, ScanNode):
+            dataset = node.dataset
+        elif isinstance(node, NarrowNode):
+            dataset = self._lower_narrow(node)
+        elif isinstance(node, HashJoinNode):
+            dataset = self._lower_hash_join(node)
+        elif isinstance(node, ProductNode):
+            dataset = self._lower_product(node)
+        elif isinstance(node, ReduceByKeyNode):
+            dataset = self._lower_reduce_by_key(node)
+        elif isinstance(node, GroupByKeyNode):
+            dataset = self._lower_group_by_key(node)
+        else:  # pragma: no cover - the evaluator only builds the above
+            raise ExecutionError(f"unknown plan node {node!r}")
+        self._lowered[id(node)] = dataset
+        return dataset
+
+    def _lower_narrow(self, node: NarrowNode) -> Dataset:
+        child = self._lower(node.child)
+        keep = node.carry_partitioner
+        if node.kind == MAP:
+            return child.map(node.function, preserves_partitioning=keep)
+        if node.kind == FLAT_MAP:
+            return child.flat_map(node.function, preserves_partitioning=keep)
+        if node.kind == FILTER:
+            return child.filter(node.function)
+        raise ExecutionError(f"unknown narrow plan kind {node.kind!r}")  # pragma: no cover
+
+    def _lower_hash_join(self, node: HashJoinNode) -> Dataset:
+        keyed_left = self._keyed_join_side(
+            node, node.left, node.left_key_fn, node.left_key_terms, "build rows"
+        )
+        keyed_right = self._keyed_join_side(
+            node, node.right, node.right_key_fn, node.right_key_terms, node.domain_label
+        )
+        joined = keyed_left.join(keyed_right)
+        return joined.map(node.rebuild_fn)
+
+    def _keyed_join_side(
+        self,
+        join: HashJoinNode,
+        side: PlanNode,
+        key_fn: Callable[[Any], Any],
+        key_terms: tuple[ir.Term, ...],
+        label: str,
+    ) -> Dataset:
+        """Lower one join input keyed by its join-key terms.
+
+        Loop-invariant sides are materialized once per loop: placed with the
+        shuffle's hash partitioner when they are too big to broadcast (the
+        runtime then skips their map-side shuffle on every iteration), plainly
+        cached otherwise (the broadcast build side is at least not recomputed).
+        """
+        cache_key = None
+        if self.loop_cache is not None:
+            side_signature = side.signature()
+            if side_signature is not None:
+                cache_key = ("join-side", side_signature, key_terms)
+                hit = self.loop_cache.get(cache_key)
+                if hit is not None:
+                    self.context.metrics.record_loop_invariant_reuse()
+                    self.trace.append(f"loop-invariant join side reused: {label}")
+                    join.notes.append(f"loop-invariant side reused: {label}")
+                    return hit
+        keyed = self._lower(side).map(key_fn)
+        if cache_key is not None:
+            keyed = keyed.materialize()
+            if keyed.count() > self.context.broadcast_join_threshold:
+                keyed = keyed.partition_by(HashPartitioner(self.context.num_partitions))
+                placement = "hash-partitioned"
+            else:
+                placement = "materialized"
+            self.loop_cache.put(cache_key, keyed, signature_env_deps(cache_key))
+            self.trace.append(f"loop-invariant join side cached ({placement}): {label}")
+            join.notes.append(f"loop-invariant side cached ({placement}): {label}")
+        return keyed
+
+    def _lower_product(self, node: ProductNode) -> Dataset:
+        """The no-key nested loop: broadcast the smaller side when it fits.
+
+        This is the plan-time broadcast-vs-shuffle selection for products --
+        the same heuristic (and threshold) the runtime applies to hash joins
+        at force time.
+        """
+        rows = self._lower(node.left)
+        dataset = self._lower(node.right)
+        context = self.context
+        bind = node.bind_right_fn
+        side = choose_broadcast_side(
+            rows.count(), dataset.count(), context.broadcast_join_threshold
+        )
+        if side == "right":
+            elements = dataset.collect()
+            context.metrics.record_broadcast()
+            context.metrics.record_join_strategy("broadcast")
+            node.notes.append("broadcast right side")
+            return rows.flat_map(
+                lambda row: [{**row, **bind(element)} for element in elements]
+            )
+        if side == "left":
+            row_list = rows.collect()
+            context.metrics.record_broadcast()
+            context.metrics.record_join_strategy("broadcast")
+            node.notes.append("broadcast left side (rows)")
+            return dataset.flat_map(
+                lambda element: [{**row, **bind(element)} for row in row_list]
+            )
+        context.metrics.record_join_strategy("cartesian")
+        node.notes.append("cartesian (both sides above the broadcast threshold)")
+        product = rows.cartesian(dataset)
+        return product.map(lambda pair: {**pair[0], **bind(pair[1])})
+
+    def _lower_reduce_by_key(self, node: ReduceByKeyNode) -> Dataset:
+        child = self._lower(node.child)
+        keyed = child.map(node.key_fn, preserves_partitioning=node.input_prepartitioned)
+        reduced = keyed.reduce_by_key(node.combine_fn)
+        return reduced.map(node.rebuild_fn, preserves_partitioning=node.carry_partitioner)
+
+    def _lower_group_by_key(self, node: GroupByKeyNode) -> Dataset:
+        child = self._lower(node.child)
+        keyed = child.map(node.key_fn, preserves_partitioning=node.input_prepartitioned)
+        grouped = keyed.group_by_key()
+        return grouped.map(node.lift_fn, preserves_partitioning=node.carry_partitioner)
+
+
+def render_plan(node: PlanNode) -> str:
+    """Re-exported for convenience (see :func:`repro.algebra.plan.render_plan`)."""
+    return plan_mod.render_plan(node)

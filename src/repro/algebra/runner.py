@@ -19,6 +19,19 @@ next statement may mutate (e.g. a loop reassigning the array it reads).
 Within a statement, chains of maps/filters between shuffles fuse into single
 per-partition passes; the run trace records how many fused stages each
 assignment executed.
+
+**Loop-invariant hoisting.**  Before entering a ``while`` loop the runner
+statically collects every variable the body assigns (including nested
+loops); the remaining environment variables are *loop-invariant*.  A
+:class:`~repro.algebra.planner.LoopInvariantCache` scoped to the loop is
+handed to each iteration's evaluators, which use it to evaluate invariant
+sub-terms and join/merge sides once -- materialized and hash-partitioned --
+and reuse them on iterations 2+, so only the data the loop actually mutates
+is recomputed and re-shuffled.  The cache is defensively invalidated on
+every assignment (entries record the variables they derive from), so a
+mutated variable can never serve stale data.  Per-iteration snapshots of the
+shuffle counters land in :attr:`ProgramResult.iteration_metrics`, which is
+how the benchmarks assert that iteration 2+ shuffles only the mutated side.
 """
 
 from __future__ import annotations
@@ -28,6 +41,7 @@ from dataclasses import dataclass, field
 from typing import Any
 
 from repro.algebra.evaluator import EvaluationEnvironment, TermEvaluator
+from repro.algebra.planner import LoopInvariantCache
 from repro.comprehension.monoids import DEFAULT_MONOIDS, MonoidRegistry
 from repro.errors import ExecutionError
 from repro.functions import DEFAULT_FUNCTIONS, FunctionRegistry
@@ -47,11 +61,16 @@ class ProgramResult:
         values: final value of every program variable (Datasets for arrays).
         wall_seconds: execution time.
         trace: the plan decisions logged by the evaluator (joins, group-bys).
+        iteration_metrics: one entry per executed ``while`` iteration with
+            the shuffle-counter deltas of that iteration (loop index,
+            iteration number, shuffles / shuffled_records / shuffled_bytes /
+            shuffles_eliminated / loop_invariant_reuses).
     """
 
     values: dict[str, Any]
     wall_seconds: float
     trace: list[str] = field(default_factory=list)
+    iteration_metrics: list[dict[str, int]] = field(default_factory=list)
 
     def __getitem__(self, name: str) -> Any:
         return self.values[name]
@@ -89,6 +108,28 @@ class ProgramResult:
         return values
 
 
+@dataclass
+class _RunState:
+    """Mutable bookkeeping threaded through one program execution."""
+
+    trace: list[str]
+    iteration_metrics: list[dict[str, int]] = field(default_factory=list)
+    loop_cache: LoopInvariantCache | None = None
+    loops_seen: int = 0
+
+
+#: The shuffle counters snapshotted per while-loop iteration.
+_ITERATION_COUNTERS = (
+    "shuffles",
+    "shuffled_records",
+    "shuffled_bytes",
+    "shuffles_eliminated",
+    "narrow_joins",
+    "prepartitioned_inputs",
+    "loop_invariant_reuses",
+)
+
+
 class ProgramRunner:
     """Runs translated target programs on a :class:`DistributedContext`."""
 
@@ -107,10 +148,12 @@ class ProgramRunner:
         started = time.perf_counter()
         values = self._prepare_inputs(program, inputs or {})
         environment = EvaluationEnvironment(self.context, values, self.functions, self.monoids)
-        trace: list[str] = []
-        self._execute_block(program.statements, program, environment, trace)
+        state = _RunState(trace=[])
+        self._execute_block(program.statements, program, environment, state)
         elapsed = time.perf_counter() - started
-        return ProgramResult(environment.values, elapsed, trace)
+        return ProgramResult(
+            environment.values, elapsed, state.trace, state.iteration_metrics
+        )
 
     # -- input preparation ------------------------------------------------------
 
@@ -149,13 +192,13 @@ class ProgramRunner:
         statements: tuple[TargetStatement, ...],
         program: TargetProgram,
         environment: EvaluationEnvironment,
-        trace: list[str],
+        state: _RunState,
     ) -> None:
         for statement in statements:
             if isinstance(statement, TargetAssign):
-                self._execute_assign(statement, program, environment, trace)
+                self._execute_assign(statement, program, environment, state)
             elif isinstance(statement, TargetWhile):
-                self._execute_while(statement, program, environment, trace)
+                self._execute_while(statement, program, environment, state)
             else:
                 raise ExecutionError(f"unknown target statement {statement!r}")
 
@@ -164,9 +207,9 @@ class ProgramRunner:
         statement: TargetAssign,
         program: TargetProgram,
         environment: EvaluationEnvironment,
-        trace: list[str],
+        state: _RunState,
     ) -> None:
-        evaluator = TermEvaluator(environment, trace)
+        evaluator = TermEvaluator(environment, state.trace, state.loop_cache)
         fused_before = self.context.metrics.fused_stages
         shuffles_before = self.context.metrics.shuffles
         result = evaluator.evaluate(statement.term)
@@ -185,7 +228,12 @@ class ProgramRunner:
             # so it must run before this statement completes.
             result.materialize()
             environment.values[statement.variable] = result
-        self._trace_fusion(statement.variable, fused_before, shuffles_before, trace)
+        if state.loop_cache is not None:
+            # Belt and braces: the invariant analysis already excludes every
+            # assigned variable, but a cache keyed on stale data would be a
+            # silent wrong answer -- drop anything derived from this name.
+            state.loop_cache.invalidate(statement.variable)
+        self._trace_fusion(statement.variable, fused_before, shuffles_before, state.trace)
 
     def _trace_fusion(
         self, variable: str, fused_before: int, shuffles_before: int, trace: list[str]
@@ -222,27 +270,70 @@ class ProgramRunner:
             return self.context.parallelize_raw(list(value))
         return value
 
+    # -- while loops -------------------------------------------------------------
+
+    @staticmethod
+    def _assigned_variables(statements: tuple[TargetStatement, ...]) -> set[str]:
+        """Every variable a statement block assigns, nested loops included."""
+        assigned: set[str] = set()
+        for statement in statements:
+            if isinstance(statement, TargetAssign):
+                assigned.add(statement.variable)
+            elif isinstance(statement, TargetWhile):
+                assigned |= ProgramRunner._assigned_variables(statement.body)
+        return assigned
+
     def _execute_while(
         self,
         statement: TargetWhile,
         program: TargetProgram,
         environment: EvaluationEnvironment,
-        trace: list[str],
+        state: _RunState,
     ) -> None:
+        assigned = self._assigned_variables(statement.body)
+        invariants = frozenset(name for name in environment.values if name not in assigned)
+        loop_cache = LoopInvariantCache(invariants) if self.context.plan_optimize else None
+        outer_cache = state.loop_cache
+        state.loop_cache = loop_cache
+        state.loops_seen += 1
+        loop_index = state.loops_seen
+        if loop_cache is not None and invariants:
+            state.trace.append(
+                f"while loop {loop_index}: loop-invariant variables "
+                f"{{{', '.join(sorted(invariants))}}}"
+            )
+        metrics = self.context.metrics
         iterations = 0
-        while True:
-            evaluator = TermEvaluator(environment, trace)
-            condition = evaluator.evaluate(statement.condition)
-            if isinstance(condition, Dataset):
-                condition_values = condition.take(1)
-            elif isinstance(condition, list):
-                condition_values = condition[:1]
-            else:
-                condition_values = [condition]
-            alive = bool(condition_values[0]) if condition_values else False
-            if not alive:
-                return
-            self._execute_block(statement.body, program, environment, trace)
-            iterations += 1
-            if iterations > MAX_WHILE_ITERATIONS:
-                raise ExecutionError("while loop exceeded the iteration limit")
+        try:
+            while True:
+                evaluator = TermEvaluator(environment, state.trace, state.loop_cache)
+                condition = evaluator.evaluate(statement.condition)
+                if isinstance(condition, Dataset):
+                    condition_values = condition.take(1)
+                elif isinstance(condition, list):
+                    condition_values = condition[:1]
+                else:
+                    condition_values = [condition]
+                alive = bool(condition_values[0]) if condition_values else False
+                if not alive:
+                    return
+                before = {name: getattr(metrics, name) for name in _ITERATION_COUNTERS}
+                self._execute_block(statement.body, program, environment, state)
+                iterations += 1
+                snapshot = {
+                    name: getattr(metrics, name) - before[name]
+                    for name in _ITERATION_COUNTERS
+                }
+                snapshot["loop"] = loop_index
+                snapshot["iteration"] = iterations
+                state.iteration_metrics.append(snapshot)
+                state.trace.append(
+                    f"while loop {loop_index} iteration {iterations}: "
+                    f"{snapshot['shuffles']} shuffle(s), "
+                    f"{snapshot['shuffled_bytes']} bytes shuffled, "
+                    f"{snapshot['loop_invariant_reuses']} loop-invariant reuse(s)"
+                )
+                if iterations > MAX_WHILE_ITERATIONS:
+                    raise ExecutionError("while loop exceeded the iteration limit")
+        finally:
+            state.loop_cache = outer_cache

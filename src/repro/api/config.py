@@ -53,6 +53,10 @@ class DiabloConfig:
             applies as a fallback).  Affects memory use only, never results.
         spill_dir: directory for shuffle spill files (``None`` = system temp
             dir or ``DIABLO_SPILL_DIR``).
+        plan_optimize: partition-aware plan optimization -- shuffle
+            elimination over co-partitioned inputs, pre-partitioned map-side
+            bypass and while-loop invariant caching.  Affects performance
+            and structural metrics only, never results.
         check_restrictions: reject programs violating Definition 3.1.
         optimize: apply the Section 3.6 / Section 4 rewrites.
     """
@@ -64,6 +68,7 @@ class DiabloConfig:
     broadcast_join_threshold: int = DEFAULT_BROADCAST_JOIN_THRESHOLD
     spill_threshold_bytes: int | None = None
     spill_dir: str | None = None
+    plan_optimize: bool = True
     check_restrictions: bool = True
     optimize: bool = True
 
@@ -102,6 +107,7 @@ class DiabloConfig:
             self.broadcast_join_threshold,
             self.spill_threshold_bytes,
             self.spill_dir,
+            self.plan_optimize,
         )
 
     def compiler_options(self) -> dict[str, bool]:

@@ -88,6 +88,11 @@ class DistributedContext:
             only affects memory use, never results.
         spill_dir: directory hosting the spill files (``None`` = the system
             temp dir, or ``DIABLO_SPILL_DIR`` when set).
+        plan_optimize: enable partition-aware shuffle elimination (narrow
+            keyed passes, co-partitioned zip joins, pre-partitioned map-side
+            bypass).  On by default; turning it off forces every wide
+            operator down the full shuffle path (ablation / debugging knob;
+            only affects performance and metrics, never results).
     """
 
     def __init__(
@@ -99,6 +104,7 @@ class DistributedContext:
         broadcast_join_threshold: int = DEFAULT_BROADCAST_JOIN_THRESHOLD,
         spill_threshold_bytes: int | None = None,
         spill_dir: str | None = None,
+        plan_optimize: bool = True,
     ):
         if num_partitions <= 0:
             raise ValueError("num_partitions must be positive")
@@ -109,6 +115,7 @@ class DistributedContext:
         self.num_threads = num_threads or num_partitions
         self.num_processes = num_processes or min(num_partitions, os.cpu_count() or 2)
         self.broadcast_join_threshold = broadcast_join_threshold
+        self.plan_optimize = plan_optimize
         if spill_threshold_bytes is None:
             spill_threshold_bytes = _spill_threshold_from_env()
         self.spill_threshold_bytes = spill_threshold_bytes
@@ -136,6 +143,7 @@ class DistributedContext:
             broadcast_join_threshold=config.broadcast_join_threshold,
             spill_threshold_bytes=config.spill_threshold_bytes,
             spill_dir=config.spill_dir,
+            plan_optimize=getattr(config, "plan_optimize", True),
         )
 
     # -- dataset creation -------------------------------------------------------
@@ -326,7 +334,20 @@ class DistributedContext:
                 chain += (
                     NarrowStage(stage_mod.MAP, functools.partial(stage_mod.tag_record, input_index)),
                 )
-            if shuffle.partitioner is None:
+            if self._can_bypass_map_side(shuffle, shuffle_input, len(source_partitions)):
+                # The input is already partitioned exactly like the shuffle:
+                # partition i's records all belong to reduce partition i, so
+                # the bucketing/spilling pass is skipped and this side moves
+                # zero shuffle traffic (the narrow chain still runs).
+                writer = functools.partial(
+                    stage_mod.prepartitioned_write, shuffle.num_output_partitions
+                )
+                self.metrics.record_prepartitioned_input(
+                    shuffle.operation,
+                    f"input {input_index} already partitioned by "
+                    f"{type(shuffle.partitioner).__name__}({shuffle.partitioner.num_partitions})",
+                )
+            elif shuffle.partitioner is None:
                 writer = functools.partial(
                     stage_mod.repartition_write,
                     shuffle.num_output_partitions,
@@ -399,6 +420,28 @@ class DistributedContext:
             shuffle.operation, total_records, total_bytes, map_tasks, reduce_tasks
         )
         return result, shuffle.result_partitioner
+
+    def _can_bypass_map_side(
+        self, shuffle: ShuffleStage, shuffle_input: Any, num_source_partitions: int
+    ) -> bool:
+        """Whether one shuffle input needs no map-side bucketing pass.
+
+        Requires the input's effective partitioner (tracked through its
+        pending narrow chain) to equal the shuffle's bucketing partitioner,
+        with default pair-key bucketing and no map-side combiner (single-
+        input combiner operators are already eliminated at the Dataset layer,
+        so this guard is for correctness, not coverage).
+        """
+        return (
+            self.plan_optimize
+            and shuffle.partitioner is not None
+            and shuffle.key_function is None
+            and shuffle.sort_ascending is None
+            and shuffle_input.combiner is None
+            and shuffle_input.partitioner is not None
+            and shuffle_input.partitioner == shuffle.partitioner
+            and num_source_partitions == shuffle.num_output_partitions
+        )
 
     def _try_broadcast_join(self, shuffle: ShuffleStage) -> tuple[list[list[Any]], Any] | None:
         """Resolve a join with an auto/broadcast strategy.

@@ -117,6 +117,7 @@ class Dataset:
     ):
         self.context = context
         self.partitioner = partitioner
+        self.provenance: str | None = None
         self._materialized: list[list[Any]] | None = partitions
         self._source: "Dataset" | None = None
         self._stages: tuple[NarrowStage, ...] = ()
@@ -136,6 +137,7 @@ class Dataset:
         dataset = cls.__new__(cls)
         dataset.context = source.context
         dataset.partitioner = partitioner
+        dataset.provenance = None
         dataset._materialized = None
         dataset._source = source
         dataset._stages = stages
@@ -150,6 +152,7 @@ class Dataset:
         dataset = cls.__new__(cls)
         dataset.context = context
         dataset.partitioner = shuffle.result_partitioner
+        dataset.provenance = None
         dataset._materialized = None
         dataset._source = None
         dataset._stages = ()
@@ -331,7 +334,8 @@ class Dataset:
             suffix = (
                 f", partitioner={type(self.partitioner).__name__}" if self.partitioner else ""
             )
-            lines.append(f"{pad}Source[{len(materialized)} partitions{suffix}]")
+            note = f" (shuffle eliminated: {self.provenance})" if self.provenance else ""
+            lines.append(f"{pad}Source[{len(materialized)} partitions{suffix}]{note}")
             return
         if shuffle is not None:
             combiner = "yes" if any(inp.combiner for inp in shuffle.inputs) else "no"
@@ -348,18 +352,34 @@ class Dataset:
                 else:
                     shuffle_input.source._explain_into(lines, depth + 1)
             return
-        lines.append(f"{pad}NarrowChain({stage_mod.describe(stages)})")
+        note = f" (shuffle eliminated: {self.provenance})" if self.provenance else ""
+        lines.append(f"{pad}NarrowChain({stage_mod.describe(stages)}){note}")
         source._explain_into(lines, depth + 1)
 
     # -- narrow transformations --------------------------------------------------
 
-    def map(self, function: Callable[[Any], Any]) -> "Dataset":
-        """Apply ``function`` to every record (lazy)."""
-        return self._with_stage(NarrowStage(stage_mod.MAP, function))
+    def map(self, function: Callable[[Any], Any], preserves_partitioning: bool = False) -> "Dataset":
+        """Apply ``function`` to every record (lazy).
 
-    def flat_map(self, function: Callable[[Any], Iterable[Any]]) -> "Dataset":
-        """Apply ``function`` and concatenate the resulting iterables (lazy)."""
-        return self._with_stage(NarrowStage(stage_mod.FLAT_MAP, function))
+        Pass ``preserves_partitioning=True`` only when ``function`` keeps
+        every key-value record's key unchanged: the result then keeps the
+        partitioner metadata, enabling downstream shuffle elimination.
+        """
+        return self._with_stage(
+            NarrowStage(stage_mod.MAP, function), keep_partitioner=preserves_partitioning
+        )
+
+    def flat_map(
+        self, function: Callable[[Any], Iterable[Any]], preserves_partitioning: bool = False
+    ) -> "Dataset":
+        """Apply ``function`` and concatenate the resulting iterables (lazy).
+
+        ``preserves_partitioning`` as in :meth:`map`: every emitted record
+        must keep the key of the record it came from.
+        """
+        return self._with_stage(
+            NarrowStage(stage_mod.FLAT_MAP, function), keep_partitioner=preserves_partitioning
+        )
 
     flatMap = flat_map
 
@@ -513,6 +533,93 @@ class Dataset:
 
     # -- shuffle transformations ------------------------------------------------------
 
+    def _narrow_keyed_eligible(self, partitioner: Partitioner | None) -> bool:
+        """Whether a keyed wide operator over this dataset needs no shuffle.
+
+        True when the (pending-aware) partitioner metadata proves every key's
+        records already live in a single partition and the caller did not
+        request a *different* placement.
+        """
+        return (
+            self.context.plan_optimize
+            and self.partitioner is not None
+            and (partitioner is None or partitioner == self.partitioner)
+        )
+
+    def _narrow_keyed_pass(self, operation: str, function: Callable[[list[Any]], list[Any]]) -> "Dataset":
+        """Lower a keyed wide operator to a per-partition narrow pass.
+
+        The per-partition ``function`` mirrors the operator's reduce-side
+        bucket processor, so the output is record-for-record identical to the
+        shuffle it replaces (see :mod:`repro.runtime.stage`).
+
+        The elimination counters are recorded here, at *plan* time (the
+        narrow pass itself stays lazy): they count operators planned without
+        a shuffle, the mirror image of ``metrics.shuffles`` which counts
+        shuffles actually executed.
+        """
+        reason = f"input already partitioned by {_partitioner_label(self.partitioner)}"
+        self.context.metrics.record_shuffle_eliminated(operation, reason)
+        result = self._with_stage(
+            NarrowStage(stage_mod.PARTITIONS, function), keep_partitioner=True
+        )
+        result.provenance = f"{operation}: {reason}"
+        return result
+
+    def _narrow_zip_eligible(self, other: "Dataset", partitioner: Partitioner | None) -> bool:
+        """Whether a two-input wide operator can run as a narrow zip stage."""
+        return (
+            self.context.plan_optimize
+            and self.partitioner is not None
+            and self.partitioner == other.partitioner
+            and (partitioner is None or partitioner == self.partitioner)
+        )
+
+    def _zip_narrow(
+        self,
+        other: "Dataset",
+        operation: str,
+        task_function: Callable[[list[Any]], list[Any]],
+        is_join: bool = False,
+    ) -> "Dataset | None":
+        """Run a co-partitioned two-input wide operator as a narrow zip stage.
+
+        Each task receives ``[left partition, right partition]`` -- the exact
+        records the shuffle would have routed to that reduce partition, in
+        the same order -- and applies the operator's bucket logic.  Returns
+        None when the partition counts disagree (metadata was stale; the
+        caller falls back to the shuffle path).
+
+        Runs **eagerly** (like ``partition_by``): zipping needs both sides'
+        real partitions, so the pass executes at call time rather than
+        becoming a pending plan node.  Callers in this stack force joins at
+        statement boundaries anyway; the trade is noted here because it
+        shifts *when* upstream user-code exceptions surface.
+        """
+        left_partitions = self.partitions
+        right_partitions = other.partitions
+        if len(left_partitions) != len(right_partitions):
+            return None
+        combined = [
+            [left, right] for left, right in zip(left_partitions, right_partitions)
+        ]
+        stages = (NarrowStage(stage_mod.PARTITIONS, task_function),)
+        new_partitions = self.context.run_tasks(
+            stage_mod.compose(stages), combined, task_spec=stages
+        )
+        metrics = self.context.metrics
+        metrics.record_narrow(
+            len(combined),
+            sum(len(left) + len(right) for left, right in zip(left_partitions, right_partitions)),
+        )
+        reason = f"both sides partitioned by {_partitioner_label(self.partitioner)}"
+        metrics.record_shuffle_eliminated(operation, reason, narrow_join=True)
+        if is_join:
+            metrics.record_join_strategy("narrow")
+        result = Dataset(self.context, new_partitions, self.partitioner)
+        result.provenance = f"{operation}: {reason}"
+        return result
+
     def _key_shuffle(
         self,
         operation: str,
@@ -526,9 +633,13 @@ class Dataset:
         wide operator shares (Section 'shuffles are plan nodes')."""
         chosen = partitioner or self.partitioner or HashPartitioner(self.context.num_partitions)
         source, stages, captured = self._capture_plan()
+        # ``extra_map_stages`` re-key the records (distinct keys them by
+        # themselves), so the captured partitioner metadata no longer
+        # describes the keys being bucketed.
+        claimed = None if extra_map_stages else self.partitioner
         shuffle = ShuffleStage(
             operation=operation,
-            inputs=(ShuffleInput(source, stages + extra_map_stages, combiner, captured),),
+            inputs=(ShuffleInput(source, stages + extra_map_stages, combiner, captured, claimed),),
             num_output_partitions=chosen.num_partitions,
             reduce_stages=reduce_stages,
             partitioner=chosen,
@@ -566,7 +677,14 @@ class Dataset:
         return Dataset._pending_shuffle(self.context, shuffle)
 
     def group_by_key(self, partitioner: Partitioner | None = None) -> "Dataset":
-        """Group a key-value dataset into ``(key, [values])`` (a shuffle)."""
+        """Group a key-value dataset into ``(key, [values])``.
+
+        A shuffle -- unless the input already carries the required
+        partitioner, in which case each partition groups independently with
+        no :class:`ShuffleStage` at all.
+        """
+        if self._narrow_keyed_eligible(partitioner):
+            return self._narrow_keyed_pass("groupByKey", stage_mod.narrow_group_partition)
         return self._key_shuffle(
             "groupByKey",
             partitioner,
@@ -590,8 +708,15 @@ class Dataset:
         This mirrors Spark: the combiner runs inside the map-side shuffle
         tasks (which also report the record counts the metrics need -- no
         extra driver pass over the data), so only one record per
-        (partition, key) crosses the shuffle.
+        (partition, key) crosses the shuffle.  On an input that already
+        carries the required partitioner the whole operator runs as a
+        per-partition narrow pass instead -- no shuffle.
         """
+        if self._narrow_keyed_eligible(partitioner):
+            return self._narrow_keyed_pass(
+                "reduceByKey",
+                functools.partial(stage_mod.apply_combiner, ("reduce", function)),
+            )
         return self._key_shuffle(
             "reduceByKey",
             partitioner,
@@ -613,6 +738,11 @@ class Dataset:
         partitioner: Partitioner | None = None,
     ) -> "Dataset":
         """Per-key aggregation with a zero element (Spark's aggregateByKey)."""
+        if self._narrow_keyed_eligible(partitioner):
+            return self._narrow_keyed_pass(
+                "aggregateByKey",
+                functools.partial(stage_mod.apply_combiner, ("seq", zero, seq_op)),
+            )
         return self._key_shuffle(
             "aggregateByKey",
             partitioner,
@@ -712,8 +842,8 @@ class Dataset:
         shuffle = ShuffleStage(
             operation=operation,
             inputs=(
-                ShuffleInput(left_source, left_stages, None, left_captured),
-                ShuffleInput(right_source, right_stages, None, right_captured),
+                ShuffleInput(left_source, left_stages, None, left_captured, self.partitioner),
+                ShuffleInput(right_source, right_stages, None, right_captured, other.partitioner),
             ),
             num_output_partitions=chosen.num_partitions,
             reduce_stages=reduce_stages,
@@ -725,7 +855,15 @@ class Dataset:
         return Dataset._pending_shuffle(self.context, shuffle)
 
     def co_group(self, other: "Dataset", partitioner: Partitioner | None = None) -> "Dataset":
-        """Group two key-value datasets by key: ``(key, ([left values], [right values]))``."""
+        """Group two key-value datasets by key: ``(key, ([left values], [right values]))``.
+
+        Co-partitioned inputs (equal partitioners) co-group as a narrow zip
+        stage with no shuffle.
+        """
+        if self._narrow_zip_eligible(other, partitioner):
+            narrow = self._zip_narrow(other, "coGroup", stage_mod.zip_cogroup_partition)
+            if narrow is not None:
+                return narrow
         chosen = partitioner or HashPartitioner(self.context.num_partitions)
         return self._two_sided_shuffle(
             other,
@@ -752,6 +890,15 @@ class Dataset:
         if strategy not in JOIN_STRATEGIES:
             raise ValueError(f"unknown join strategy {strategy!r}")
         operation = "join" if how == "inner" else f"{how}OuterJoin"
+        if strategy != "broadcast" and self._narrow_zip_eligible(other, partitioner):
+            narrow = self._zip_narrow(
+                other,
+                operation,
+                functools.partial(stage_mod.zip_join_partition, how),
+                is_join=True,
+            )
+            if narrow is not None:
+                return narrow
         return self._two_sided_shuffle(
             other,
             operation,
@@ -820,7 +967,12 @@ class Dataset:
     # -- array-merge helpers (Section 3.4) ------------------------------------------
 
     def merge(self, other: "Dataset") -> "Dataset":
-        """The ⊳ operation: union of two key-value datasets, right side wins."""
+        """The ⊳ operation: union of two key-value datasets, right side wins.
+
+        The per-key selection keeps each record's key, so the coGroup's
+        partitioner survives -- chained merges on the same key then co-group
+        as narrow zip stages instead of re-shuffling.
+        """
         grouped = self.co_group(other)
 
         def choose(record: Any) -> list[Any]:
@@ -829,10 +981,13 @@ class Dataset:
                 return [(key, right_values[-1])]
             return [(key, left_values[-1])]
 
-        return grouped.flat_map(choose)
+        return grouped.flat_map(choose, preserves_partitioning=True)
 
     def merge_with(self, other: "Dataset", function: Callable[[Any, Any], Any]) -> "Dataset":
-        """The ⊕-aware merge ⊳⊕: combine values present on both sides with ``function``."""
+        """The ⊕-aware merge ⊳⊕: combine values present on both sides with ``function``.
+
+        Key-preserving like :meth:`merge`, so the partitioner survives.
+        """
         grouped = self.co_group(other)
 
         def combine(record: Any) -> list[Any]:
@@ -846,7 +1001,14 @@ class Dataset:
                 merged = function(left_values[-1], merged)
             return [(key, merged)]
 
-        return grouped.flat_map(combine)
+        return grouped.flat_map(combine, preserves_partitioning=True)
+
+
+def _partitioner_label(partitioner: Partitioner | None) -> str:
+    """Human-readable partitioner tag for traces and explain output."""
+    if partitioner is None:
+        return "None"
+    return f"{type(partitioner).__name__}({partitioner.num_partitions})"
 
 
 def _reduce_list(values: list[Any], function: Callable[[Any, Any], Any]) -> Any:

@@ -61,12 +61,30 @@ class Metrics:
     #: reached between flushes -- should hover near the spill threshold when
     #: spilling is active (only tracked while spilling is enabled).
     peak_shuffle_memory: int = 0
+    #: Wide operators that executed with *no* ShuffleStage at all because
+    #: their input(s) already carried the required partitioner (narrow
+    #: reduce/group/aggregate passes and co-partitioned narrow joins).
+    shuffles_eliminated: int = 0
+    #: Joins / co-groups executed as co-partitioned narrow zip stages
+    #: (a subset of ``shuffles_eliminated``).
+    narrow_joins: int = 0
+    #: Shuffle inputs whose map-side bucketing pass was skipped because the
+    #: input was already partitioned by the shuffle's partitioner (the other
+    #: side still shuffles; this side moves zero records/bytes).
+    prepartitioned_inputs: int = 0
+    #: Loop-invariant datasets reused from the while-loop cache instead of
+    #: being recomputed (and re-shuffled) by a later iteration.
+    loop_invariant_reuses: int = 0
     #: Per-operation shuffle counts (operation name -> count).
     shuffle_operations: dict[str, int] = field(default_factory=dict)
     #: Chosen join strategies ("broadcast" / "shuffle" / "cartesian" -> count).
     join_strategies: dict[str, int] = field(default_factory=dict)
     #: Per-stage detail log: one dict per executed shuffle stage.
     shuffle_stage_log: list[dict] = field(default_factory=list)
+    #: One dict per eliminated (or partially eliminated) shuffle:
+    #: ``{"operation": ..., "kind": "narrow"|"prepartitioned-input",
+    #: "reason": ...}`` -- rendered by ``explain_metrics``.
+    elimination_log: list[dict] = field(default_factory=list)
 
     def record_shuffle(self, operation: str, records: int) -> None:
         """Account for one shuffle stage moving ``records`` records."""
@@ -117,6 +135,26 @@ class Metrics:
         self.spill_files += spill_files
         self.peak_shuffle_memory = max(self.peak_shuffle_memory, peak_memory)
 
+    def record_shuffle_eliminated(self, operation: str, reason: str, narrow_join: bool = False) -> None:
+        """Account for one wide operator lowered to a narrow (shuffle-free) pass."""
+        self.shuffles_eliminated += 1
+        if narrow_join:
+            self.narrow_joins += 1
+        self.elimination_log.append(
+            {"operation": operation, "kind": "narrow", "reason": reason}
+        )
+
+    def record_prepartitioned_input(self, operation: str, reason: str) -> None:
+        """Account for one shuffle input whose map-side shuffle was skipped."""
+        self.prepartitioned_inputs += 1
+        self.elimination_log.append(
+            {"operation": operation, "kind": "prepartitioned-input", "reason": reason}
+        )
+
+    def record_loop_invariant_reuse(self) -> None:
+        """Account for one loop-invariant dataset served from the loop cache."""
+        self.loop_invariant_reuses += 1
+
     def record_join_strategy(self, strategy: str) -> None:
         """Account for one join planned as ``strategy``."""
         self.join_strategies[strategy] = self.join_strategies.get(strategy, 0) + 1
@@ -164,9 +202,14 @@ class Metrics:
         self.spilled_bytes = 0
         self.spill_files = 0
         self.peak_shuffle_memory = 0
+        self.shuffles_eliminated = 0
+        self.narrow_joins = 0
+        self.prepartitioned_inputs = 0
+        self.loop_invariant_reuses = 0
         self.shuffle_operations = {}
         self.join_strategies = {}
         self.shuffle_stage_log = []
+        self.elimination_log = []
 
     def snapshot(self) -> dict[str, int]:
         """A plain-dict copy of the counters (handy for reporting).
@@ -193,6 +236,10 @@ class Metrics:
             "spilled_bytes": self.spilled_bytes,
             "spill_files": self.spill_files,
             "peak_shuffle_memory": self.peak_shuffle_memory,
+            "shuffles_eliminated": self.shuffles_eliminated,
+            "narrow_joins": self.narrow_joins,
+            "prepartitioned_inputs": self.prepartitioned_inputs,
+            "loop_invariant_reuses": self.loop_invariant_reuses,
             "broadcast_joins": self.join_strategies.get("broadcast", 0),
             "shuffle_joins": self.join_strategies.get("shuffle", 0),
         }

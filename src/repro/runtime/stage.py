@@ -160,12 +160,20 @@ class ShuffleInput(NamedTuple):
             ``None``, ``("reduce", fn)`` or ``("seq", zero, seq_op)``.
         captured_operators: how many *user* narrow operators were folded into
             ``stages`` (drives the fused-stage metrics).
+        partitioner: the *effective* partitioner of the (possibly pending)
+            dataset this input was captured from -- i.e. the placement of the
+            records *after* ``stages`` run, as tracked by the lazy layer's
+            partitioner-preservation rules.  When it equals the shuffle's
+            partitioner the map-side bucketing pass is skipped entirely for
+            this input (every record is already in its destination
+            partition); ``None`` when the placement is unknown.
     """
 
     source: Any
     stages: tuple[NarrowStage, ...] = ()
     combiner: tuple[Any, ...] | None = None
     captured_operators: int = 0
+    partitioner: Any = None
 
 
 class ShuffleStage(NamedTuple):
@@ -351,6 +359,26 @@ def shuffle_write(
     return _writer_output(writer, records_in)
 
 
+def prepartitioned_write(
+    num_output: int,
+    records: list[Any],
+    index: int,
+) -> list[Any]:
+    """Map-side writer for an input already partitioned like the shuffle.
+
+    Every record of map partition ``index`` is, by the partitioner equality
+    the caller verified, already destined for reduce partition ``index`` --
+    so the whole partition becomes one in-memory payload routed straight to
+    bucket ``index``.  Nothing is re-bucketed, spilled or counted as shuffle
+    traffic: the stats report zero records/bytes moved.
+    """
+    payloads = [
+        BucketPayload((), tuple(records) if bucket == index else ())
+        for bucket in range(num_output)
+    ]
+    return [ShuffleWriteStats(len(records), 0, 0), *payloads]
+
+
 def repartition_write(
     num_output: int,
     spill: SpillSpec | None,
@@ -409,23 +437,27 @@ def group_bucket(payloads: list[BucketPayload]) -> list[Any]:
     return list(groups.items())
 
 
-def split_tagged(payloads: list[BucketPayload]) -> tuple[dict[Any, list[Any]], dict[Any, list[Any]]]:
-    """Stream tagged ``(side, (key, value))`` records into per-side group dicts.
+def _split_tagged_stream(stream: Iterable[Any]) -> tuple[dict[Any, list[Any]], dict[Any, list[Any]]]:
+    """Group a stream of tagged ``(side, (key, value))`` records per side.
 
     Plain dicts (insertion-ordered) rather than sets keep the output order
     independent of per-process hash randomization.
     """
     left: dict[Any, list[Any]] = {}
     right: dict[Any, list[Any]] = {}
-    for side, (key, value) in spill_mod.iter_merged(payloads):
+    for side, (key, value) in stream:
         target = left if side == 0 else right
         target.setdefault(key, []).append(value)
     return left, right
 
 
-def cogroup_bucket(payloads: list[BucketPayload]) -> list[Any]:
-    """coGroup reduce side: ``(key, ([left values], [right values]))``."""
-    left, right = split_tagged(payloads)
+def split_tagged(payloads: list[BucketPayload]) -> tuple[dict[Any, list[Any]], dict[Any, list[Any]]]:
+    """Stream tagged records out of one reduce partition's payloads."""
+    return _split_tagged_stream(spill_mod.iter_merged(payloads))
+
+
+def _cogroup_sides(left: dict[Any, list[Any]], right: dict[Any, list[Any]]) -> list[Any]:
+    """Merge per-side group dicts into ``(key, ([left], [right]))`` records."""
     merged: list[Any] = []
     for key, left_values in left.items():
         merged.append((key, (left_values, right.get(key, []))))
@@ -435,9 +467,14 @@ def cogroup_bucket(payloads: list[BucketPayload]) -> list[Any]:
     return merged
 
 
-def join_bucket(how: str, payloads: list[BucketPayload]) -> list[Any]:
-    """Join reduce side: cogroup one bucket and expand per the join type."""
+def cogroup_bucket(payloads: list[BucketPayload]) -> list[Any]:
+    """coGroup reduce side: ``(key, ([left values], [right values]))``."""
     left, right = split_tagged(payloads)
+    return _cogroup_sides(left, right)
+
+
+def _join_sides(how: str, left: dict[Any, list[Any]], right: dict[Any, list[Any]]) -> list[Any]:
+    """Expand per-side group dicts according to the join type."""
     out: list[Any] = []
     if how == "inner":
         for key, left_values in left.items():
@@ -464,6 +501,48 @@ def join_bucket(how: str, payloads: list[BucketPayload]) -> list[Any]:
     else:  # pragma: no cover - guarded by the Dataset join constructors
         raise ValueError(f"unknown join type {how!r}")
     return out
+
+
+def join_bucket(how: str, payloads: list[BucketPayload]) -> list[Any]:
+    """Join reduce side: cogroup one bucket and expand per the join type."""
+    left, right = split_tagged(payloads)
+    return _join_sides(how, left, right)
+
+
+# -- narrow (shuffle-free) wide-operator passes -----------------------------------
+#
+# When a keyed dataset already carries the partitioner a wide operator would
+# shuffle with, every key's records are confined to one partition and the
+# operator degenerates to an independent per-partition pass.  These functions
+# mirror the reduce-side bucket processors exactly (same accumulation
+# structures, same first-seen ordering), so the narrow path is record-for-
+# record identical to the shuffle it replaces.
+
+
+def narrow_group_partition(records: list[Any]) -> list[Any]:
+    """groupByKey over one already-key-partitioned partition."""
+    groups: dict[Any, list[Any]] = {}
+    for key, value in records:
+        groups.setdefault(key, []).append(value)
+    return list(groups.items())
+
+
+def zip_cogroup_partition(partition: list[Any]) -> list[Any]:
+    """coGroup of co-partitioned inputs; ``partition`` is ``[left, right]``."""
+    left_records, right_records = partition
+    left, right = _split_tagged_stream(
+        [(0, record) for record in left_records] + [(1, record) for record in right_records]
+    )
+    return _cogroup_sides(left, right)
+
+
+def zip_join_partition(how: str, partition: list[Any]) -> list[Any]:
+    """Join of co-partitioned inputs; ``partition`` is ``[left, right]``."""
+    left_records, right_records = partition
+    left, right = _split_tagged_stream(
+        [(0, record) for record in left_records] + [(1, record) for record in right_records]
+    )
+    return _join_sides(how, left, right)
 
 
 def broadcast_join_partition(

@@ -228,3 +228,38 @@ class TestExplain:
         text = str(summary)
         assert "reduceByKey" in text
         assert summary.shuffle_operations >= 1
+
+
+class TestLocalBagCache:
+    """Regression: the per-evaluator collect() cache used to key on bare
+    ``id(value)`` -- after the dataset was garbage collected, a *new* object
+    reusing the id would silently be served the stale collected bag."""
+
+    def test_cache_keeps_the_dataset_alive(self, ctx):
+        import gc
+        import weakref
+
+        ev = evaluator(ctx)
+        dataset = ctx.parallelize([1, 2, 3])
+        reference = weakref.ref(dataset)
+        assert ev._as_local_bag(dataset) == [1, 2, 3]
+        del dataset
+        gc.collect()
+        # The cache entry holds a strong reference, so the id can never be
+        # reused while the entry is alive.
+        assert reference() is not None
+
+    def test_id_collision_is_detected_by_identity_check(self, ctx):
+        ev = evaluator(ctx)
+        stale = ctx.parallelize(["stale"])
+        fresh = ctx.parallelize(["fresh"])
+        # Simulate the historical failure mode: an entry recorded under the
+        # *fresh* dataset's id but holding a different (collected) object.
+        ev._local_bag_cache[id(fresh)] = (stale, ["stale"])
+        assert ev._as_local_bag(fresh) == ["fresh"], "stale bag must not be served"
+
+    def test_repeated_collects_hit_the_cache(self, ctx):
+        ev = evaluator(ctx)
+        dataset = ctx.parallelize([1, 2])
+        first = ev._as_local_bag(dataset)
+        assert ev._as_local_bag(dataset) is first, "second lookup must reuse the list"

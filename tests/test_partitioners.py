@@ -1,0 +1,137 @@
+"""Partitioner semantics: equality/hashing, metadata preservation through
+every narrow operator, placement no-ops and co-partitioning errors.
+
+The partition-aware planner (PR 5) keys every shuffle-elimination decision on
+``Partitioner.__eq__``, so these semantics are load-bearing: a false positive
+would silently mis-bucket keys, a false negative would only cost a shuffle.
+"""
+
+import pytest
+
+from repro.errors import ExecutionError
+from repro.runtime.context import DistributedContext
+from repro.runtime.partitioner import HashPartitioner, Partitioner, RangePartitioner
+
+
+@pytest.fixture
+def ctx():
+    return DistributedContext(num_partitions=4)
+
+
+class TestPartitionerEquality:
+    def test_hash_partitioners_equal_on_num_partitions(self):
+        assert HashPartitioner(4) == HashPartitioner(4)
+        assert hash(HashPartitioner(4)) == hash(HashPartitioner(4))
+        assert HashPartitioner(4) != HashPartitioner(8)
+
+    def test_hash_vs_range_never_equal(self):
+        # Same partition count, different placement function: treating these
+        # as interchangeable would route keys to the wrong buckets.
+        assert HashPartitioner(3) != RangePartitioner(3, [10, 20])
+        assert RangePartitioner(3, [10, 20]) != HashPartitioner(3)
+
+    def test_range_partitioners_compare_bounds(self):
+        assert RangePartitioner(3, [10, 20]) == RangePartitioner(3, [10, 20])
+        assert hash(RangePartitioner(3, [10, 20])) == hash(RangePartitioner(3, [10, 20]))
+        assert RangePartitioner(3, [10, 20]) != RangePartitioner(3, [10, 30])
+
+    def test_range_partitioners_compare_num_partitions(self):
+        assert RangePartitioner(3, [10, 20]) != RangePartitioner(4, [10, 20, 30])
+
+    def test_base_class_equality_is_type_strict(self):
+        assert Partitioner(4) != HashPartitioner(4)
+
+    def test_invalid_partitioners_rejected(self):
+        with pytest.raises(ValueError):
+            HashPartitioner(0)
+        with pytest.raises(ValueError):
+            RangePartitioner(3, [10])  # needs num_partitions - 1 bounds
+
+
+class TestPartitionerPreservation:
+    """Which narrow operators may keep partitioner metadata.
+
+    Key-preserving operators (filter / map_values / sample) keep it; anything
+    that can rewrite the record (map / flat_map / map_partitions) must drop
+    it unless the caller promises key stability via
+    ``preserves_partitioning=True``.
+    """
+
+    def _placed(self, ctx):
+        return ctx.parallelize([(i, i) for i in range(40)]).partition_by(HashPartitioner(4))
+
+    def test_filter_preserves(self, ctx):
+        placed = self._placed(ctx)
+        assert placed.filter(lambda p: p[0] > 3).partitioner == HashPartitioner(4)
+
+    def test_map_values_preserves(self, ctx):
+        placed = self._placed(ctx)
+        assert placed.map_values(lambda v: v + 1).partitioner == HashPartitioner(4)
+
+    def test_sample_preserves(self, ctx):
+        placed = self._placed(ctx)
+        assert placed.sample(0.5).partitioner == HashPartitioner(4)
+
+    def test_map_drops_by_default(self, ctx):
+        placed = self._placed(ctx)
+        assert placed.map(lambda p: p).partitioner is None
+
+    def test_flat_map_drops_by_default(self, ctx):
+        placed = self._placed(ctx)
+        assert placed.flat_map(lambda p: [p]).partitioner is None
+
+    def test_map_partitions_drops(self, ctx):
+        placed = self._placed(ctx)
+        assert placed.map_partitions(lambda records: records).partitioner is None
+
+    def test_map_with_preserves_partitioning_keeps(self, ctx):
+        placed = self._placed(ctx)
+        kept = placed.map(lambda p: (p[0], p[1] * 2), preserves_partitioning=True)
+        assert kept.partitioner == HashPartitioner(4)
+
+    def test_flat_map_with_preserves_partitioning_keeps(self, ctx):
+        placed = self._placed(ctx)
+        kept = placed.flat_map(lambda p: [(p[0], v) for v in range(2)], preserves_partitioning=True)
+        assert kept.partitioner == HashPartitioner(4)
+
+    def test_preservation_survives_forcing(self, ctx):
+        placed = self._placed(ctx)
+        chain = placed.filter(lambda p: True).map_values(lambda v: v).sample(0.9)
+        chain.materialize()
+        assert chain.partitioner == HashPartitioner(4)
+
+    def test_merge_preserves_the_cogroup_partitioner(self, ctx):
+        left = ctx.parallelize([(1, "a"), (2, "b")])
+        right = ctx.parallelize([(2, "B"), (3, "C")])
+        merged = left.merge(right).materialize()
+        assert merged.partitioner == HashPartitioner(ctx.num_partitions)
+        assert merged.collect_as_map() == {1: "a", 2: "B", 3: "C"}
+
+
+class TestPlacement:
+    def test_partition_by_is_a_no_op_when_already_placed(self, ctx):
+        placed = ctx.parallelize([(i, i) for i in range(20)]).partition_by(HashPartitioner(4))
+        ctx.metrics.reset()
+        again = placed.partition_by(HashPartitioner(4))
+        assert again is placed, "re-placing with an equal partitioner must be free"
+        assert ctx.metrics.shuffles == 0
+
+    def test_partition_by_with_a_different_partitioner_shuffles(self, ctx):
+        placed = ctx.parallelize([(i, i) for i in range(20)]).partition_by(HashPartitioner(4))
+        ctx.metrics.reset()
+        replaced = placed.partition_by(HashPartitioner(2))
+        assert replaced.partitioner == HashPartitioner(2)
+        assert ctx.metrics.shuffles == 1
+
+    def test_partition_by_groups_keys_per_partition(self, ctx):
+        placed = ctx.parallelize([(i % 8, i) for i in range(64)]).partition_by(HashPartitioner(4))
+        partitioner = placed.partitioner
+        for index, partition in enumerate(placed.partitions):
+            for key, _value in partition:
+                assert partitioner.partition(key) == index
+
+    def test_zip_partitions_partition_count_mismatch_raises(self, ctx):
+        left = ctx.parallelize(range(10), num_partitions=4)
+        right = ctx.parallelize(range(10), num_partitions=3)
+        with pytest.raises(ExecutionError, match="same number of partitions"):
+            left.zip_partitions(right, lambda a, b: a + b)
