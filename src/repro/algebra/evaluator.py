@@ -884,7 +884,12 @@ class TermEvaluator:
                 rows = next_rows
             elif isinstance(qualifier, ir.LetBinding):
                 rows = [
-                    {**row, **_bind_pattern(qualifier.pattern, self.evaluate_local_or_dataset(qualifier.term, row))}
+                    {
+                        **row,
+                        **_bind_pattern(
+                            qualifier.pattern, self.evaluate_local_or_dataset(qualifier.term, row)
+                        ),
+                    }
                     for row in rows
                 ]
             elif isinstance(qualifier, ir.Condition):

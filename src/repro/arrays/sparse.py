@@ -30,7 +30,9 @@ class SparseVector:
     # -- construction ----------------------------------------------------------
 
     @classmethod
-    def from_dict(cls, context: DistributedContext, entries: dict[int, Any], length: int | None = None) -> "SparseVector":
+    def from_dict(
+        cls, context: DistributedContext, entries: dict[int, Any], length: int | None = None
+    ) -> "SparseVector":
         """Build a vector from an ``{index: value}`` mapping."""
         return cls(context.parallelize_pairs(entries), length)
 

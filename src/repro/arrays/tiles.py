@@ -155,7 +155,9 @@ class TiledMatrix:
         return TiledMatrix(summed, shape, size)
 
 
-def pack_matrix(matrix: SparseMatrix, shape: tuple[int, int], tile_size: int = DEFAULT_TILE_SIZE) -> TiledMatrix:
+def pack_matrix(
+    matrix: SparseMatrix, shape: tuple[int, int], tile_size: int = DEFAULT_TILE_SIZE
+) -> TiledMatrix:
     """Pack sparse entries into dense tiles (the ``pack`` function of Section 5).
 
     Implemented as a group-by on the tile coordinate ``(i // tile_size,

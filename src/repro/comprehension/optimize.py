@@ -116,13 +116,19 @@ class Optimizer:
         qualifiers: list[ir.Qualifier] = []
         for qualifier in comp.qualifiers:
             if isinstance(qualifier, ir.Generator):
-                qualifiers.append(ir.Generator(qualifier.pattern, self._optimize_term(qualifier.domain, fresh)))
+                qualifiers.append(
+                    ir.Generator(qualifier.pattern, self._optimize_term(qualifier.domain, fresh))
+                )
             elif isinstance(qualifier, ir.LetBinding):
-                qualifiers.append(ir.LetBinding(qualifier.pattern, self._optimize_term(qualifier.term, fresh)))
+                qualifiers.append(
+                    ir.LetBinding(qualifier.pattern, self._optimize_term(qualifier.term, fresh))
+                )
             elif isinstance(qualifier, ir.Condition):
                 qualifiers.append(ir.Condition(self._optimize_term(qualifier.term, fresh)))
             elif isinstance(qualifier, ir.GroupBy):
-                qualifiers.append(ir.GroupBy(qualifier.pattern, self._optimize_term(qualifier.key_term(), fresh)))
+                qualifiers.append(
+                    ir.GroupBy(qualifier.pattern, self._optimize_term(qualifier.key_term(), fresh))
+                )
             else:
                 raise TypeError(f"unknown qualifier: {qualifier!r}")
         current = ir.Comprehension(head, tuple(qualifiers))

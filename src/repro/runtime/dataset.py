@@ -439,7 +439,9 @@ class Dataset:
 
     zipWithIndex = zip_with_index
 
-    def zip_partitions(self, other: "Dataset", function: Callable[[list[Any], list[Any]], Iterable[Any]]) -> "Dataset":
+    def zip_partitions(
+        self, other: "Dataset", function: Callable[[list[Any], list[Any]], Iterable[Any]]
+    ) -> "Dataset":
         """Combine co-partitioned datasets partition by partition (no shuffle)."""
         if self.num_partitions != other.num_partitions:
             raise ExecutionError(
@@ -493,7 +495,9 @@ class Dataset:
                 result = function(result, record)
         return result
 
-    def aggregate(self, zero: Any, seq_op: Callable[[Any, Any], Any], comb_op: Callable[[Any, Any], Any]) -> Any:
+    def aggregate(
+        self, zero: Any, seq_op: Callable[[Any, Any], Any], comb_op: Callable[[Any, Any], Any]
+    ) -> Any:
         """Two-level aggregation: ``seq_op`` within partitions, ``comb_op`` across."""
         partials = []
         for partition in self.partitions:

@@ -63,7 +63,10 @@ class Partitioner:
         raise NotImplementedError
 
     def __eq__(self, other: object) -> bool:
-        return type(self) is type(other) and self.num_partitions == other.num_partitions  # type: ignore[attr-defined]
+        return (
+            type(self) is type(other)
+            and self.num_partitions == other.num_partitions  # type: ignore[attr-defined]
+        )
 
     def __hash__(self) -> int:
         return hash((type(self).__name__, self.num_partitions))

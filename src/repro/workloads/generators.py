@@ -102,7 +102,9 @@ def grouped_pairs(count: int, duplicates_per_key: int = 10, seed: int = 23) -> l
     ]
 
 
-def random_matrix(rows: int, columns: int, seed: int = 29, low: float = 0.0, high: float = 10.0) -> dict[tuple[int, int], float]:
+def random_matrix(
+    rows: int, columns: int, seed: int = 29, low: float = 0.0, high: float = 10.0
+) -> dict[tuple[int, int], float]:
     """A fully populated random matrix stored sparsely (all entries provided,
     random order and values -- matching the paper's matrix workloads)."""
     generator = _rng(seed)
@@ -190,7 +192,9 @@ def workload_for_program(name: str, size: int, seed: int = 7) -> dict[str, Any]:
         words = random_strings(size, seed=seed)
         return {"words": words, "key1": "key1", "key2": "key2", "key3": words[0] if words else "key3"}
     if name in ("word_count", "equal_frequency"):
-        return {"words": random_strings(size, vocabulary=min(STRING_VOCABULARY, max(2, size // 10)), seed=seed)}
+        return {
+            "words": random_strings(size, vocabulary=min(STRING_VOCABULARY, max(2, size // 10)), seed=seed)
+        }
     if name == "histogram":
         return {"P": random_pixels(size, seed=seed)}
     if name == "linear_regression":

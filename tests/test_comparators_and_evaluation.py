@@ -76,7 +76,9 @@ class TestCasperSimulator:
     def test_fails_on_linear_regression_within_budget(self):
         casper = CasperTranslator(candidate_budget=300)
         spec = get_program("linear_regression")
-        result = casper.translate(spec.source, "linear_regression", workload=self.workload("linear_regression"))
+        result = casper.translate(
+            spec.source, "linear_regression", workload=self.workload("linear_regression")
+        )
         assert not result.succeeded
 
     def test_no_workload_means_failure(self):
@@ -126,7 +128,10 @@ class TestExperiments:
         assert rows[0].mold_seconds is None
 
     def test_table2_rows(self):
-        rows = run_table2(sizes={"conditional_sum": 2_000, "word_count": 1_000}, programs=["conditional_sum", "word_count"])
+        rows = run_table2(
+            sizes={"conditional_sum": 2_000, "word_count": 1_000},
+            programs=["conditional_sum", "word_count"],
+        )
         assert len(rows) == 2
         assert all(row.parallel_seconds > 0 and row.sequential_seconds > 0 for row in rows)
         assert "seq/par" in format_table2(rows)

@@ -94,7 +94,9 @@ class TestArrays:
             interpret_program("var x: int = 0; x := V[99];", {"V": {1: 5}}, missing_default=None)
 
     def test_incremental_update_on_missing_entry_uses_identity(self):
-        state = interpret_program("var C: map[string,int] = map(); for w in words do C[w] += 1;", {"words": ["a", "a", "b"]})
+        state = interpret_program(
+            "var C: map[string,int] = map(); for w in words do C[w] += 1;", {"words": ["a", "a", "b"]}
+        )
         assert state["C"] == {"a": 2, "b": 1}
 
     def test_list_inputs_are_indexed_by_position(self):

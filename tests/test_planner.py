@@ -104,7 +104,9 @@ class TestNarrowFastPaths:
         left, _right = self._sides(ctx)
         ctx.metrics.reset()
         grouped = dict(left.group_by_key().map_values(sorted).collect())
-        aggregated = dict(left.aggregate_by_key((0, 0), lambda acc, v: (acc[0] + 1, acc[1] + v), _add).collect())
+        aggregated = dict(
+            left.aggregate_by_key((0, 0), lambda acc, v: (acc[0] + 1, acc[1] + v), _add).collect()
+        )
         assert ctx.metrics.shuffles == 0
         assert grouped == {k: sorted(i for i in range(42) if i % 7 == k) for k in range(7)}
         assert aggregated == {

@@ -122,7 +122,9 @@ class TestTranslationProperties:
     @COMMON_SETTINGS
     @given(st.data())
     def test_pretty_parse_round_trip_on_benchmarks(self, data):
-        name = data.draw(st.sampled_from(sorted(__import__("repro.programs", fromlist=["PROGRAMS"]).PROGRAMS)))
+        name = data.draw(
+            st.sampled_from(sorted(__import__("repro.programs", fromlist=["PROGRAMS"]).PROGRAMS))
+        )
         spec = get_program(name)
         program = parse_program(spec.source)
         assert parse_program(pretty_program(program)) == program
@@ -133,7 +135,10 @@ class TestNormalizationProperties:
     @given(constant=values, size=st.integers(min_value=0, max_value=10))
     def test_normalize_is_idempotent_on_generated_terms(self, constant, size):
         qualifiers = [
-            ir.Generator(ir.PTuple((ir.PVar(f"i{n}"), ir.PVar(f"v{n}"))), ir.singleton(ir.CTuple((ir.CConst(n), ir.CConst(constant)))))
+            ir.Generator(
+                ir.PTuple((ir.PVar(f"i{n}"), ir.PVar(f"v{n}"))),
+                ir.singleton(ir.CTuple((ir.CConst(n), ir.CConst(constant)))),
+            )
             for n in range(size % 3 + 1)
         ]
         comp = ir.Comprehension(ir.CConst(constant), tuple(qualifiers))
