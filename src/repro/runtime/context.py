@@ -51,6 +51,21 @@ from repro.runtime.stage import NarrowStage, ShuffleStage
 EXECUTOR_MODES = ("sequential", "threads", "processes")
 
 
+class _ResolvedSource:
+    """A stand-in ``ShuffleInput.source`` holding already-computed partitions.
+
+    ``_try_broadcast_join`` runs each join input's captured narrow chain
+    eagerly (the post-chain record counts drive the broadcast decision); when
+    the join falls back to a shuffle, the rewritten input carries the chained
+    partitions through this shim so the shuffle pass does not run the chain a
+    second time."""
+
+    __slots__ = ("partitions",)
+
+    def __init__(self, partitions: list[list[Any]]):
+        self.partitions = partitions
+
+
 def _spill_threshold_from_env() -> int | None:
     """The ``DIABLO_SPILL_THRESHOLD_BYTES`` default: unset, empty or
     non-positive all mean "spilling disabled" (so ``=0`` is the natural way
@@ -302,9 +317,12 @@ class DistributedContext:
         Returns ``(partitions, partitioner)`` for the result dataset.
         """
         if shuffle.join_type is not None and shuffle.strategy != "shuffle":
-            broadcast_result = self._try_broadcast_join(shuffle)
-            if broadcast_result is not None:
-                return broadcast_result
+            resolved = self._try_broadcast_join(shuffle)
+            if not isinstance(resolved, ShuffleStage):
+                return resolved
+            # Falling back to a shuffle: the returned stage carries the
+            # already-chained inputs (the sizing pass ran their chains).
+            shuffle = resolved
         if shuffle.join_type is not None:
             self.metrics.record_join_strategy("shuffle")
 
@@ -443,22 +461,48 @@ class DistributedContext:
             and num_source_partitions == shuffle.num_output_partitions
         )
 
-    def _try_broadcast_join(self, shuffle: ShuffleStage) -> tuple[list[list[Any]], Any] | None:
+    def _resolve_join_input(self, shuffle_input: Any) -> tuple[Any, list[list[Any]]]:
+        """Run one join input's captured narrow chain eagerly.
+
+        Returns ``(rewritten_input, post-chain partitions)``: the rewritten
+        input holds the chained partitions behind a :class:`_ResolvedSource`
+        with an empty stage chain, so a join that falls back to a shuffle
+        does not run the chain a second time."""
+        partitions = shuffle_input.source.partitions
+        if not shuffle_input.stages:
+            return shuffle_input, partitions
+        chained = self.run_tasks(
+            stage_mod.compose(shuffle_input.stages), partitions, task_spec=shuffle_input.stages
+        )
+        if shuffle_input.captured_operators:
+            self.metrics.record_fused(shuffle_input.captured_operators)
+        self.metrics.record_narrow(len(chained), sum(len(p) for p in chained))
+        resolved = shuffle_input._replace(
+            source=_ResolvedSource(chained), stages=(), captured_operators=0
+        )
+        return resolved, chained
+
+    def _try_broadcast_join(self, shuffle: ShuffleStage) -> tuple[list[list[Any]], Any] | ShuffleStage:
         """Resolve a join with an auto/broadcast strategy.
 
-        Returns the executed broadcast hash join, or None when the join must
-        shuffle (both sides above the threshold, or an unsupported direction
-        -- full outer joins always shuffle).  Sizes compare the *input*
-        record counts of each side, before map-side narrow chains.
-        """
+        Returns the executed broadcast hash join, or a (possibly rewritten)
+        :class:`ShuffleStage` when the join must shuffle (both sides above
+        the threshold, or an unsupported direction -- full outer joins always
+        shuffle).  Sizes compare each side's record count *after* its
+        captured narrow chain runs: the chain has to run either way, and
+        sizing the raw source would never broadcast a side that a captured
+        ``filter`` shrinks under the threshold."""
         how = shuffle.join_type
+        if how == "full":
+            return shuffle
         left_input, right_input = shuffle.inputs
-        left_count = sum(len(p) for p in left_input.source.partitions)
-        right_count = sum(len(p) for p in right_input.source.partitions)
+        left_input, left_partitions = self._resolve_join_input(left_input)
+        right_input, right_partitions = self._resolve_join_input(right_input)
+        shuffle = shuffle._replace(inputs=(left_input, right_input))
+        left_count = sum(len(p) for p in left_partitions)
+        right_count = sum(len(p) for p in right_partitions)
         eligible = {"inner": ("left", "right"), "left": ("right",), "right": ("left",)}.get(how, ())
         if shuffle.strategy == "broadcast":
-            if how == "full":
-                return None
             side = "left" if how == "right" else "right"
         else:
             threshold = self.broadcast_join_threshold
@@ -471,28 +515,17 @@ class DistributedContext:
                 if other in eligible and other_count <= threshold:
                     side = other
                 else:
-                    return None
+                    return shuffle
 
-        build = left_input if side == "left" else right_input
-        probe = right_input if side == "left" else left_input
-        build_partitions = build.source.partitions
-        if build.stages:
-            build_partitions = self.run_tasks(
-                stage_mod.compose(build.stages), build_partitions, task_spec=build.stages
-            )
-            if build.captured_operators:
-                self.metrics.record_fused(build.captured_operators)
-            self.metrics.record_narrow(
-                len(build_partitions), sum(len(p) for p in build_partitions)
-            )
+        build_partitions = left_partitions if side == "left" else right_partitions
+        probe_partitions = right_partitions if side == "left" else left_partitions
         lookup: dict[Any, list[Any]] = {}
         for partition in build_partitions:
             for key, value in partition:
                 lookup.setdefault(key, []).append(value)
         self.metrics.record_broadcast()
 
-        probe_partitions = probe.source.partitions
-        probe_chain = probe.stages + (
+        probe_chain = (
             NarrowStage(
                 stage_mod.PARTITIONS,
                 functools.partial(stage_mod.broadcast_join_partition, how, side, lookup),
@@ -501,8 +534,6 @@ class DistributedContext:
         result = self.run_tasks(
             stage_mod.compose(probe_chain), probe_partitions, task_spec=probe_chain
         )
-        if probe.captured_operators:
-            self.metrics.record_fused(probe.captured_operators)
         self.metrics.record_narrow(
             len(probe_partitions), sum(len(p) for p in probe_partitions)
         )

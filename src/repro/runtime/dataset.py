@@ -276,19 +276,44 @@ class Dataset:
 
     def first(self) -> Any:
         """The first record; raises if the dataset is empty."""
-        for partition in self.partitions:
-            if partition:
-                return partition[0]
-        raise ExecutionError("first() on an empty dataset")
+        taken = self.take(1)
+        if not taken:
+            raise ExecutionError("first() on an empty dataset")
+        return taken[0]
 
     def take(self, count: int) -> list[Any]:
-        """Up to ``count`` records."""
+        """Up to ``count`` records.
+
+        Materialized and narrow-pending datasets are evaluated one partition
+        at a time, stopping as soon as ``count`` records are in hand, so
+        ``take(1)`` never runs later partitions' stage functions (the dataset
+        itself stays pending).  Shuffle-pending datasets force normally -- a
+        shuffle needs every input partition anyway."""
+        if count <= 0:
+            return []
+        with self._force_lock:
+            materialized = self._materialized
+            source = self._source
+            stages = self._stages
+            shuffle = self._shuffle
+        task = None
+        if materialized is not None:
+            partitions: list[list[Any]] = materialized
+        elif source is not None and shuffle is None:
+            partitions = source.partitions
+            task = stage_mod.compose(stages)
+        else:
+            partitions = self.partitions
         taken: list[Any] = []
-        for partition in self.partitions:
+        for index, partition in enumerate(partitions):
+            if len(taken) >= count:
+                break
+            if task is not None:
+                partition = task(partition, index)
             for record in partition:
-                if len(taken) >= count:
-                    return taken
                 taken.append(record)
+                if len(taken) >= count:
+                    break
         return taken
 
     def __iter__(self) -> Iterator[Any]:
@@ -797,6 +822,9 @@ class Dataset:
             for record in partition[::step]
         ]
         range_partitioner = RangePartitioner.from_sample(num_output, sample)
+        # Bound dedup on skewed samples may shrink the effective split count;
+        # the shuffle's output width must follow the partitioner.
+        num_output = range_partitioner.num_partitions
         # Partitioner metadata promises "records are placed by record[0]", so
         # only sort_by_key (whose sort key IS the pair key) may keep it; an
         # arbitrary key_function would poison downstream keyed shuffles.

@@ -101,12 +101,23 @@ class RangePartitioner(Partitioner):
     def from_sample(cls, num_partitions: int, sample: Iterable[Any]) -> "RangePartitioner":
         """Build a partitioner from a sample of keys, using evenly spaced
         quantiles of the sorted sample as split points (Spark's sortByKey
-        strategy).  The sample must be non-empty when ``num_partitions > 1``."""
+        strategy).  The sample must be non-empty when ``num_partitions > 1``.
+
+        Skewed or low-cardinality samples repeat quantile values; duplicate
+        split points would make ``bisect_left`` route *every* record for the
+        repeated key range to one hot partition and leave the others empty,
+        so duplicates are dropped and the partitioner covers fewer (but
+        non-degenerate) ranges.  Callers must use the returned partitioner's
+        ``num_partitions``, which may be smaller than requested."""
         ordered = sorted(sample)
         if num_partitions > 1 and not ordered:
             raise ValueError("cannot derive range bounds from an empty sample")
-        bounds = [ordered[(index * len(ordered)) // num_partitions] for index in range(1, num_partitions)]
-        return cls(num_partitions, bounds)
+        bounds: list[Any] = []
+        for index in range(1, num_partitions):
+            bound = ordered[(index * len(ordered)) // num_partitions]
+            if not bounds or bound != bounds[-1]:
+                bounds.append(bound)
+        return cls(len(bounds) + 1, bounds)
 
     def partition(self, key: Any) -> int:
         index = bisect.bisect_left(self.bounds, key)

@@ -39,6 +39,7 @@ sequential, threads, and processes executor modes.
 
 from __future__ import annotations
 
+import copy
 import pickle
 import random
 import sys
@@ -263,7 +264,13 @@ def apply_combiner(combiner: tuple[Any, ...], records: list[Any]) -> list[Any]:
     elif kind == "seq":
         _, zero, seq_op = combiner
         for key, value in records:
-            accumulator[key] = seq_op(accumulator.get(key, zero), value)
+            if key in accumulator:
+                accumulator[key] = seq_op(accumulator[key], value)
+            else:
+                # Every key needs its OWN zero: an in-place-mutating seq_op
+                # (list/dict accumulators) would otherwise fold every key's
+                # values into one shared object.
+                accumulator[key] = seq_op(copy.deepcopy(zero), value)
     else:  # pragma: no cover - guarded by the Dataset constructors
         raise ValueError(f"unknown combiner kind {kind!r}")
     return list(accumulator.items())
