@@ -90,6 +90,10 @@ def record_run(
             "narrow_joins": metrics.narrow_joins,
             "prepartitioned_inputs": metrics.prepartitioned_inputs,
             "loop_invariant_reuses": metrics.loop_invariant_reuses,
+            # PR 6 columnar counters: how many narrow stages / combiners ran
+            # as batch kernels (0 whenever columnar execution is off).
+            "vectorized_stages": metrics.vectorized_stages,
+            "columnar_fallbacks": metrics.columnar_fallbacks,
         }
     record_entry(entry)
 

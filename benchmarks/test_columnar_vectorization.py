@@ -1,0 +1,60 @@
+"""Columnar vectorized execution: batch kernels vs. the record path.
+
+Runs numeric Figure 3 workloads twice on identical inputs -- once with the
+default record-at-a-time engine and once with ``columnar=True`` -- and
+records both series, so BENCH_results.json carries a before/after row per
+workload and the perf gate tracks the columnar path across PRs.  The result
+assertion is the tentpole contract: the vectorized run must be bit-identical
+to the record path, with the batch kernels demonstrably engaged.
+"""
+
+import time
+
+import pytest
+
+from benchmarks.conftest import BENCH_SIZE_SCALE, record_run
+from repro.evaluation.harness import diablo_for, translated_outputs
+from repro.programs import get_program
+from repro.runtime.context import DistributedContext
+from repro.workloads import workload_for_program
+
+#: Numeric workloads whose narrow chains lower to batch kernels; sizes are
+#: larger than the Figure 3 panels so the per-partition batches are wide
+#: enough for vectorization to be visible in the wall time.
+COLUMNAR_SIZES = {
+    "conditional_sum": 40_000 * BENCH_SIZE_SCALE,
+    "histogram": 20_000 * BENCH_SIZE_SCALE,
+    "group_by": 20_000 * BENCH_SIZE_SCALE,
+}
+
+
+ROUNDS = 3
+
+
+def _run_once(name: str, size: int, columnar: bool):
+    spec = get_program(name)
+    inputs = workload_for_program(name, size)
+    with DistributedContext(num_partitions=4, columnar=columnar) as context:
+        compiled = diablo_for(spec, context).compile(spec.source)
+        compiled.run(**inputs)  # warm-up: exclude compilation/planning noise
+        timings = []
+        for _ in range(ROUNDS):
+            context.metrics.reset()
+            started = time.perf_counter()
+            result = compiled.run(**inputs)
+            timings.append(time.perf_counter() - started)
+        system = "diablo-columnar" if columnar else "diablo-records"
+        # Best-of-N: these workloads swing tens of percent run to run, and
+        # the minimum is the stablest wall-clock estimator for the perf gate.
+        record_run(name, size, system, min(timings), context, rounds=ROUNDS, method="best-of-n")
+        return translated_outputs(name, result), context.metrics.vectorized_stages
+
+
+@pytest.mark.parametrize("name", sorted(COLUMNAR_SIZES))
+def test_columnar_matches_record_path_and_engages(name):
+    size = COLUMNAR_SIZES[name]
+    record_outputs, record_vectorized = _run_once(name, size, columnar=False)
+    columnar_outputs, columnar_vectorized = _run_once(name, size, columnar=True)
+    assert record_vectorized == 0, "columnar=False must never vectorize"
+    assert columnar_vectorized > 0, f"{name}: batch kernels never engaged"
+    assert columnar_outputs == record_outputs, f"{name}: columnar diverged"

@@ -61,6 +61,8 @@ def test_pagerank_multistep_iteration_shuffles_drop():
                 "narrow_joins": metrics.narrow_joins,
                 "prepartitioned_inputs": metrics.prepartitioned_inputs,
                 "loop_invariant_reuses": metrics.loop_invariant_reuses,
+                "vectorized_stages": metrics.vectorized_stages,
+                "columnar_fallbacks": metrics.columnar_fallbacks,
             },
             "iteration_metrics": [
                 {
@@ -114,6 +116,8 @@ def test_pagerank_multistep_planner_off_baseline():
                 "narrow_joins": metrics.narrow_joins,
                 "prepartitioned_inputs": metrics.prepartitioned_inputs,
                 "loop_invariant_reuses": metrics.loop_invariant_reuses,
+                "vectorized_stages": metrics.vectorized_stages,
+                "columnar_fallbacks": metrics.columnar_fallbacks,
             },
         }
     )

@@ -55,6 +55,7 @@ from repro.algebra.plan import (
     ReduceByKeyNode,
     ScanNode,
 )
+from repro.algebra import vectorize
 from repro.algebra.planner import LoopInvariantCache, Planner
 from repro.comprehension import ir
 from repro.comprehension.monoids import DEFAULT_MONOIDS, MonoidRegistry
@@ -284,12 +285,15 @@ class TermEvaluator:
         def project_head(row: dict[str, Any]) -> Any:
             return evaluator.evaluate_local(head, {**base, **row})
 
+        head_fn = vectorize.head_map(
+            head, frozenset(build.bound_order), base, self._scope_values, project_head
+        )
         head_key_term = None
         if isinstance(head, ir.CTuple) and len(head.elements) == 2:
             head_key_term = head.elements[0]
         node = NarrowNode(
             kind=plan_mod.MAP,
-            function=project_head,
+            function=head_fn or project_head,
             child=build.rows,
             describe="head",
             head_key_term=head_key_term,
@@ -302,6 +306,16 @@ class TermEvaluator:
         self.last_plan = root
         planner = Planner(self.env.context, self.trace, self.loop_cache)
         return planner.lower(root)
+
+    def _scope_values(self) -> dict[str, Any]:
+        """Late-bound driver variables for vectorized kernels.
+
+        Plan nodes are CSE/loop-cached, so a kernel built in one loop
+        iteration may run in a later one; resolving free scalars through
+        this hook (instead of a snapshot) keeps the batch path aligned with
+        the record closures, which read ``env.values`` at call time.
+        """
+        return self.env.values
 
     # -- generators -----------------------------------------------------------
 
@@ -398,7 +412,7 @@ class TermEvaluator:
 
             node = NarrowNode(
                 kind=plan_mod.MAP,
-                function=bind_element,
+                function=vectorize.bind_map(pattern, bind_element) or bind_element,
                 child=scan,
                 describe=f"bind {pattern}",
             )
@@ -637,9 +651,12 @@ class TermEvaluator:
             value = evaluator.evaluate_local(term, local)
             return {**row, **_bind_pattern(pattern, value)}
 
+        let_fn = vectorize.let_map(
+            pattern, term, frozenset(build.bound_order), base, self._scope_values, add_binding
+        )
         node = NarrowNode(
             kind=plan_mod.MAP,
-            function=add_binding,
+            function=let_fn or add_binding,
             child=build.rows,
             describe=f"let {pattern}",
             key_transparent=True,
@@ -662,9 +679,12 @@ class TermEvaluator:
         def keep_row(row: dict[str, Any]) -> bool:
             return bool(evaluator.evaluate_local(term, {**base, **row}))
 
+        filter_fn = vectorize.row_filter(
+            term, frozenset(build.bound_order), base, self._scope_values, keep_row
+        )
         node = NarrowNode(
             kind=plan_mod.FILTER,
-            function=keep_row,
+            function=filter_fn or keep_row,
             child=build.rows,
             describe=f"filter {term}",
             key_transparent=True,
@@ -713,6 +733,15 @@ class TermEvaluator:
                     row.get(value_name),
                 )
 
+            key_value_fn = vectorize.key_value_map(
+                key_term,
+                value_name,
+                frozenset(build.bound_order),
+                base,
+                self._scope_values,
+                key_value_row,
+            )
+
             self.trace.append(f"group-by on {key_term} compiled to reduceByKey({op})")
             aggregate_marker = f"__aggregate_{value_name}"
 
@@ -728,8 +757,8 @@ class TermEvaluator:
 
             node = ReduceByKeyNode(
                 child=build.rows,
-                key_fn=key_value_row,
-                combine_fn=monoid.combine,
+                key_fn=key_value_fn or key_value_row,
+                combine_fn=vectorize.vector_combine(op, monoid.combine),
                 rebuild_fn=rebuild,
                 key_term=key_term,
                 pattern_term=pattern_term,

@@ -209,6 +209,11 @@ def explain_metrics(metrics: Metrics) -> list[str]:
             )
     if metrics.loop_invariant_reuses:
         lines.append(f"loop-invariant reuses: {metrics.loop_invariant_reuses}")
+    if metrics.vectorized_stages or metrics.columnar_fallbacks:
+        lines.append(
+            f"vectorized stages: {metrics.vectorized_stages} "
+            f"(record-path fallbacks: {metrics.columnar_fallbacks})"
+        )
     if metrics.combiner_input_records:
         lines.append(
             f"combiner: {metrics.combiner_input_records} -> "

@@ -57,6 +57,12 @@ class DiabloConfig:
             elimination over co-partitioned inputs, pre-partitioned map-side
             bypass and while-loop invariant caching.  Affects performance
             and structural metrics only, never results.
+        columnar: columnar vectorized execution -- recognized narrow chains
+            and map-side combiners run as batch kernels over unzipped
+            column arrays, with per-partition fallback to the record path
+            (see :mod:`repro.runtime.columnar`).  Affects performance and
+            the ``vectorized_stages``/``columnar_fallbacks`` counters only,
+            never results.
         check_restrictions: reject programs violating Definition 3.1.
         optimize: apply the Section 3.6 / Section 4 rewrites.
     """
@@ -69,6 +75,7 @@ class DiabloConfig:
     spill_threshold_bytes: int | None = None
     spill_dir: str | None = None
     plan_optimize: bool = True
+    columnar: bool = False
     check_restrictions: bool = True
     optimize: bool = True
 
@@ -108,6 +115,7 @@ class DiabloConfig:
             self.spill_threshold_bytes,
             self.spill_dir,
             self.plan_optimize,
+            self.columnar,
         )
 
     def compiler_options(self) -> dict[str, bool]:

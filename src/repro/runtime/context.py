@@ -108,6 +108,12 @@ class DistributedContext:
             bypass).  On by default; turning it off forces every wide
             operator down the full shuffle path (ablation / debugging knob;
             only affects performance and metrics, never results).
+        columnar: execute vectorizable narrow chains and map-side combiners
+            as columnar batch kernels (see :mod:`repro.runtime.columnar`).
+            Off by default; per-partition fallback to the record path keeps
+            results identical either way (performance and the
+            ``vectorized_stages`` / ``columnar_fallbacks`` counters are the
+            only observable difference).
     """
 
     def __init__(
@@ -120,6 +126,7 @@ class DistributedContext:
         spill_threshold_bytes: int | None = None,
         spill_dir: str | None = None,
         plan_optimize: bool = True,
+        columnar: bool = False,
     ):
         if num_partitions <= 0:
             raise ValueError("num_partitions must be positive")
@@ -131,6 +138,7 @@ class DistributedContext:
         self.num_processes = num_processes or min(num_partitions, os.cpu_count() or 2)
         self.broadcast_join_threshold = broadcast_join_threshold
         self.plan_optimize = plan_optimize
+        self.columnar = columnar
         if spill_threshold_bytes is None:
             spill_threshold_bytes = _spill_threshold_from_env()
         self.spill_threshold_bytes = spill_threshold_bytes
@@ -159,6 +167,7 @@ class DistributedContext:
             spill_threshold_bytes=config.spill_threshold_bytes,
             spill_dir=config.spill_dir,
             plan_optimize=getattr(config, "plan_optimize", True),
+            columnar=getattr(config, "columnar", False),
         )
 
     # -- dataset creation -------------------------------------------------------
@@ -269,7 +278,10 @@ class DistributedContext:
         indexed = list(enumerate(partitions))
         chunk_count = min(self.num_processes, len(indexed))
         chunks = [indexed[offset::chunk_count] for offset in range(chunk_count)]
-        futures = [pool.submit(stage_mod.run_fused_chunk, task_spec, chunk) for chunk in chunks]
+        futures = [
+            pool.submit(stage_mod.run_fused_chunk, task_spec, chunk, self.columnar)
+            for chunk in chunks
+        ]
         results: dict[int, list[Any]] = {}
         task_errors: list[BaseException] = []
         infrastructure_errors: list[BaseException] = []
@@ -384,9 +396,14 @@ class DistributedContext:
                     spill,
                     input_index,
                     sort_spec,
+                    columnar=self.columnar,
                 )
             chain += (NarrowStage(stage_mod.PARTITIONS_INDEXED, writer),)
-            outputs = self.run_tasks(stage_mod.compose(chain), source_partitions, task_spec=chain)
+            if self.columnar:
+                self.metrics.record_vectorization(*stage_mod.vectorization_counts(chain))
+            outputs = self.run_tasks(
+                stage_mod.compose(chain, self.columnar), source_partitions, task_spec=chain
+            )
             records_in = records_out = bytes_out = 0
             for output in outputs:
                 stats: stage_mod.ShuffleWriteStats = output[0]
@@ -415,7 +432,9 @@ class DistributedContext:
 
         if shuffle.reduce_stages:
             result = self.run_tasks(
-                stage_mod.compose(shuffle.reduce_stages), merged, task_spec=shuffle.reduce_stages
+                stage_mod.compose(shuffle.reduce_stages, self.columnar),
+                merged,
+                task_spec=shuffle.reduce_stages,
             )
             reduce_tasks = len(merged)
         elif spill is not None:
@@ -471,8 +490,14 @@ class DistributedContext:
         partitions = shuffle_input.source.partitions
         if not shuffle_input.stages:
             return shuffle_input, partitions
+        if self.columnar:
+            self.metrics.record_vectorization(
+                *stage_mod.vectorization_counts(shuffle_input.stages)
+            )
         chained = self.run_tasks(
-            stage_mod.compose(shuffle_input.stages), partitions, task_spec=shuffle_input.stages
+            stage_mod.compose(shuffle_input.stages, self.columnar),
+            partitions,
+            task_spec=shuffle_input.stages,
         )
         if shuffle_input.captured_operators:
             self.metrics.record_fused(shuffle_input.captured_operators)

@@ -194,9 +194,11 @@ class Dataset:
         assert self._source is not None
         source_partitions = self._source.partitions
         stages = self._stages
-        task = stage_mod.compose(stages)
-        new_partitions = self.context.run_tasks(task, source_partitions, task_spec=stages)
+        task = stage_mod.compose(stages, self.context.columnar)
         metrics = self.context.metrics
+        if self.context.columnar:
+            metrics.record_vectorization(*stage_mod.vectorization_counts(stages))
+        new_partitions = self.context.run_tasks(task, source_partitions, task_spec=stages)
         metrics.record_narrow(
             len(source_partitions), sum(len(partition) for partition in source_partitions)
         )
@@ -301,7 +303,7 @@ class Dataset:
             partitions: list[list[Any]] = materialized
         elif source is not None and shuffle is None:
             partitions = source.partitions
-            task = stage_mod.compose(stages)
+            task = stage_mod.compose(stages, self.context.columnar)
         else:
             partitions = self.partitions
         taken: list[Any] = []
@@ -744,7 +746,11 @@ class Dataset:
         if self._narrow_keyed_eligible(partitioner):
             return self._narrow_keyed_pass(
                 "reduceByKey",
-                functools.partial(stage_mod.apply_combiner, ("reduce", function)),
+                functools.partial(
+                    stage_mod.apply_combiner,
+                    ("reduce", function),
+                    columnar=self.context.columnar,
+                ),
             )
         return self._key_shuffle(
             "reduceByKey",
@@ -770,7 +776,11 @@ class Dataset:
         if self._narrow_keyed_eligible(partitioner):
             return self._narrow_keyed_pass(
                 "aggregateByKey",
-                functools.partial(stage_mod.apply_combiner, ("seq", zero, seq_op)),
+                functools.partial(
+                    stage_mod.apply_combiner,
+                    ("seq", zero, seq_op),
+                    columnar=self.context.columnar,
+                ),
             )
         return self._key_shuffle(
             "aggregateByKey",

@@ -75,6 +75,15 @@ class Metrics:
     #: Loop-invariant datasets reused from the while-loop cache instead of
     #: being recomputed (and re-shuffled) by a later iteration.
     loop_invariant_reuses: int = 0
+    #: Record-function stages planned to run as columnar batch kernels
+    #: (``map``/``filter``/``map_values`` chains and vectorizable map-side
+    #: combiners).  Counted at plan time, so identical across executor modes;
+    #: 0 unless the context was created with ``columnar=True``.
+    vectorized_stages: int = 0
+    #: Record-function stages that stayed on the record path while columnar
+    #: execution was on (unrecognized functions, ``flat_map``, combiners
+    #: without a vectorizable operator).
+    columnar_fallbacks: int = 0
     #: Per-operation shuffle counts (operation name -> count).
     shuffle_operations: dict[str, int] = field(default_factory=dict)
     #: Chosen join strategies ("broadcast" / "shuffle" / "cartesian" -> count).
@@ -172,6 +181,11 @@ class Metrics:
     def record_process_fallback(self) -> None:
         self.process_fallbacks += 1
 
+    def record_vectorization(self, vectorized: int, fallbacks: int) -> None:
+        """Account for one columnar-enabled plan's stage classification."""
+        self.vectorized_stages += vectorized
+        self.columnar_fallbacks += fallbacks
+
     def record_parallel_tasks(self, tasks: int) -> None:
         """Account for ``tasks`` tasks dispatched to a worker pool."""
         self.parallel_tasks += tasks
@@ -206,6 +220,8 @@ class Metrics:
         self.narrow_joins = 0
         self.prepartitioned_inputs = 0
         self.loop_invariant_reuses = 0
+        self.vectorized_stages = 0
+        self.columnar_fallbacks = 0
         self.shuffle_operations = {}
         self.join_strategies = {}
         self.shuffle_stage_log = []
@@ -240,6 +256,8 @@ class Metrics:
             "narrow_joins": self.narrow_joins,
             "prepartitioned_inputs": self.prepartitioned_inputs,
             "loop_invariant_reuses": self.loop_invariant_reuses,
+            "vectorized_stages": self.vectorized_stages,
+            "columnar_fallbacks": self.columnar_fallbacks,
             "broadcast_joins": self.join_strategies.get("broadcast", 0),
             "shuffle_joins": self.join_strategies.get("shuffle", 0),
         }

@@ -40,11 +40,13 @@ sequential, threads, and processes executor modes.
 from __future__ import annotations
 
 import copy
+import functools
 import pickle
 import random
 import sys
 from typing import Any, Callable, Iterable, NamedTuple
 
+from repro.runtime import columnar as columnar_mod
 from repro.runtime import spill as spill_mod
 from repro.runtime.spill import BucketPayload, SpillSpec
 
@@ -87,9 +89,82 @@ def apply_stage(stage: NarrowStage, records: list[Any], index: int) -> list[Any]
     raise ValueError(f"unknown stage kind {kind!r}")
 
 
-def compose(stages: Iterable[NarrowStage]) -> Callable[[list[Any], int], list[Any]]:
-    """Fuse a stage chain into a single per-partition task."""
+#: Stage kinds whose record functions may carry a batch kernel, mapped to the
+#: :mod:`repro.runtime.columnar` classes whose ``apply_batch`` matches the
+#: stage semantics (a vectorized marker on a mismatched kind is ignored).
+_VECTOR_CLASSES = {
+    MAP: (columnar_mod.VectorizedMap, columnar_mod.VectorizedBind, columnar_mod.VectorizedLet),
+    FILTER: (columnar_mod.VectorizedFilter,),
+    MAP_VALUES: (columnar_mod.VectorizedMapValues,),
+}
+
+
+def stage_vectorizable(stage: NarrowStage) -> bool:
+    """Whether one narrow stage has a batch kernel compatible with its kind."""
+    classes = _VECTOR_CLASSES.get(stage.kind)
+    return classes is not None and isinstance(stage.function, classes)
+
+
+def _segment(chain: tuple[NarrowStage, ...]) -> list[tuple[bool, tuple[NarrowStage, ...]]]:
+    """Split a chain into maximal runs of batchable / record-only stages."""
+    segments: list[tuple[bool, tuple[NarrowStage, ...]]] = []
+    for stage in chain:
+        batchable = stage_vectorizable(stage)
+        if segments and segments[-1][0] == batchable:
+            segments[-1] = (batchable, segments[-1][1] + (stage,))
+        else:
+            segments.append((batchable, (stage,)))
+    return segments
+
+
+def _run_batch_segment(
+    segment: tuple[NarrowStage, ...], records: list[Any], index: int
+) -> list[Any]:
+    """Run one batchable run columnar-side, falling back per partition.
+
+    The kernels are pure (they never mutate ``records`` or call user code),
+    so *any* failure -- a :class:`~repro.runtime.columnar.ColumnarFallback`,
+    a dtype surprise, an operand TypeError -- can safely replay the same
+    records through the record path, which then produces the canonical
+    result (or raises the canonical error).
+    """
+    try:
+        part = columnar_mod.ColumnarPartition.from_records(records)
+        if part is None:
+            raise columnar_mod.ColumnarFallback("records are not columnar")
+        for stage in segment:
+            part = stage.function.apply_batch(part)
+        return part.to_records()
+    except Exception:
+        for stage in segment:
+            records = apply_stage(stage, records, index)
+        return records
+
+
+def compose(
+    stages: Iterable[NarrowStage], columnar: bool = False
+) -> Callable[[list[Any], int], list[Any]]:
+    """Fuse a stage chain into a single per-partition task.
+
+    With ``columnar=True``, maximal runs of vectorizable stages execute as
+    batch kernels over a :class:`~repro.runtime.columnar.ColumnarPartition`
+    (per-partition record-path fallback included); everything else -- and
+    everything when the flag is off -- runs record-at-a-time.
+    """
     chain = tuple(stages)
+    if columnar and any(stage_vectorizable(stage) for stage in chain):
+        segments = _segment(chain)
+
+        def fused_columnar(records: list[Any], index: int) -> list[Any]:
+            for batchable, segment in segments:
+                if batchable:
+                    records = _run_batch_segment(segment, records, index)
+                else:
+                    for stage in segment:
+                        records = apply_stage(stage, records, index)
+            return records
+
+        return fused_columnar
 
     def fused(records: list[Any], index: int) -> list[Any]:
         for stage in chain:
@@ -123,10 +198,12 @@ class FusedTaskError(Exception):
 
 
 def run_fused_chunk(
-    stages: tuple[NarrowStage, ...], chunk: list[tuple[int, list[Any]]]
+    stages: tuple[NarrowStage, ...],
+    chunk: list[tuple[int, list[Any]]],
+    columnar: bool = False,
 ) -> list[tuple[int, list[Any]]]:
     """Process-pool worker: run the fused chain over a chunk of indexed partitions."""
-    task = compose(stages)
+    task = compose(stages, columnar)
     try:
         return [(index, task(records, index)) for index, records in chunk]
     except Exception as error:
@@ -250,8 +327,21 @@ def tag_record(side: int, record: Any) -> tuple[int, Any]:
     return (side, record)
 
 
-def apply_combiner(combiner: tuple[Any, ...], records: list[Any]) -> list[Any]:
-    """Run a map-side combiner spec over one partition's key-value records."""
+def apply_combiner(
+    combiner: tuple[Any, ...], records: list[Any], columnar: bool = False
+) -> list[Any]:
+    """Run a map-side combiner spec over one partition's key-value records.
+
+    With ``columnar=True`` and a combiner whose function is a
+    :class:`~repro.runtime.columnar.VectorizedCombine`, the grouped fold runs
+    through :func:`~repro.runtime.columnar.combine_batch`; any failure there
+    falls back to this record path (the kernel never mutates ``records``).
+    """
+    if columnar and records and columnar_mod.combiner_vectorizable(combiner):
+        try:
+            return columnar_mod.combine_batch(combiner, records)
+        except Exception:
+            pass
     kind = combiner[0]
     accumulator: dict[Any, Any] = {}
     if kind == "reduce":
@@ -343,6 +433,7 @@ def shuffle_write(
     sort_spec: tuple[Callable[[Any], Any], bool] | None,
     records: list[Any],
     index: int,
+    columnar: bool = False,
 ) -> list[Any]:
     """Map-side shuffle writer: combine (optionally), bucket by key, spill
     over budget.
@@ -357,7 +448,7 @@ def shuffle_write(
     """
     records_in = len(records)
     if combiner is not None:
-        records = apply_combiner(combiner, records)
+        records = apply_combiner(combiner, records, columnar)
     writer = spill_mod.BucketWriter(
         partitioner.num_partitions, spill, f"i{input_index}-m{index}", sort_spec
     )
@@ -605,3 +696,40 @@ def keep_first(value: Any, _other: Any) -> Any:
 def take_key(pair: Any) -> Any:
     """Strip the ``None`` payload after a ``distinct`` reduce."""
     return pair[0]
+
+
+def vectorization_counts(stages: Iterable[NarrowStage]) -> tuple[int, int]:
+    """Plan-time vectorization accounting for one stage chain.
+
+    Returns ``(vectorized, fallbacks)``: record-function stages that will run
+    as batch kernels vs. those that stay on the record path while columnar
+    execution is on.  Counted from the *plan* -- like ``shuffles_eliminated``
+    -- so the numbers are identical across executor modes (a worker-side
+    per-partition fallback cannot be observed from the driver under the
+    process executor).  Whole-partition stages are only counted when they are
+    ``apply_combiner`` / ``shuffle_write`` closures carrying a combiner (the
+    two shapes with a grouped-fold kernel); structural passes such as
+    ``read_bucket`` do no per-record work and are skipped.
+    """
+    vectorized = fallbacks = 0
+    for stage in stages:
+        function = stage.function
+        if stage.kind in (MAP, FLAT_MAP, FILTER, MAP_VALUES):
+            if stage_vectorizable(stage):
+                vectorized += 1
+            else:
+                fallbacks += 1
+        elif isinstance(function, functools.partial):
+            combiner = None
+            if function.func is apply_combiner and function.args:
+                combiner = function.args[0]
+                enabled = bool(function.keywords.get("columnar"))
+            elif function.func is shuffle_write and len(function.args) > 1:
+                combiner = function.args[1]
+                enabled = bool(function.keywords.get("columnar"))
+            if combiner is not None:
+                if enabled and columnar_mod.combiner_vectorizable(combiner):
+                    vectorized += 1
+                else:
+                    fallbacks += 1
+    return vectorized, fallbacks

@@ -1,0 +1,398 @@
+"""Differential oracle suite for columnar vectorized execution.
+
+The record-at-a-time path is the correctness oracle: with ``columnar=True``
+every Figure 3 workload must produce **bit-identical** outputs under every
+executor mode (including the harshest spill setting), because batch kernels
+either reproduce the record semantics exactly or fall back per partition.
+
+Kernel-level tests pin down the exactness guards one by one: Python-int
+overflow, bool arithmetic, NaN/negative-zero folds, mixed-type comparisons,
+the no-numpy list backend and the per-partition record-path replay.
+"""
+
+from __future__ import annotations
+
+import functools
+import math
+import pickle
+
+import pytest
+
+from test_executor_equivalence import (
+    SIZES,
+    SPILLING_PROGRAMS,
+    TINY_SPILL,
+    _Outputs,
+    interpreter_outputs,
+    workload,
+)
+from test_soundness_programs import assert_same_outputs
+
+from repro.algebra.explain import explain_metrics
+from repro.api import config as config_mod
+from repro.evaluation.harness import diablo_for, translated_outputs
+from repro.programs import get_program, table2_program_names
+from repro.runtime import columnar
+from repro.runtime import stage as stage_mod
+from repro.runtime.context import EXECUTOR_MODES, DistributedContext
+
+
+def run_columnar(name: str, mode: str, spill_threshold_bytes: int | None = None) -> tuple:
+    """One Figure 3 workload under ``columnar=True``; outputs + metric pair."""
+    spec = get_program(name)
+    with DistributedContext(
+        num_partitions=4,
+        executor=mode,
+        spill_threshold_bytes=spill_threshold_bytes,
+        columnar=True,
+    ) as context:
+        diablo = diablo_for(spec, context)
+        result = diablo.compile(spec.source).run(**workload(name))
+        outputs = translated_outputs(name, result)
+        metrics = context.metrics
+        return outputs, (metrics.vectorized_stages, metrics.columnar_fallbacks)
+
+
+@functools.lru_cache(maxsize=None)
+def record_path_outputs(name: str) -> dict:
+    """The record-at-a-time oracle (``columnar=False``), once per program."""
+    spec = get_program(name)
+    with DistributedContext(num_partitions=4, columnar=False) as context:
+        diablo = diablo_for(spec, context)
+        result = diablo.compile(spec.source).run(**workload(name))
+        assert context.metrics.vectorized_stages == 0, "columnar=False must not vectorize"
+        return translated_outputs(name, result)
+
+
+@pytest.mark.parametrize("mode", EXECUTOR_MODES)
+@pytest.mark.parametrize("name", table2_program_names())
+def test_every_figure3_workload_is_bit_identical_under_columnar(name, mode):
+    """columnar=True == columnar=False == interpreter, per program and mode."""
+    outputs, _counters = run_columnar(name, mode)
+    assert outputs == record_path_outputs(name), (
+        f"{name} under {mode!r}: columnar results differ from the record path"
+    )
+    assert_same_outputs(get_program(name), _Outputs(outputs), interpreter_outputs(name))
+
+
+@pytest.mark.parametrize("name", SPILLING_PROGRAMS)
+def test_figure3_wide_workloads_spilled_columnar_match_record_path(name):
+    outputs, _counters = run_columnar(name, "sequential", spill_threshold_bytes=TINY_SPILL)
+    assert outputs == record_path_outputs(name)
+
+
+def test_numeric_workloads_actually_vectorize():
+    """The batch path must engage (not silently fall back everywhere)."""
+    for name in ("conditional_sum", "histogram", "group_by"):
+        _outputs, (vectorized, _fallbacks) = run_columnar(name, "sequential")
+        assert vectorized > 0, f"{name}: no stage took the batch path"
+
+
+def test_columnar_metrics_identical_across_executors():
+    """Vectorization counters are plan properties, not executor properties."""
+    per_mode = {}
+    for mode in EXECUTOR_MODES:
+        _outputs, counters = run_columnar("conditional_sum", mode)
+        per_mode[mode] = counters
+    assert per_mode["sequential"] == per_mode["threads"] == per_mode["processes"]
+
+
+# ---------------------------------------------------------------------------
+# ColumnarPartition: construction, reassembly, pickling
+# ---------------------------------------------------------------------------
+
+
+class TestColumnarPartition:
+    def test_round_trips_scalars_pairs_and_dicts(self):
+        for records in (
+            [1, 2, 3],
+            [1.5, -0.25, 3.0],
+            ["a", "bb", "ccc"],
+            [True, False, True],
+            [(0, 1.0), (1, 2.0)],
+            [((0, 1), 2.5), ((3, 4), -1.5)],
+            [{"i": 1, "v": 2.0}, {"i": 3, "v": 4.0}],
+        ):
+            part = columnar.ColumnarPartition.from_records(records)
+            assert part is not None, records
+            out = part.to_records()
+            assert out == records
+            assert [type(a) for a in out] == [type(b) for b in records]
+
+    def test_rejects_ragged_mixed_and_empty_input(self):
+        assert columnar.ColumnarPartition.from_records([]) is None
+        assert columnar.ColumnarPartition.from_records([(1, 2), (1, 2, 3)]) is None
+        assert columnar.ColumnarPartition.from_records([1, "x"]) is None
+        assert columnar.ColumnarPartition.from_records([1, 2.0]) is None
+        assert columnar.ColumnarPartition.from_records([None, None]) is None
+        assert columnar.ColumnarPartition.from_records([[1], [2]]) is None
+
+    def test_rejects_ints_beyond_int64(self):
+        assert columnar.ColumnarPartition.from_records([2**70, 1]) is None
+
+    def test_pickles_across_the_process_boundary(self):
+        records = [(i, float(i) / 2) for i in range(10)]
+        part = columnar.ColumnarPartition.from_records(records)
+        clone = pickle.loads(pickle.dumps(part))
+        assert clone.to_records() == records
+
+    def test_compress_keeps_python_types(self):
+        part = columnar.ColumnarPartition.from_records([(i, i * 2) for i in range(6)])
+        if columnar.np is not None:
+            mask = columnar.np.array([True, False] * 3)
+        else:
+            mask = [True, False] * 3
+        kept = part.compress(mask).to_records()
+        assert kept == [(0, 0), (2, 4), (4, 8)]
+        assert all(type(k) is int and type(v) is int for k, v in kept)
+
+
+# ---------------------------------------------------------------------------
+# Batch kernels vs. the record path, per stage kind
+# ---------------------------------------------------------------------------
+
+
+def _run_both(chain, records):
+    """One fused chain under both paths; they must agree exactly."""
+    record_path = stage_mod.compose(list(chain))(list(records), 0)
+    batch_path = stage_mod.compose(list(chain), columnar=True)(list(records), 0)
+    assert batch_path == record_path
+    assert [type(r) for r in batch_path] == [type(r) for r in record_path]
+    return batch_path
+
+
+def _pair_scope():
+    return columnar.ScalarScope({"lo": 2, "scale": 10})
+
+
+def _filter_stage():
+    predicate = columnar.BinOp(">", columnar.Col((0,)), columnar.Ref("lo"))
+    return stage_mod.NarrowStage(
+        stage_mod.FILTER,
+        columnar.VectorizedFilter(predicate, _pair_scope(), oracle=lambda p: p[0] > 2),
+    )
+
+
+class TestBatchKernels:
+    def test_map_filter_map_values_chain(self):
+        out = columnar.OutTuple(
+            [
+                columnar.Col((0,)),
+                columnar.BinOp("*", columnar.Col((1,)), columnar.Ref("scale")),
+            ]
+        )
+        chain = [
+            _filter_stage(),
+            stage_mod.NarrowStage(
+                stage_mod.MAP,
+                columnar.VectorizedMap(
+                    out, _pair_scope(), oracle=lambda p: (p[0], p[1] * 10)
+                ),
+            ),
+            stage_mod.NarrowStage(
+                stage_mod.MAP_VALUES,
+                columnar.VectorizedMapValues(
+                    columnar.BinOp("-", columnar.Col(()), columnar.Lit(1)),
+                    columnar.ScalarScope(),
+                    oracle=lambda v: v - 1,
+                ),
+            ),
+        ]
+        records = [(i, i + 1) for i in range(20)]
+        result = _run_both(chain, records)
+        assert result == [(i, (i + 1) * 10 - 1) for i in range(20) if i > 2]
+
+    def test_bind_reroots_elements_into_rows(self):
+        bind = columnar.VectorizedBind(
+            ("tuple", (("var", "i"), ("var", "v"))),
+            oracle=lambda pair: {"i": pair[0], "v": pair[1]},
+        )
+        chain = [stage_mod.NarrowStage(stage_mod.MAP, bind)]
+        records = [(i, float(i)) for i in range(8)]
+        assert _run_both(chain, records) == [{"i": i, "v": float(i)} for i in range(8)]
+
+    def test_vectorized_functions_delegate_to_the_oracle_record_by_record(self):
+        calls = []
+
+        def oracle(p):
+            calls.append(p)
+            return p[0] > 2
+
+        predicate = columnar.BinOp(">", columnar.Col((0,)), columnar.Lit(2))
+        fn = columnar.VectorizedFilter(predicate, columnar.ScalarScope(), oracle=oracle)
+        assert fn((5, "x")) is True
+        assert calls == [(5, "x")], "__call__ must be the original closure, verbatim"
+
+    def test_undefined_ref_falls_back_to_records(self):
+        predicate = columnar.BinOp(">", columnar.Col((0,)), columnar.Ref("missing"))
+        stage = stage_mod.NarrowStage(
+            stage_mod.FILTER,
+            columnar.VectorizedFilter(predicate, columnar.ScalarScope(), oracle=lambda p: True),
+        )
+        records = [(i, i) for i in range(5)]
+        # Batch raises inside the kernel -> per-partition replay via the oracle.
+        assert stage_mod.compose([stage], columnar=True)(records, 0) == records
+
+
+# ---------------------------------------------------------------------------
+# Exactness guards: every divergence hazard must take the record path
+# ---------------------------------------------------------------------------
+
+
+class TestExactnessGuards:
+    def _both(self, op, left_values, right):
+        """batch_binop vs. per-record apply_binary over a real column."""
+        part = columnar.ColumnarPartition.from_records(list(left_values))
+        assert part is not None
+        left = part.leaf(())
+        return left, right
+
+    def test_large_int_arithmetic_falls_back(self):
+        big = 2**40
+        left, right = self._both("+", [big, big + 1], 1)
+        with pytest.raises(columnar.ColumnarFallback):
+            columnar.batch_binop("+", left, right, 2)
+
+    def test_bool_arithmetic_falls_back(self):
+        left, right = self._both("+", [True, False], 1)
+        with pytest.raises(columnar.ColumnarFallback):
+            columnar.batch_binop("+", left, right, 2)
+
+    def test_mixed_str_number_comparison_falls_back(self):
+        left, right = self._both("<", ["a", "b"], 3)
+        with pytest.raises(columnar.ColumnarFallback):
+            columnar.batch_binop("<", left, right, 2)
+
+    def test_small_int_arithmetic_matches_python(self):
+        left, right = self._both("*", [3, -4, 0], 7)
+        result = columnar.batch_binop("*", left, right, 3)
+        assert columnar._column_list(result) == [21, -28, 0]
+
+    def test_division_is_never_vectorized(self):
+        assert "/" not in columnar.SUPPORTED_BINOPS
+        assert "%" not in columnar.SUPPORTED_BINOPS
+
+
+def _sum_combine(a, b):
+    return a + b
+
+
+def _min_combine(a, b):
+    return min(a, b)
+
+
+class TestCombinerKernels:
+    def _records(self):
+        return [(i % 5, float(i)) for i in range(40)]
+
+    def test_reduce_combiner_matches_record_path(self):
+        for op, fn in (("+", _sum_combine), ("min", _min_combine)):
+            combiner = ("reduce", columnar.VectorizedCombine(op, fn))
+            records = self._records()
+            batch = stage_mod.apply_combiner(combiner, list(records), columnar=True)
+            record = stage_mod.apply_combiner(combiner, list(records), columnar=False)
+            assert batch == record, op
+
+    def test_seq_combiner_matches_record_path(self):
+        combiner = ("seq", 0.0, columnar.VectorizedCombine("+", _sum_combine))
+        records = self._records()
+        batch = stage_mod.apply_combiner(combiner, list(records), columnar=True)
+        record = stage_mod.apply_combiner(combiner, list(records), columnar=False)
+        assert batch == record
+
+    def test_combiner_preserves_first_seen_key_order(self):
+        records = [(3, 1.0), (1, 2.0), (3, 3.0), (2, 4.0), (1, 5.0)]
+        combiner = ("reduce", columnar.VectorizedCombine("+", _sum_combine))
+        batch = stage_mod.apply_combiner(combiner, list(records), columnar=True)
+        assert [k for k, _v in batch] == [3, 1, 2]
+
+    def test_nan_and_negative_zero_min_folds_take_the_record_path(self):
+        nan_records = [(0, float("nan")), (0, 1.0)]
+        zero_records = [(0, -0.0), (0, 0.0)]
+        combiner = ("reduce", columnar.VectorizedCombine("min", _min_combine))
+        for records in (nan_records, zero_records):
+            batch = stage_mod.apply_combiner(combiner, list(records), columnar=True)
+            record = stage_mod.apply_combiner(combiner, list(records), columnar=False)
+            assert len(batch) == len(record) == 1
+            b, r = batch[0][1], record[0][1]
+            assert (math.isnan(b) and math.isnan(r)) or (
+                b == r and math.copysign(1.0, b) == math.copysign(1.0, r)
+            )
+
+    def test_integer_product_fold_matches_exactly(self):
+        # "*" folds are never vectorized for ints (products overflow fast).
+        records = [(0, 2**20), (0, 2**20), (0, 2**25)]
+        combiner = ("reduce", columnar.VectorizedCombine("*", lambda a, b: a * b))
+        batch = stage_mod.apply_combiner(combiner, list(records), columnar=True)
+        assert batch == [(0, 2**65)]
+
+    def test_unhashable_keys_take_the_record_path(self):
+        records = [([0], 1.0), ([0], 2.0)]
+        combiner = ("reduce", columnar.VectorizedCombine("+", _sum_combine))
+        with pytest.raises(TypeError):
+            # The record path itself cannot group unhashable keys either;
+            # what matters is that columnar=True raises the *same* error
+            # instead of silently misgrouping.
+            stage_mod.apply_combiner(combiner, list(records), columnar=False)
+        with pytest.raises(TypeError):
+            stage_mod.apply_combiner(combiner, list(records), columnar=True)
+
+
+# ---------------------------------------------------------------------------
+# The list backend (no numpy) and the plumbing
+# ---------------------------------------------------------------------------
+
+
+class TestListBackend:
+    def test_kernels_work_without_numpy(self, monkeypatch):
+        monkeypatch.setattr(columnar, "np", None)
+        out = columnar.OutTuple(
+            [columnar.Col((0,)), columnar.BinOp("+", columnar.Col((1,)), columnar.Lit(1))]
+        )
+        chain = [
+            _filter_stage(),
+            stage_mod.NarrowStage(
+                stage_mod.MAP,
+                columnar.VectorizedMap(out, _pair_scope(), oracle=lambda p: (p[0], p[1] + 1)),
+            ),
+        ]
+        records = [(i, i * 2) for i in range(12)]
+        assert _run_both(chain, records) == [(i, i * 2 + 1) for i in range(12) if i > 2]
+
+    def test_combine_requires_numpy_and_falls_back_cleanly(self, monkeypatch):
+        monkeypatch.setattr(columnar, "np", None)
+        combiner = ("reduce", columnar.VectorizedCombine("+", _sum_combine))
+        records = [(i % 3, float(i)) for i in range(12)]
+        batch = stage_mod.apply_combiner(combiner, list(records), columnar=True)
+        assert batch == stage_mod.apply_combiner(combiner, list(records), columnar=False)
+
+
+class TestPlumbing:
+    def test_config_knob_reaches_the_context_and_runtime_key(self):
+        with config_mod.options(columnar=True) as cfg:
+            assert cfg.columnar is True
+            assert True in {cfg.columnar} and cfg.runtime_key()[-1] is True
+            ctx = cfg.make_context()
+            try:
+                assert ctx.columnar is True
+            finally:
+                ctx.close()
+        assert config_mod.current_config().columnar is False
+
+    def test_counters_surface_in_snapshot_and_explain(self):
+        _outputs, (vectorized, fallbacks) = run_columnar("conditional_sum", "sequential")
+        assert vectorized > 0
+        with DistributedContext(num_partitions=4, columnar=True) as ctx:
+            spec = get_program("conditional_sum")
+            diablo_for(spec, ctx).compile(spec.source).run(**workload("conditional_sum"))
+            snapshot = ctx.metrics.snapshot()
+            assert snapshot["vectorized_stages"] == vectorized
+            assert snapshot["columnar_fallbacks"] == fallbacks
+            rendered = "\n".join(explain_metrics(ctx.metrics))
+            assert f"vectorized stages: {vectorized}" in rendered
+
+    def test_columnar_off_keeps_counters_at_zero(self):
+        with DistributedContext(num_partitions=4) as ctx:
+            ctx.parallelize([(i % 3, i) for i in range(30)]).reduce_by_key(_sum_combine).collect()
+            assert ctx.metrics.vectorized_stages == 0
+            assert ctx.metrics.columnar_fallbacks == 0
