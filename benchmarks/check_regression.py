@@ -134,6 +134,9 @@ TRACKED_STRUCTURAL_COUNTERS = (
     "shuffled_bytes",
     "shuffles_eliminated",
     "loop_invariant_reuses",
+    "plan_cache_hits",
+    "salted_keys",
+    "adaptive_decisions",
 )
 
 
@@ -155,9 +158,19 @@ def structural_drift(
         for counter in TRACKED_STRUCTURAL_COUNTERS:
             old_value = old_metrics.get(counter)
             new_value = new_metrics.get(counter)
-            if old_value is None or new_value is None or old_value == new_value:
+            if old_value == new_value:
                 continue
-            deltas.append(f"{counter} {old_value} -> {new_value}")
+            if old_value is None and new_value in (0, None):
+                # Baseline predates this counter and the fresh run doesn't
+                # exercise it -- not drift, just an older results file.
+                continue
+            # Entries recorded before a counter existed show as "n/a" rather
+            # than raising or being silently dropped: a counter appearing for
+            # the first time IS informative (e.g. the adaptive counters
+            # introduced after the committed baseline was recorded).
+            old_label = "n/a" if old_value is None else old_value
+            new_label = "n/a" if new_value is None else new_value
+            deltas.append(f"{counter} {old_label} -> {new_label}")
         if deltas:
             workload, size, system, method = key
             lines.append(f"  {workload}/{size}/{system}/{method}: {', '.join(deltas)}")

@@ -94,6 +94,12 @@ def record_run(
             # as batch kernels (0 whenever columnar execution is off).
             "vectorized_stages": metrics.vectorized_stages,
             "columnar_fallbacks": metrics.columnar_fallbacks,
+            # PR 7 adaptive counters: plan-skeleton reuse across loop
+            # iterations plus the runtime's skew decisions (salted hot keys,
+            # map-side grouping, histogram ranges, broadcast re-decisions).
+            "plan_cache_hits": metrics.plan_cache_hits,
+            "salted_keys": metrics.salted_keys,
+            "adaptive_decisions": metrics.adaptive_decisions,
         }
     record_entry(entry)
 

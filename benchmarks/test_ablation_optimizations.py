@@ -13,10 +13,13 @@ import pytest
 from repro.evaluation.harness import diablo_for
 from repro.programs import get_program
 from repro.runtime.context import DistributedContext
-from repro.workloads import workload_for_program
+from repro.workloads import skewed_workload_for_program, workload_for_program
 
 MATMUL_SIZE = 8
 VECTOR_SOURCE = "for i = 0, 499 do V[i] += W[i];"
+SKEWED_GROUP_SIZE = 8_000
+PAGERANK_SIZE = 40
+PAGERANK_STEPS = 4
 
 
 @pytest.mark.parametrize("optimized", [True, False], ids=["optimized", "unoptimized"])
@@ -44,3 +47,43 @@ def test_vector_increment_with_and_without_group_by_elimination(benchmark, optim
     result = benchmark.pedantic(lambda: compiled.run(**inputs), rounds=2, iterations=1)
     assert result.array("V")[499] == 499.0
     benchmark.extra_info["optimized"] = optimized
+
+
+@pytest.mark.parametrize("adaptive", [True, False], ids=["adaptive", "no-adaptive"])
+def test_skewed_group_by_with_and_without_adaptive(benchmark, adaptive):
+    """PR 7 ablation: the adaptive skew layer on the Zipf Group By workload.
+
+    ``C[v.K] += v.A`` is a reduceByKey, so adaptive execution salts the Zipf
+    head keys; with the knob off the counters must stay at zero.
+    """
+    spec = get_program("group_by")
+    inputs = skewed_workload_for_program("group_by", SKEWED_GROUP_SIZE)
+    context = DistributedContext(num_partitions=4, adaptive=adaptive)
+    compiled = diablo_for(spec, context).compile(spec.source)
+    benchmark.pedantic(lambda: compiled.run(**inputs), rounds=2, iterations=1)
+    if adaptive:
+        assert context.metrics.adaptive_decisions >= 1
+    else:
+        assert context.metrics.adaptive_decisions == 0
+        assert context.metrics.salted_keys == 0
+    benchmark.extra_info["adaptive"] = adaptive
+
+
+@pytest.mark.parametrize("plan_cache", [True, False], ids=["plan-cache", "no-plan-cache"])
+def test_pagerank_multistep_with_and_without_plan_cache(benchmark, plan_cache):
+    """PR 7 ablation: plan-skeleton caching across PageRank iterations.
+
+    With the cache on, iterations 2+ reuse the lowered plan trees instead of
+    re-running comprehension evaluation; off, the hit counter must stay zero.
+    """
+    spec = get_program("pagerank")
+    inputs = workload_for_program("pagerank", PAGERANK_SIZE)
+    inputs["num_steps"] = PAGERANK_STEPS
+    context = DistributedContext(num_partitions=4, plan_cache=plan_cache)
+    compiled = diablo_for(spec, context).compile(spec.source)
+    benchmark.pedantic(lambda: compiled.run(**inputs), rounds=2, iterations=1)
+    if plan_cache:
+        assert context.metrics.plan_cache_hits > 0
+    else:
+        assert context.metrics.plan_cache_hits == 0
+    benchmark.extra_info["plan_cache"] = plan_cache

@@ -56,7 +56,7 @@ from repro.algebra.plan import (
     ScanNode,
 )
 from repro.algebra import vectorize
-from repro.algebra.planner import LoopInvariantCache, Planner
+from repro.algebra.planner import LoopInvariantCache, Planner, PlanSkeletonCache
 from repro.comprehension import ir
 from repro.comprehension.monoids import DEFAULT_MONOIDS, MonoidRegistry
 from repro.errors import CompilationError, ExecutionError
@@ -113,6 +113,16 @@ class _CompBuild:
     #: evaluated (matching the sequential interpreter, which never reaches
     #: inner loops of an empty outer loop).
     dead: bool = False
+    #: Whether the finished plan tree may enter the per-loop
+    #: :class:`~repro.algebra.planner.PlanSkeletonCache`.  Cleared whenever a
+    #: build-time snapshot (a local bag baked into an expand closure, a
+    #: driver-evaluated condition, a derived scan dataset) captured a value
+    #: that could change across iterations; everything else in the tree's
+    #: closures resolves late through ``env.values`` or is rebound on reuse.
+    skeleton_safe: bool = True
+    #: Scan leaves over mutable bare program variables, with the variable
+    #: name: a reused skeleton rebinds each to the variable's current value.
+    rebind_scans: list[tuple[ScanNode, str]] = field(default_factory=list)
 
     def bound_names(self) -> frozenset[str]:
         return frozenset(self.bound_order) | frozenset(self.driver_bindings)
@@ -126,6 +136,7 @@ class TermEvaluator:
         environment: EvaluationEnvironment,
         trace: list[str] | None = None,
         loop_cache: LoopInvariantCache | None = None,
+        skeleton_cache: PlanSkeletonCache | None = None,
     ):
         self.env = environment
         # Keyed by id() for speed but the value keeps a strong reference to
@@ -137,6 +148,9 @@ class TermEvaluator:
         self._term_dataset_cache: dict[Any, Dataset] = {}
         #: While-loop cache shared across iterations (None outside loops).
         self.loop_cache = loop_cache
+        #: While-loop plan-skeleton cache (None outside loops or when the
+        #: context's ``plan_cache`` knob is off).
+        self.skeleton_cache = skeleton_cache
         #: The last logical plan lowered by :meth:`evaluate_comprehension`.
         self.last_plan: PlanNode | None = None
         #: Human-readable log of plan decisions (joins, group-bys, merges).
@@ -250,6 +264,10 @@ class TermEvaluator:
         dataset generator, or a plain list for purely local comprehensions
         (e.g. singleton bags).
         """
+        if self.skeleton_cache is not None:
+            reused = self._reuse_plan_skeleton(comp)
+            if reused is not None:
+                return reused
         build = _CompBuild()
         consumed: set[int] = set()
         qualifiers = list(comp.qualifiers)
@@ -300,7 +318,59 @@ class TermEvaluator:
         )
         node.sig = ("head", head)
         node.invariant = self._node_invariant(build, build.rows.invariant, head)
-        return self._lower_plan(node)
+        lowered = self._lower_plan(node)
+        if (
+            self.skeleton_cache is not None
+            and build.skeleton_safe
+            and build.driver_invariant
+        ):
+            invariants = (
+                self.loop_cache.invariants if self.loop_cache is not None else frozenset()
+            )
+            depends = frozenset(ir.free_variables(comp)) & invariants
+            try:
+                self.skeleton_cache.put(comp, node, tuple(build.rebind_scans), depends)
+            except TypeError:
+                # A term holding an unhashable constant cannot key the cache.
+                pass
+            else:
+                self.trace.append(
+                    f"plan skeleton cached ({len(build.rebind_scans)} rebindable scan(s))"
+                )
+        return lowered
+
+    def _reuse_plan_skeleton(self, comp: ir.Comprehension) -> Dataset | None:
+        """Rebind and re-lower a cached plan skeleton for ``comp``, if any.
+
+        Returns None (build from scratch) when there is no cached skeleton or
+        a mutated scan variable no longer holds a collection."""
+        try:
+            entry = self.skeleton_cache.get(comp)
+        except TypeError:
+            return None
+        if entry is None:
+            return None
+        root, rebinds = entry
+        datasets: dict[str, Dataset] = {}
+        for _scan, name in rebinds:
+            if name in datasets:
+                continue
+            value = self.env.values.get(name)
+            if isinstance(value, Dataset):
+                datasets[name] = value
+            elif isinstance(value, dict):
+                datasets[name] = self.env.context.parallelize_pairs(value)
+            elif isinstance(value, (list, tuple, set)):
+                datasets[name] = self.env.context.parallelize(list(value))
+            else:
+                return None
+        for scan, name in rebinds:
+            scan.dataset = datasets[name]
+        self.env.context.metrics.record_plan_cache_hit()
+        self.trace.append(f"plan skeleton reused ({len(rebinds)} scan(s) rebound)")
+        self.last_plan = root
+        planner = Planner(self.env.context, self.trace, self.loop_cache)
+        return planner.relower(root)
 
     def _lower_plan(self, root: PlanNode) -> Dataset:
         self.last_plan = root
@@ -362,6 +432,7 @@ class TermEvaluator:
             return
 
         dataset = self._domain_dataset(domain, build.driver_bindings)
+        from_environment = dataset is not None
         domain_invariant = build.driver_invariant and self._term_is_invariant(
             domain, frozenset(build.driver_bindings)
         )
@@ -391,6 +462,10 @@ class TermEvaluator:
                 )
                 node.sig = ("local-expand", pattern, domain)
                 node.invariant = self._node_invariant(build, build.rows.invariant, domain)
+                if not domain_invariant:
+                    # The closure snapshots the bag; a variant domain would
+                    # serve iteration 1's elements forever.
+                    build.skeleton_safe = False
                 build.rows = node
                 build.bound_order.extend(pattern.variables())
                 return
@@ -405,6 +480,20 @@ class TermEvaluator:
         scan = ScanNode(dataset=dataset, term=domain, name=str(domain))
         scan.sig = ("scan", domain)
         scan.invariant = domain_invariant
+        if not domain_invariant:
+            if (
+                from_environment
+                and isinstance(domain, ir.CVar)
+                and domain.name not in build.driver_bindings
+            ):
+                # A mutable bare program variable: a reused skeleton rebinds
+                # this leaf to the variable's current dataset.
+                build.rebind_scans.append((scan, domain.name))
+            else:
+                # A variant derived dataset (range over a mutated bound, a
+                # nested comprehension, a parallelized local bag) is baked in
+                # at build time and cannot be refreshed structurally.
+                build.skeleton_safe = False
 
         if build.rows is None:
             def bind_element(element: Any) -> dict[str, Any]:
@@ -569,8 +658,18 @@ class TermEvaluator:
         right_terms = tuple(right for _, _, right in join_conditions)
         evaluator = self
 
+        # Single-key joins key records by the raw value (not a 1-tuple): the
+        # record key then coincides with the scanned pair's own key, so when
+        # a side is already hash-placed by that key the keying map can
+        # truthfully claim preserves_partitioning and the join lowers to a
+        # narrow / map-side-bypassed pass (see Planner.annotate).  Both sides
+        # use the same convention, so join-key equality is unaffected.
+        single_key = len(left_terms) == 1
+
         def left_key(row: dict[str, Any]) -> tuple[Any, Any]:
             local = {**base, **row}
+            if single_key:
+                return (evaluator.evaluate_local(left_terms[0], local), row)
             return (
                 tuple(evaluator.evaluate_local(term, local) for term in left_terms),
                 row,
@@ -578,6 +677,8 @@ class TermEvaluator:
 
         def right_key(element: Any) -> tuple[Any, Any]:
             local = {**base, **_bind_pattern(pattern, element)}
+            if single_key:
+                return (evaluator.evaluate_local(right_terms[0], local), element)
             return (
                 tuple(evaluator.evaluate_local(term, local) for term in right_terms),
                 element,
@@ -671,6 +772,12 @@ class TermEvaluator:
         if build.rows is None:
             value = self.evaluate_local(qualifier.term, dict(build.driver_bindings))
             build.driver_alive = build.driver_alive and bool(value)
+            if not self._term_is_invariant(
+                qualifier.term, frozenset(build.driver_bindings)
+            ):
+                # The plan's shape depends on this driver-evaluated truth
+                # value; a variant condition could flip on a later iteration.
+                build.skeleton_safe = False
             return
         base = dict(build.driver_bindings)
         term = qualifier.term

@@ -209,6 +209,17 @@ def explain_metrics(metrics: Metrics) -> list[str]:
             )
     if metrics.loop_invariant_reuses:
         lines.append(f"loop-invariant reuses: {metrics.loop_invariant_reuses}")
+    if metrics.plan_cache_hits:
+        lines.append(f"plan-skeleton cache hits: {metrics.plan_cache_hits}")
+    if metrics.adaptive_decisions or metrics.salted_keys:
+        lines.append(
+            f"adaptive decisions: {metrics.adaptive_decisions} "
+            f"(salted hot keys: {metrics.salted_keys})"
+        )
+        for entry in metrics.adaptive_log:
+            lines.append(
+                f"  {entry['operation']} [{entry['kind']}]: {entry['reason']}"
+            )
     if metrics.vectorized_stages or metrics.columnar_fallbacks:
         lines.append(
             f"vectorized stages: {metrics.vectorized_stages} "

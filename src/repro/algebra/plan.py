@@ -168,6 +168,11 @@ class HashJoinNode(PlanNode):
     left_key_terms: tuple[ir.Term, ...] = ()
     right_key_terms: tuple[ir.Term, ...] = ()
     domain_label: str = ""
+    #: Set by the planner: the side's keying map keeps an already-correct
+    #: placement (the records are hash-placed by the single join key), so the
+    #: join lowers to a narrow or map-side-bypassed shuffle.
+    left_prepartitioned: bool = field(default=False, init=False)
+    right_prepartitioned: bool = field(default=False, init=False)
 
     @property
     def children(self) -> tuple[PlanNode, ...]:

@@ -48,6 +48,7 @@ from repro.algebra.plan import (
 )
 from repro.comprehension import ir
 from repro.errors import ExecutionError
+from repro.translate.target import TargetAssign
 from repro.runtime.context import DistributedContext
 from repro.runtime.dataset import Dataset, choose_broadcast_side
 from repro.runtime.partitioner import HashPartitioner
@@ -84,6 +85,133 @@ class LoopInvariantCache:
         for key in stale:
             del self._entries[key]
         return len(stale)
+
+
+class PlanSkeletonCache:
+    """Lowered plan skeletons reused across ``while``-loop iterations.
+
+    Created by the :class:`~repro.algebra.runner.ProgramRunner` per ``while``
+    statement (like the :class:`LoopInvariantCache`, but for plan *structure*
+    rather than plan *data*).  An entry maps a comprehension term -- the loop
+    body statements repeat the same terms every iteration -- to the annotated
+    :class:`~repro.algebra.plan.PlanNode` tree its first evaluation built,
+    plus the scan leaves that read mutated program variables.  Iterations 2+
+    rebind those scans to the variables' current datasets and re-lower the
+    tree, skipping the qualifier walk, CSE bookkeeping and the annotate pass
+    (``metrics.plan_cache_hits`` counts the reuses).
+
+    The evaluator only admits *skeleton-safe* builds: every value snapshotted
+    into the tree's closures at build time (driver bindings, local bags,
+    derived scan datasets) was loop-invariant, and every mutated input is a
+    bare program variable readable from the live environment.  Everything
+    else the closures touch resolves late through ``env.values``, so a reused
+    skeleton computes record-for-record what a rebuild would.  ``depends``
+    lists the invariant variables a skeleton snapshotted; a defensive
+    :meth:`invalidate` on every assignment drops entries if the static
+    invariance analysis and the executed writes ever disagree.
+    """
+
+    def __init__(self) -> None:
+        self._entries: dict[
+            Any, tuple[PlanNode, tuple[tuple[Any, str], ...], frozenset[str]]
+        ] = {}
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def get(self, key: Any) -> tuple[PlanNode, tuple[tuple[Any, str], ...]] | None:
+        entry = self._entries.get(key)
+        return (entry[0], entry[1]) if entry is not None else None
+
+    def put(
+        self,
+        key: Any,
+        root: PlanNode,
+        rebinds: tuple[tuple[Any, str], ...],
+        depends: frozenset[str],
+    ) -> None:
+        self._entries[key] = (root, rebinds, frozenset(depends))
+
+    def invalidate(self, name: str) -> int:
+        """Drop every skeleton that snapshotted environment variable ``name``."""
+        stale = [key for key, entry in self._entries.items() if name in entry[2]]
+        for key in stale:
+            del self._entries[key]
+        return len(stale)
+
+
+def keyed_demand_counts(program: Any, *, top_level_only: bool = False) -> dict[str, int]:
+    """Program-wide demand for key-placed variables (the global pass).
+
+    Walks every assignment term of a translated
+    :class:`~repro.translate.target.TargetProgram` and counts, per program
+    variable, how many downstream operators would consume it *by its pair
+    key*: array merges (⊳ / ⊳⊕ coGroup both operands by key) and generators
+    whose pattern's key component feeds an equi-join condition or a group-by
+    key in the same comprehension.  The runner hash-partitions a freshly
+    assigned, not-yet-placed pair dataset whose demand is at least 2: one
+    placement shuffle then lets every keyed consumer run narrow, which a
+    per-statement planner (seeing one consumer at a time) could never
+    justify.
+
+    With ``top_level_only`` the walk skips while-loop bodies: an unmutated
+    input consumed inside a loop is loop-invariant there, and the
+    loop-invariant cache already shuffles it exactly once -- counting those
+    consumers would justify a placement shuffle that buys nothing.
+    """
+    demand: dict[str, int] = {}
+
+    def count(name: str) -> None:
+        demand[name] = demand.get(name, 0) + 1
+
+    def keyed_variables(comp: ir.Comprehension) -> set[str]:
+        names: set[str] = set()
+        for qualifier in comp.qualifiers:
+            if isinstance(qualifier, ir.Condition):
+                term = qualifier.term
+                if isinstance(term, ir.CBinOp) and term.op == "==":
+                    names |= ir.free_variables(term)
+            elif isinstance(qualifier, ir.GroupBy):
+                names |= ir.free_variables(qualifier.key_term())
+        return names
+
+    def walk(term: ir.Term) -> None:
+        if isinstance(term, (ir.Merge, ir.MergeWith)):
+            for side in (term.left, term.right):
+                if isinstance(side, ir.CVar):
+                    count(side.name)
+                else:
+                    walk(side)
+            return
+        if isinstance(term, ir.Comprehension):
+            keyed = keyed_variables(term)
+            for qualifier in term.qualifiers:
+                if isinstance(qualifier, ir.Generator):
+                    domain = qualifier.domain
+                    pattern = qualifier.pattern
+                    if (
+                        isinstance(domain, ir.CVar)
+                        and isinstance(pattern, ir.PTuple)
+                        and len(pattern.elements) == 2
+                    ):
+                        key_vars = set(pattern.elements[0].variables())
+                        if key_vars and key_vars <= keyed:
+                            count(domain.name)
+                            continue
+                for sub in qualifier.terms():
+                    walk(sub)
+            walk(term.head)
+            return
+        for child in term.children():
+            walk(child)
+
+    if top_level_only:
+        assignments = (s for s in program.statements if isinstance(s, TargetAssign))
+    else:
+        assignments = program.assignments()
+    for assignment in assignments:
+        walk(assignment.term)
+    return demand
 
 
 def signature_env_deps(signature: Any) -> frozenset[str]:
@@ -126,6 +254,15 @@ class Planner:
         self.annotate(root)
         return self._lower(root)
 
+    def relower(self, root: PlanNode) -> Dataset:
+        """Lower an already-annotated tree (plan-skeleton cache hits).
+
+        The annotate pass is structural -- it compares IR terms, never
+        datasets -- so its per-node decisions from the first lowering are
+        still exact after the skeleton's mutated scans were rebound; only
+        the Dataset emission needs to run again."""
+        return self._lower(root)
+
     # -- annotation --------------------------------------------------------------
 
     def annotate(self, node: PlanNode) -> None:
@@ -145,8 +282,49 @@ class Planner:
                 # the keyed shuffle lowers to a narrow pass.
                 self._mark_carry_chain(node.child)
             node.row_key_term = node.pattern_term
+        elif isinstance(node, HashJoinNode):
+            # One equi-join key: when a side's records are already placed by
+            # that key (a pre-placed input, or rows carrying an upstream
+            # group's placement), its keying map emits the same raw key and
+            # can keep the partitioner -- the runtime then skips that side's
+            # map-side shuffle, or runs the whole join narrow when both
+            # sides qualify.  Composite keys re-key by a tuple the placement
+            # does not cover, so they never claim preservation.
+            if len(node.left_key_terms) == 1:
+                left_key = node.left.row_key_term
+                if left_key is not None and left_key == node.left_key_terms[0]:
+                    node.left_prepartitioned = True
+                    node.notes.append("build rows already placed by the join key")
+                    self._mark_carry_chain(node.left)
+                if self._scan_placed_by(node.right, node.sig, node.right_key_terms):
+                    node.right_prepartitioned = True
+                    node.notes.append(
+                        f"{node.domain_label}: scan already placed by the join key"
+                    )
         elif isinstance(node, NarrowNode):
-            if node.key_transparent and node.child is not None:
+            if (
+                node.sig is not None
+                and node.sig
+                and node.sig[0] == "bind"
+                and isinstance(node.child, ScanNode)
+                and node.child.dataset is not None
+                and node.child.dataset.partitioner is not None
+            ):
+                # The first generator scans a placed pair dataset: after the
+                # bind map its rows are (still) grouped by the pattern's key
+                # variable.  Seeding the claim here is what lets downstream
+                # group-bys and joins on that key skip their shuffle -- the
+                # payoff of the whole-program placement pass.
+                pattern = node.sig[1]
+                if (
+                    isinstance(pattern, ir.PTuple)
+                    and len(pattern.elements) == 2
+                    and isinstance(pattern.elements[0], ir.PVar)
+                ):
+                    node.row_key_term = ir.CVar(pattern.elements[0].name)
+                    node.carry_partitioner = True
+                    node.notes.append("scan of a placed dataset: rows keep its placement")
+            elif node.key_transparent and node.child is not None:
                 incoming = node.child.row_key_term
                 if incoming is not None and set(node.binds) & ir.free_variables(incoming):
                     # A let rebinding a variable of the key term: the rows
@@ -164,6 +342,29 @@ class Planner:
                         f"head re-keys by {node.head_key_term}: partitioner preserved"
                     )
                     self._mark_carry_chain(node.child)
+
+    @staticmethod
+    def _scan_placed_by(
+        side: PlanNode, join_sig: tuple | None, key_terms: tuple[ir.Term, ...]
+    ) -> bool:
+        """True when a join's scan side is hash-placed by its single join key.
+
+        The scan feeds the join as raw (key, value) pairs; the join signature
+        carries the generator pattern, so the placement claim holds exactly
+        when the join key is the pattern's key variable."""
+        if not isinstance(side, ScanNode) or side.dataset is None:
+            return False
+        if side.dataset.partitioner is None:
+            return False
+        if join_sig is None or len(join_sig) < 4:
+            return False
+        pattern = join_sig[3]
+        return (
+            isinstance(pattern, ir.PTuple)
+            and len(pattern.elements) == 2
+            and isinstance(pattern.elements[0], ir.PVar)
+            and key_terms == (ir.CVar(pattern.elements[0].name),)
+        )
 
     def _mark_carry_chain(self, node: PlanNode) -> None:
         """Thread ``preserves_partitioning`` from a group node to the head."""
@@ -213,10 +414,20 @@ class Planner:
 
     def _lower_hash_join(self, node: HashJoinNode) -> Dataset:
         keyed_left = self._keyed_join_side(
-            node, node.left, node.left_key_fn, node.left_key_terms, "build rows"
+            node,
+            node.left,
+            node.left_key_fn,
+            node.left_key_terms,
+            "build rows",
+            node.left_prepartitioned,
         )
         keyed_right = self._keyed_join_side(
-            node, node.right, node.right_key_fn, node.right_key_terms, node.domain_label
+            node,
+            node.right,
+            node.right_key_fn,
+            node.right_key_terms,
+            node.domain_label,
+            node.right_prepartitioned,
         )
         joined = keyed_left.join(keyed_right)
         return joined.map(node.rebuild_fn)
@@ -228,6 +439,7 @@ class Planner:
         key_fn: Callable[[Any], Any],
         key_terms: tuple[ir.Term, ...],
         label: str,
+        prepartitioned: bool = False,
     ) -> Dataset:
         """Lower one join input keyed by its join-key terms.
 
@@ -247,7 +459,7 @@ class Planner:
                     self.trace.append(f"loop-invariant join side reused: {label}")
                     join.notes.append(f"loop-invariant side reused: {label}")
                     return hit
-        keyed = self._lower(side).map(key_fn)
+        keyed = self._lower(side).map(key_fn, preserves_partitioning=prepartitioned)
         if cache_key is not None:
             keyed = keyed.materialize()
             if keyed.count() > self.context.broadcast_join_threshold:

@@ -41,12 +41,13 @@ from dataclasses import dataclass, field
 from typing import Any
 
 from repro.algebra.evaluator import EvaluationEnvironment, TermEvaluator
-from repro.algebra.planner import LoopInvariantCache
+from repro.algebra.planner import LoopInvariantCache, PlanSkeletonCache, keyed_demand_counts
 from repro.comprehension.monoids import DEFAULT_MONOIDS, MonoidRegistry
 from repro.errors import ExecutionError
 from repro.functions import DEFAULT_FUNCTIONS, FunctionRegistry
 from repro.runtime.context import DistributedContext
 from repro.runtime.dataset import Dataset
+from repro.runtime.partitioner import HashPartitioner
 from repro.translate.target import TargetAssign, TargetProgram, TargetStatement, TargetWhile
 
 #: Safety valve for while-loops in target programs.
@@ -64,7 +65,7 @@ class ProgramResult:
         iteration_metrics: one entry per executed ``while`` iteration with
             the shuffle-counter deltas of that iteration (loop index,
             iteration number, shuffles / shuffled_records / shuffled_bytes /
-            shuffles_eliminated / loop_invariant_reuses).
+            shuffles_eliminated / loop_invariant_reuses / plan_cache_hits).
     """
 
     values: dict[str, Any]
@@ -115,7 +116,12 @@ class _RunState:
     trace: list[str]
     iteration_metrics: list[dict[str, int]] = field(default_factory=list)
     loop_cache: LoopInvariantCache | None = None
+    skeleton_cache: PlanSkeletonCache | None = None
     loops_seen: int = 0
+    #: Program-wide keyed-consumer counts (the global partitioner pass).
+    keyed_demand: dict[str, int] = field(default_factory=dict)
+    #: Variables assigned inside any while loop (their placement churns).
+    loop_assigned: frozenset[str] = frozenset()
 
 
 #: The shuffle counters snapshotted per while-loop iteration.
@@ -127,6 +133,7 @@ _ITERATION_COUNTERS = (
     "narrow_joins",
     "prepartitioned_inputs",
     "loop_invariant_reuses",
+    "plan_cache_hits",
 )
 
 
@@ -149,6 +156,10 @@ class ProgramRunner:
         values = self._prepare_inputs(program, inputs or {})
         environment = EvaluationEnvironment(self.context, values, self.functions, self.monoids)
         state = _RunState(trace=[])
+        if self.context.plan_optimize:
+            state.keyed_demand = keyed_demand_counts(program)
+            state.loop_assigned = self._loop_assigned_variables(program.statements)
+            self._place_inputs(program, environment, state)
         self._execute_block(program.statements, program, environment, state)
         elapsed = time.perf_counter() - started
         return ProgramResult(
@@ -209,7 +220,9 @@ class ProgramRunner:
         environment: EvaluationEnvironment,
         state: _RunState,
     ) -> None:
-        evaluator = TermEvaluator(environment, state.trace, state.loop_cache)
+        evaluator = TermEvaluator(
+            environment, state.trace, state.loop_cache, state.skeleton_cache
+        )
         fused_before = self.context.metrics.fused_stages
         shuffles_before = self.context.metrics.shuffles
         result = evaluator.evaluate(statement.term)
@@ -227,13 +240,85 @@ class ProgramRunner:
             # the shared variable environment, which later statements mutate,
             # so it must run before this statement completes.
             result.materialize()
+            result = self._place_for_demand(statement.variable, result, state)
             environment.values[statement.variable] = result
         if state.loop_cache is not None:
             # Belt and braces: the invariant analysis already excludes every
             # assigned variable, but a cache keyed on stale data would be a
             # silent wrong answer -- drop anything derived from this name.
             state.loop_cache.invalidate(statement.variable)
+        if state.skeleton_cache is not None:
+            state.skeleton_cache.invalidate(statement.variable)
         self._trace_fusion(statement.variable, fused_before, shuffles_before, state.trace)
+
+    def _place_inputs(
+        self,
+        program: TargetProgram,
+        environment: EvaluationEnvironment,
+        state: _RunState,
+    ) -> None:
+        """Pre-place program inputs demanded by >= 2 keyed consumers.
+
+        The per-statement planner sees one consumer at a time, so an input
+        that several statements join or group on is shuffled once *per
+        consumer*; the whole-program demand counts justify hash-partitioning
+        it once up front instead.  Variables the program assigns are skipped
+        (their own force point runs :meth:`_place_for_demand`, and merges
+        leave them placed anyway), as is anything that is not an unplaced
+        pair dataset.  Only top-level consumers count: an unmutated input
+        read inside a while loop is loop-invariant there and the loop cache
+        already shuffles it exactly once, so pre-placing it would only add
+        a shuffle.  Inputs small enough to broadcast are skipped too --
+        their joins resolve shuffle-free anyway, so placement could only
+        add a partitionBy."""
+        assigned = self._assigned_variables(program.statements)
+        demand = keyed_demand_counts(program, top_level_only=True)
+        for name in sorted(environment.values):
+            if name in assigned or demand.get(name, 0) < 2:
+                continue
+            value = environment.values[name]
+            if not isinstance(value, Dataset) or value.partitioner is not None:
+                continue
+            if value.count() <= self.context.broadcast_join_threshold:
+                continue
+            first = value.take(1)
+            if not first or not (isinstance(first[0], tuple) and len(first[0]) == 2):
+                continue
+            placed = value.partition_by(HashPartitioner(self.context.num_partitions))
+            placed.materialize()
+            environment.values[name] = placed
+            state.trace.append(
+                f"{name}: program-level placement for "
+                f"{demand[name]} keyed consumer(s) (hash-partitioned)"
+            )
+
+    def _place_for_demand(self, variable: str, dataset: Dataset, state: _RunState) -> Dataset:
+        """The program-level partitioner pass, applied at the force point.
+
+        A freshly assigned pair dataset that carries no partitioner but has
+        at least two downstream keyed consumers (see
+        :func:`~repro.algebra.planner.keyed_demand_counts`) is
+        hash-partitioned once: the per-statement planner sees one consumer
+        at a time and could never justify the placement shuffle, but across
+        the whole program it buys a narrow (zero-shuffle) pass per consumer.
+        Loop-assigned variables are excluded -- their content churns every
+        iteration and the loop-invariant machinery already places the stable
+        side of their joins."""
+        if not self.context.plan_optimize:
+            return dataset
+        if variable in state.loop_assigned or state.keyed_demand.get(variable, 0) < 2:
+            return dataset
+        if dataset.partitioner is not None:
+            return dataset
+        first = dataset.take(1)
+        if not first or not (isinstance(first[0], tuple) and len(first[0]) == 2):
+            return dataset
+        placed = dataset.partition_by(HashPartitioner(self.context.num_partitions))
+        state.trace.append(
+            f"{variable}: program-level placement for "
+            f"{state.keyed_demand[variable]} keyed consumer(s) (hash-partitioned)"
+        )
+        return placed
 
     def _trace_fusion(
         self, variable: str, fused_before: int, shuffles_before: int, trace: list[str]
@@ -283,6 +368,15 @@ class ProgramRunner:
                 assigned |= ProgramRunner._assigned_variables(statement.body)
         return assigned
 
+    @staticmethod
+    def _loop_assigned_variables(statements: tuple[TargetStatement, ...]) -> frozenset[str]:
+        """Variables assigned inside any ``while`` body of the program."""
+        names: set[str] = set()
+        for statement in statements:
+            if isinstance(statement, TargetWhile):
+                names |= ProgramRunner._assigned_variables(statement.body)
+        return frozenset(names)
+
     def _execute_while(
         self,
         statement: TargetWhile,
@@ -295,6 +389,8 @@ class ProgramRunner:
         loop_cache = LoopInvariantCache(invariants) if self.context.plan_optimize else None
         outer_cache = state.loop_cache
         state.loop_cache = loop_cache
+        outer_skeletons = state.skeleton_cache
+        state.skeleton_cache = PlanSkeletonCache() if self.context.plan_cache else None
         state.loops_seen += 1
         loop_index = state.loops_seen
         if loop_cache is not None and invariants:
@@ -306,7 +402,9 @@ class ProgramRunner:
         iterations = 0
         try:
             while True:
-                evaluator = TermEvaluator(environment, state.trace, state.loop_cache)
+                evaluator = TermEvaluator(
+                    environment, state.trace, state.loop_cache, state.skeleton_cache
+                )
                 condition = evaluator.evaluate(statement.condition)
                 if isinstance(condition, Dataset):
                     condition_values = condition.take(1)
@@ -337,3 +435,4 @@ class ProgramRunner:
                     raise ExecutionError("while loop exceeded the iteration limit")
         finally:
             state.loop_cache = outer_cache
+            state.skeleton_cache = outer_skeletons

@@ -63,6 +63,19 @@ class DiabloConfig:
             (see :mod:`repro.runtime.columnar`).  Affects performance and
             the ``vectorized_stages``/``columnar_fallbacks`` counters only,
             never results.
+        adaptive: adaptive skew-aware execution -- shuffle inputs are
+            sampled at force time; hot keys in keyed reductions are salted
+            into per-task partials with an exact driver-side final fold,
+            heavily duplicated group-by keys switch to map-side grouping,
+            ``sort_by`` range bounds come from the frequency-weighted
+            histogram, and broadcast-vs-shuffle joins re-decide from actual
+            post-chain sizes.  Affects performance and the ``salted_keys``/
+            ``adaptive_decisions`` counters only, never results.
+        plan_cache: plan-skeleton caching across ``while`` iterations --
+            loop bodies reuse the lowered plan tree from iteration 1 and
+            only rebind mutated inputs, instead of re-running
+            CSE/annotate/lower (measured by ``plan_cache_hits``).  Affects
+            performance only, never results.
         check_restrictions: reject programs violating Definition 3.1.
         optimize: apply the Section 3.6 / Section 4 rewrites.
     """
@@ -76,6 +89,8 @@ class DiabloConfig:
     spill_dir: str | None = None
     plan_optimize: bool = True
     columnar: bool = False
+    adaptive: bool = True
+    plan_cache: bool = True
     check_restrictions: bool = True
     optimize: bool = True
 
@@ -116,6 +131,8 @@ class DiabloConfig:
             self.spill_dir,
             self.plan_optimize,
             self.columnar,
+            self.adaptive,
+            self.plan_cache,
         )
 
     def compiler_options(self) -> dict[str, bool]:

@@ -31,6 +31,7 @@ from __future__ import annotations
 
 import functools
 import os
+from collections import Counter
 from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
 from typing import Any, Callable, Iterable, Mapping
 
@@ -49,6 +50,26 @@ from repro.runtime.stage import NarrowStage, ShuffleStage
 
 #: Executor modes accepted by :class:`DistributedContext`.
 EXECUTOR_MODES = ("sequential", "threads", "processes")
+
+#: Records sampled per map partition when the adaptive layer histograms a
+#: shuffle's keys at force time (driver-side stride sample through the
+#: input's captured narrow chain -- deterministic, so every executor mode
+#: makes the same decision).
+ADAPTIVE_SAMPLE_PER_PARTITION = 64
+
+#: Minimum sampled records before any adaptive re-planning fires; tiny
+#: inputs gain nothing and would make decisions from noise.
+ADAPTIVE_MIN_SAMPLE = 32
+
+#: At most this many keys are salted per shuffle (hot keys beyond the cap
+#: are, by construction, below the per-key share of the capped set).
+MAX_SALTED_KEYS = 8
+
+#: groupByKey switches to a map-side ``("group",)`` combiner when the
+#: sampled records-per-distinct-key duplication factor reaches this value --
+#: below it the combiner would move nearly one record per input record and
+#: only add per-task dict overhead.
+GROUP_COMBINE_MIN_DUPLICATION = 4.0
 
 
 class _ResolvedSource:
@@ -114,6 +135,24 @@ class DistributedContext:
             results identical either way (performance and the
             ``vectorized_stages`` / ``columnar_fallbacks`` counters are the
             only observable difference).
+        adaptive: adaptive skew-aware execution.  At force time the driver
+            stride-samples an eligible keyed shuffle's input (through its
+            captured narrow chain) into a per-key histogram; hot keys in
+            ``reduce_by_key``/``aggregate_by_key`` are salted into per-task
+            partials folded back exactly by the driver, heavily duplicated
+            ``group_by_key`` inputs switch to a map-side grouping combiner,
+            ``sort_by`` derives its range bounds from the frequency-weighted
+            histogram, and auto-strategy joins size broadcast-vs-shuffle
+            from actual post-chain record counts.  On by default; only
+            performance and the ``salted_keys``/``adaptive_decisions``
+            counters change, never results.
+        plan_cache: plan-skeleton caching across ``while`` iterations.  The
+            algebra layer reuses iteration 1's lowered plan tree for a loop
+            body statement on iterations 2+, rebinding only the mutated
+            input datasets instead of re-running the full build/annotate
+            pass (``metrics.plan_cache_hits`` counts the reuses).  On by
+            default; only performance and that counter change, never
+            results.
     """
 
     def __init__(
@@ -127,6 +166,8 @@ class DistributedContext:
         spill_dir: str | None = None,
         plan_optimize: bool = True,
         columnar: bool = False,
+        adaptive: bool = True,
+        plan_cache: bool = True,
     ):
         if num_partitions <= 0:
             raise ValueError("num_partitions must be positive")
@@ -139,6 +180,8 @@ class DistributedContext:
         self.broadcast_join_threshold = broadcast_join_threshold
         self.plan_optimize = plan_optimize
         self.columnar = columnar
+        self.adaptive = adaptive
+        self.plan_cache = plan_cache
         if spill_threshold_bytes is None:
             spill_threshold_bytes = _spill_threshold_from_env()
         self.spill_threshold_bytes = spill_threshold_bytes
@@ -168,6 +211,8 @@ class DistributedContext:
             spill_dir=config.spill_dir,
             plan_optimize=getattr(config, "plan_optimize", True),
             columnar=getattr(config, "columnar", False),
+            adaptive=getattr(config, "adaptive", True),
+            plan_cache=getattr(config, "plan_cache", True),
         )
 
     # -- dataset creation -------------------------------------------------------
@@ -338,14 +383,188 @@ class DistributedContext:
         if shuffle.join_type is not None:
             self.metrics.record_join_strategy("shuffle")
 
+        salt_plan: tuple[tuple[Any, ...], Callable[[Any, Any], Any]] | None = None
+        if self.adaptive:
+            shuffle, salt_plan = self._adapt_shuffle(shuffle)
+
         spill = self.shuffle_store.begin_shuffle()
         try:
-            return self._run_shuffle_spillable(shuffle, spill)
+            return self._run_shuffle_spillable(shuffle, spill, salt_plan)
         finally:
             self.shuffle_store.end_shuffle(spill)
 
+    # -- adaptive re-planning (force-time skew handling) ---------------------------
+
+    def _sample_shuffle_keys(self, shuffle_input: Any) -> Counter | None:
+        """Driver-side per-key histogram of one shuffle input.
+
+        Stride-samples up to :data:`ADAPTIVE_SAMPLE_PER_PARTITION` records
+        per source partition and runs the input's captured narrow chain over
+        the sample, so the histogram describes the keys that will actually be
+        bucketed.  A pure function of the source partitions -- every executor
+        mode derives the same histogram, keeping adaptive decisions (and
+        therefore results) executor-independent.  Returns None when the
+        sample cannot be keyed (the decision is then simply skipped).
+        """
+        try:
+            partitions = shuffle_input.source.partitions
+            task = (
+                stage_mod.compose(shuffle_input.stages) if shuffle_input.stages else None
+            )
+            histogram: Counter = Counter()
+            for index, partition in enumerate(partitions):
+                if not partition:
+                    continue
+                step = max(1, len(partition) // ADAPTIVE_SAMPLE_PER_PARTITION)
+                sample = partition[::step]
+                if task is not None:
+                    sample = task(list(sample), index)
+                for record in sample:
+                    histogram[record[0]] += 1
+            return histogram
+        except Exception:
+            return None
+
+    def _adapt_shuffle(
+        self, shuffle: ShuffleStage
+    ) -> tuple[ShuffleStage, tuple[tuple[Any, ...], Callable[[Any, Any], Any]] | None]:
+        """Re-plan an eligible single-input keyed shuffle from a key sample.
+
+        Two rewrites, both decided in the driver *before* any map task runs
+        (so every task agrees on the plan):
+
+        * **salted reduce** (``reduceByKey``/``aggregateByKey``): keys whose
+          sampled share fills at least half an average reduce partition are
+          salted by map task index (see
+          :func:`repro.runtime.stage.salted_shuffle_write`); returns a salt
+          plan ``(hot keys in decision order, combine fn)`` that
+          ``_fold_salted`` uses for the exact driver-side final fold.
+        * **map-side grouping** (``groupByKey``): when the sampled
+          duplication factor reaches
+          :data:`GROUP_COMBINE_MIN_DUPLICATION`, a ``("group",)`` combiner
+          collapses each task's records to one ``(key, [values])`` partial
+          per key and the reduce side concatenates partials -- same output,
+          a fraction of the shuffled records.
+        """
+        if (
+            len(shuffle.inputs) != 1
+            or shuffle.partitioner is None
+            or shuffle.key_function is not None
+            or shuffle.sort_ascending is not None
+            or shuffle.join_type is not None
+            or len(shuffle.reduce_stages) != 1
+        ):
+            return shuffle, None
+        shuffle_input = shuffle.inputs[0]
+        reduce_fn = shuffle.reduce_stages[0].function
+        wants_salting = (
+            shuffle.operation in ("reduceByKey", "aggregateByKey")
+            and shuffle_input.combiner is not None
+            and isinstance(reduce_fn, functools.partial)
+            and reduce_fn.func is stage_mod.reduce_bucket
+            and shuffle.num_output_partitions > 1
+        )
+        wants_grouping = (
+            shuffle.operation == "groupByKey"
+            and shuffle_input.combiner is None
+            and reduce_fn is stage_mod.group_bucket
+            and not self._can_bypass_map_side(
+                shuffle, shuffle_input, shuffle_input.source.num_partitions
+            )
+        )
+        if not (wants_salting or wants_grouping):
+            return shuffle, None
+        histogram = self._sample_shuffle_keys(shuffle_input)
+        if histogram is None:
+            return shuffle, None
+        total = sum(histogram.values())
+        if total < ADAPTIVE_MIN_SAMPLE:
+            return shuffle, None
+
+        if wants_grouping:
+            distinct = len(histogram)
+            if total < distinct * GROUP_COMBINE_MIN_DUPLICATION:
+                return shuffle, None
+            self.metrics.record_adaptive_decision(
+                shuffle.operation,
+                "map-side-grouping",
+                f"sampled duplication {total / distinct:.1f}x over {distinct} key(s)",
+            )
+            rewritten = shuffle._replace(
+                inputs=(shuffle_input._replace(combiner=("group",)),),
+                reduce_stages=(
+                    NarrowStage(stage_mod.PARTITIONS, stage_mod.group_merge_bucket),
+                ),
+            )
+            return rewritten, None
+
+        # Salted reduce: hot = sampled share >= half an average partition.
+        num_output = shuffle.num_output_partitions
+        hot = tuple(
+            key
+            for key, count in histogram.most_common(MAX_SALTED_KEYS)
+            if count * num_output * 2 >= total
+        )
+        if not hot:
+            return shuffle, None
+        combine_fn = reduce_fn.args[0]
+        shares = ", ".join(
+            f"{histogram[key] * 100 // total}%" for key in hot
+        )
+        self.metrics.record_salted_keys(len(hot))
+        self.metrics.record_adaptive_decision(
+            shuffle.operation,
+            "salted-reduce",
+            f"{len(hot)} hot key(s) at sampled share(s) {shares}",
+        )
+        return shuffle, (hot, combine_fn)
+
+    def _fold_salted(
+        self,
+        partitions: list[list[Any]],
+        salt_plan: tuple[tuple[Any, ...], Callable[[Any, Any], Any]],
+        partitioner: Any,
+    ) -> list[list[Any]]:
+        """Fold salted per-task partials back into their home partitions.
+
+        Each hot key's partials are folded left-to-right in map-task order --
+        exactly the order the unsalted reduce side would have combined them
+        in (``iter_merged`` streams payloads in map-task order and a
+        combined map task emits one partial per key) -- so the result is
+        bit-identical for *any* combine function, associative-only float
+        sums included.  The folded record lands in the key's home partition,
+        keeping the shuffle's claimed output partitioner truthful.
+        """
+        hot_keys, combine_fn = salt_plan
+        salted: dict[Any, list[tuple[int, Any]]] = {}
+        stripped: list[list[Any]] = []
+        for partition in partitions:
+            kept: list[Any] = []
+            for record in partition:
+                if isinstance(record[0], stage_mod.SaltedKey):
+                    salted_key = record[0]
+                    salted.setdefault(salted_key.key, []).append(
+                        (salted_key.salt, record[1])
+                    )
+                else:
+                    kept.append(record)
+            stripped.append(kept)
+        for key in hot_keys:
+            partials = salted.get(key)
+            if not partials:
+                continue
+            partials.sort(key=lambda entry: entry[0])
+            folded = partials[0][1]
+            for _, value in partials[1:]:
+                folded = combine_fn(folded, value)
+            stripped[partitioner.partition(key)].append((key, folded))
+        return stripped
+
     def _run_shuffle_spillable(
-        self, shuffle: ShuffleStage, spill: Any
+        self,
+        shuffle: ShuffleStage,
+        spill: Any,
+        salt_plan: tuple[tuple[Any, ...], Callable[[Any, Any], Any]] | None = None,
     ) -> tuple[list[list[Any]], Any]:
         """The map and reduce passes of a shuffle, writing through ``spill``."""
         tagged = len(shuffle.inputs) > 1
@@ -383,6 +602,18 @@ class DistributedContext:
                     shuffle.num_output_partitions,
                     spill,
                     input_index,
+                )
+            elif salt_plan is not None:
+                writer = functools.partial(
+                    stage_mod.salted_shuffle_write,
+                    shuffle.partitioner,
+                    shuffle_input.combiner,
+                    shuffle.key_function or stage_mod.pair_key,
+                    spill,
+                    input_index,
+                    sort_spec,
+                    frozenset(salt_plan[0]),
+                    columnar=self.columnar,
                 )
             else:
                 key_of = shuffle.key_function or (
@@ -453,6 +684,8 @@ class DistributedContext:
             reduce_tasks = 0
         if shuffle.reverse_output:
             result = list(reversed(result))
+        if salt_plan is not None:
+            result = self._fold_salted(result, salt_plan, shuffle.partitioner)
         self.metrics.record_shuffle_stage(
             shuffle.operation, total_records, total_bytes, map_tasks, reduce_tasks
         )
@@ -521,9 +754,20 @@ class DistributedContext:
         if how == "full":
             return shuffle
         left_input, right_input = shuffle.inputs
-        left_input, left_partitions = self._resolve_join_input(left_input)
-        right_input, right_partitions = self._resolve_join_input(right_input)
-        shuffle = shuffle._replace(inputs=(left_input, right_input))
+        resolved = self.adaptive or shuffle.strategy == "broadcast"
+        if resolved:
+            # Adaptive sizing: run the captured narrow chains first and
+            # re-decide broadcast-vs-shuffle from the *actual* post-chain
+            # record counts (a captured filter may shrink a side far under
+            # the threshold; the chain has to run either way).
+            left_input, left_partitions = self._resolve_join_input(left_input)
+            right_input, right_partitions = self._resolve_join_input(right_input)
+            shuffle = shuffle._replace(inputs=(left_input, right_input))
+        else:
+            # Static sizing (ablation): decide from the raw source sizes,
+            # as a plan-time-only optimizer would.
+            left_partitions = left_input.source.partitions
+            right_partitions = right_input.source.partitions
         left_count = sum(len(p) for p in left_partitions)
         right_count = sum(len(p) for p in right_partitions)
         eligible = {"inner": ("left", "right"), "left": ("right",), "right": ("left",)}.get(how, ())
@@ -541,6 +785,17 @@ class DistributedContext:
                     side = other
                 else:
                     return shuffle
+            if self.adaptive:
+                self.metrics.record_adaptive_decision(
+                    shuffle.operation,
+                    "broadcast-join",
+                    f"post-chain sizes {left_count}/{right_count} records, "
+                    f"broadcast {side} (threshold {threshold})",
+                )
+        if not resolved:
+            left_input, left_partitions = self._resolve_join_input(left_input)
+            right_input, right_partitions = self._resolve_join_input(right_input)
+            shuffle = shuffle._replace(inputs=(left_input, right_input))
 
         build_partitions = left_partitions if side == "left" else right_partitions
         probe_partitions = right_partitions if side == "left" else left_partitions

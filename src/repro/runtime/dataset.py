@@ -57,6 +57,7 @@ from __future__ import annotations
 import functools
 import itertools
 import threading
+from collections import Counter
 from typing import Any, Callable, Iterable, Iterator, TYPE_CHECKING
 
 from repro.errors import ExecutionError
@@ -118,6 +119,7 @@ class Dataset:
         self.context = context
         self.partitioner = partitioner
         self.provenance: str | None = None
+        self.adaptive_notes: tuple[str, ...] = ()
         self._materialized: list[list[Any]] | None = partitions
         self._source: "Dataset" | None = None
         self._stages: tuple[NarrowStage, ...] = ()
@@ -138,6 +140,7 @@ class Dataset:
         dataset.context = source.context
         dataset.partitioner = partitioner
         dataset.provenance = None
+        dataset.adaptive_notes = ()
         dataset._materialized = None
         dataset._source = source
         dataset._stages = stages
@@ -153,6 +156,7 @@ class Dataset:
         dataset.context = context
         dataset.partitioner = shuffle.result_partitioner
         dataset.provenance = None
+        dataset.adaptive_notes = ()
         dataset._materialized = None
         dataset._source = None
         dataset._stages = ()
@@ -185,8 +189,16 @@ class Dataset:
         """Run the pending plan: a shuffle node via ``run_shuffle``, a narrow
         stage chain fused into one ``run_tasks`` pass."""
         if self._shuffle is not None:
+            metrics = self.context.metrics
+            log_start = len(metrics.adaptive_log)
             new_partitions, partitioner = self.context.run_shuffle(self._shuffle)
-            self.context.metrics.record_dataset()
+            # Adaptive decisions are made at force time; keep the ones this
+            # shuffle triggered so ``explain()`` can render what actually ran.
+            self.adaptive_notes = tuple(
+                f"{entry['kind']}: {entry['reason']}"
+                for entry in metrics.adaptive_log[log_start:]
+            )
+            metrics.record_dataset()
             self.partitioner = partitioner
             self._materialized = new_partitions
             self._shuffle = None
@@ -363,6 +375,8 @@ class Dataset:
             )
             note = f" (shuffle eliminated: {self.provenance})" if self.provenance else ""
             lines.append(f"{pad}Source[{len(materialized)} partitions{suffix}]{note}")
+            for adaptive_note in self.adaptive_notes:
+                lines.append(f"{pad}  adaptive: {adaptive_note}")
             return
         if shuffle is not None:
             combiner = "yes" if any(inp.combiner for inp in shuffle.inputs) else "no"
@@ -831,7 +845,23 @@ class Dataset:
             for partition in partitions
             for record in partition[::step]
         ]
-        range_partitioner = RangePartitioner.from_sample(num_output, sample)
+        if self.context.adaptive:
+            # Adaptive bounds: aggregate the sample into a per-key histogram
+            # and place split points at frequency-weighted quantiles, so a
+            # hot key pulls a whole partition range to itself instead of
+            # dragging its neighbours' keys into one overloaded partition.
+            histogram = Counter(sample)
+            range_partitioner = RangePartitioner.from_histogram(
+                num_output, histogram.items()
+            )
+            self.context.metrics.record_adaptive_decision(
+                "sortBy",
+                "histogram-range-bounds",
+                f"bounds from a {len(histogram)}-key histogram of "
+                f"{len(sample)} sampled records",
+            )
+        else:
+            range_partitioner = RangePartitioner.from_sample(num_output, sample)
         # Bound dedup on skewed samples may shrink the effective split count;
         # the shuffle's output width must follow the partitioner.
         num_output = range_partitioner.num_partitions

@@ -84,6 +84,17 @@ class Metrics:
     #: execution was on (unrecognized functions, ``flat_map``, combiners
     #: without a vectorizable operator).
     columnar_fallbacks: int = 0
+    #: Loop-body statements whose lowered plan skeleton was served from the
+    #: while-loop plan cache (iterations 2+ rebind mutated scans instead of
+    #: re-running CSE / annotation / lowering from the IR).
+    plan_cache_hits: int = 0
+    #: Hot keys salted by the adaptive shuffle path: their per-map-task
+    #: partials were spread across reduce partitions and final-folded by the
+    #: driver (counted once per salted key per shuffle).
+    salted_keys: int = 0
+    #: Force-time adaptive execution decisions taken (salting, map-side
+    #: grouping, histogram-driven range bounds, broadcast re-decisions).
+    adaptive_decisions: int = 0
     #: Per-operation shuffle counts (operation name -> count).
     shuffle_operations: dict[str, int] = field(default_factory=dict)
     #: Chosen join strategies ("broadcast" / "shuffle" / "cartesian" -> count).
@@ -94,6 +105,10 @@ class Metrics:
     #: ``{"operation": ..., "kind": "narrow"|"prepartitioned-input",
     #: "reason": ...}`` -- rendered by ``explain_metrics``.
     elimination_log: list[dict] = field(default_factory=list)
+    #: One dict per adaptive decision: ``{"operation": ..., "kind":
+    #: "salted-reduce"|"map-side-grouping"|"histogram-range-bounds"|
+    #: "broadcast-join", "reason": ...}`` -- rendered by ``explain_metrics``.
+    adaptive_log: list[dict] = field(default_factory=list)
 
     def record_shuffle(self, operation: str, records: int) -> None:
         """Account for one shuffle stage moving ``records`` records."""
@@ -164,6 +179,19 @@ class Metrics:
         """Account for one loop-invariant dataset served from the loop cache."""
         self.loop_invariant_reuses += 1
 
+    def record_plan_cache_hit(self) -> None:
+        """Account for one statement plan served from the plan-skeleton cache."""
+        self.plan_cache_hits += 1
+
+    def record_salted_keys(self, count: int) -> None:
+        """Account for ``count`` hot keys salted by one adaptive shuffle."""
+        self.salted_keys += count
+
+    def record_adaptive_decision(self, operation: str, kind: str, reason: str) -> None:
+        """Account for one force-time adaptive execution decision."""
+        self.adaptive_decisions += 1
+        self.adaptive_log.append({"operation": operation, "kind": kind, "reason": reason})
+
     def record_join_strategy(self, strategy: str) -> None:
         """Account for one join planned as ``strategy``."""
         self.join_strategies[strategy] = self.join_strategies.get(strategy, 0) + 1
@@ -222,10 +250,14 @@ class Metrics:
         self.loop_invariant_reuses = 0
         self.vectorized_stages = 0
         self.columnar_fallbacks = 0
+        self.plan_cache_hits = 0
+        self.salted_keys = 0
+        self.adaptive_decisions = 0
         self.shuffle_operations = {}
         self.join_strategies = {}
         self.shuffle_stage_log = []
         self.elimination_log = []
+        self.adaptive_log = []
 
     def snapshot(self) -> dict[str, int]:
         """A plain-dict copy of the counters (handy for reporting).
@@ -258,6 +290,9 @@ class Metrics:
             "loop_invariant_reuses": self.loop_invariant_reuses,
             "vectorized_stages": self.vectorized_stages,
             "columnar_fallbacks": self.columnar_fallbacks,
+            "plan_cache_hits": self.plan_cache_hits,
+            "salted_keys": self.salted_keys,
+            "adaptive_decisions": self.adaptive_decisions,
             "broadcast_joins": self.join_strategies.get("broadcast", 0),
             "shuffle_joins": self.join_strategies.get("shuffle", 0),
         }

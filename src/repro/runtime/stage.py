@@ -312,6 +312,24 @@ class ShuffleWriteStats(NamedTuple):
     peak_memory: int = 0
 
 
+class SaltedKey(NamedTuple):
+    """A hot key salted with its map task index (adaptive skew handling).
+
+    When the driver's pre-shuffle sample flags a key as hot, every map task
+    emits its (already combined) partial for that key under
+    ``SaltedKey(key, task_index)`` and buckets it by ``(key, task_index)`` --
+    spreading the hot key's per-task partials across reduce partitions
+    instead of piling them onto one.  The reduce side passes the salted
+    records through untouched (each ``(key, salt)`` is unique), and the
+    driver folds them back in map-task order, reproducing the exact left
+    fold the unsalted reduce would have performed.  A tuple subclass, so
+    :func:`repro.runtime.partitioner.stable_hash` covers it.
+    """
+
+    key: Any
+    salt: int
+
+
 def pair_key(record: Any) -> Any:
     """Bucketing key of an untagged key-value record."""
     return record[0]
@@ -361,6 +379,18 @@ def apply_combiner(
                 # (list/dict accumulators) would otherwise fold every key's
                 # values into one shared object.
                 accumulator[key] = seq_op(copy.deepcopy(zero), value)
+    elif kind == "group":
+        # Adaptive map-side grouping (groupByKey on heavily duplicated
+        # keys): collapse each task's records into one (key, [values])
+        # partial so the shuffle moves one record per (task, key) instead of
+        # one per input record.  Insertion order = first-occurrence order and
+        # each list keeps record order, so the reduce side's extend-merge
+        # reproduces the plain groupByKey output exactly.
+        for key, value in records:
+            if key in accumulator:
+                accumulator[key].append(value)
+            else:
+                accumulator[key] = [value]
     else:  # pragma: no cover - guarded by the Dataset constructors
         raise ValueError(f"unknown combiner kind {kind!r}")
     return list(accumulator.items())
@@ -457,6 +487,42 @@ def shuffle_write(
     return _writer_output(writer, records_in)
 
 
+def salted_shuffle_write(
+    partitioner: Any,
+    combiner: tuple[Any, ...] | None,
+    key_of: Callable[[Any], Any],
+    spill: SpillSpec | None,
+    input_index: int,
+    sort_spec: tuple[Callable[[Any], Any], bool] | None,
+    hot_keys: frozenset,
+    records: list[Any],
+    index: int,
+    columnar: bool = False,
+) -> list[Any]:
+    """:func:`shuffle_write` with hot-key salting (adaptive skew handling).
+
+    ``hot_keys`` was decided by the driver from one global pre-shuffle
+    sample, so every map task salts the *same* keys: after the combiner runs
+    (one partial per key per task), a hot key's partial is emitted as
+    ``(SaltedKey(key, index), value)`` and bucketed by ``(key, index)``;
+    everything else buckets normally.  Only valid for single-input keyed
+    shuffles whose records are plain ``(key, value)`` pairs.
+    """
+    records_in = len(records)
+    if combiner is not None:
+        records = apply_combiner(combiner, records, columnar)
+    writer = spill_mod.BucketWriter(
+        partitioner.num_partitions, spill, f"i{input_index}-m{index}", sort_spec
+    )
+    for record in records:
+        key = key_of(record)
+        if key in hot_keys:
+            writer.add(partitioner.partition((key, index)), (SaltedKey(key, index), record[1]))
+        else:
+            writer.add(partitioner.partition(key), record)
+    return _writer_output(writer, records_in)
+
+
 def prepartitioned_write(
     num_output: int,
     records: list[Any],
@@ -532,6 +598,24 @@ def group_bucket(payloads: list[BucketPayload]) -> list[Any]:
     groups: dict[Any, list[Any]] = {}
     for key, value in spill_mod.iter_merged(payloads):
         groups.setdefault(key, []).append(value)
+    return list(groups.items())
+
+
+def group_merge_bucket(payloads: list[BucketPayload]) -> list[Any]:
+    """groupByKey reduce side for map-side-grouped input: merge ``(key,
+    [values])`` partials by list concatenation.
+
+    ``iter_merged`` streams partials in map-task order and each partial's
+    list keeps record order, so the concatenated value lists -- and the
+    first-seen key order -- are identical to :func:`group_bucket` over the
+    ungrouped records.
+    """
+    groups: dict[Any, list[Any]] = {}
+    for key, values in spill_mod.iter_merged(payloads):
+        if key in groups:
+            groups[key].extend(values)
+        else:
+            groups[key] = list(values)
     return list(groups.items())
 
 
@@ -724,7 +808,10 @@ def vectorization_counts(stages: Iterable[NarrowStage]) -> tuple[int, int]:
             if function.func is apply_combiner and function.args:
                 combiner = function.args[0]
                 enabled = bool(function.keywords.get("columnar"))
-            elif function.func is shuffle_write and len(function.args) > 1:
+            elif (
+                function.func in (shuffle_write, salted_shuffle_write)
+                and len(function.args) > 1
+            ):
                 combiner = function.args[1]
                 enabled = bool(function.keywords.get("columnar"))
             if combiner is not None:

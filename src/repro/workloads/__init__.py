@@ -16,8 +16,12 @@ from repro.workloads.generators import (
     random_matrix,
     random_pixels,
     random_strings,
+    skewed_pairs,
+    skewed_words,
+    skewed_workload_for_program,
     sparse_matrix,
     workload_for_program,
+    zipf_keys,
 )
 from repro.workloads.rmat import rmat_graph
 
@@ -28,6 +32,10 @@ __all__ = [
     "random_pixels",
     "linear_points",
     "grouped_pairs",
+    "zipf_keys",
+    "skewed_pairs",
+    "skewed_words",
+    "skewed_workload_for_program",
     "random_matrix",
     "sparse_matrix",
     "kmeans_grid_points",

@@ -102,6 +102,48 @@ def grouped_pairs(count: int, duplicates_per_key: int = 10, seed: int = 23) -> l
     ]
 
 
+def zipf_keys(count: int, num_keys: int, exponent: float = 1.2, seed: int = 43) -> list[int]:
+    """``count`` integer keys drawn from a Zipf distribution over ``num_keys``.
+
+    Key ``k`` (0-based rank) has probability proportional to
+    ``1 / (k + 1) ** exponent``, so key 0 is the hottest.  Used by the skewed
+    benchmark variants to stress the adaptive (salting / map-side grouping)
+    execution paths, which uniform workloads never trigger.
+    """
+    generator = _rng(seed)
+    weights = [1.0 / (rank + 1) ** exponent for rank in range(max(1, num_keys))]
+    return generator.choices(range(max(1, num_keys)), weights=weights, k=count)
+
+
+def skewed_pairs(
+    count: int, num_keys: int | None = None, exponent: float = 1.2, seed: int = 43
+) -> list[dict[str, Any]]:
+    """Zipf-skewed (key, value) records in the ``group_by`` workload shape.
+
+    Same ``{"K": ..., "A": ...}`` record layout as :func:`grouped_pairs`, but
+    the keys follow a Zipf distribution instead of being uniform, so a handful
+    of keys own most of the records.
+    """
+    generator = _rng(seed)
+    if num_keys is None:
+        num_keys = max(1, count // 10)
+    keys = zipf_keys(count, num_keys, exponent=exponent, seed=seed + 1)
+    return [{"K": key, "A": generator.uniform(0.0, 10.0)} for key in keys]
+
+
+def skewed_words(
+    count: int, vocabulary: int = STRING_VOCABULARY, exponent: float = 1.2, seed: int = 47
+) -> list[str]:
+    """Zipf-skewed word stream for the word-count workloads.
+
+    Real text is Zipfian, so this is the natural skewed variant of
+    :func:`random_strings`: the same vocabulary, but ranked frequencies.
+    """
+    words = sorted(set(random_strings(vocabulary * 4, vocabulary=vocabulary, seed=seed)))
+    ranks = zipf_keys(count, len(words), exponent=exponent, seed=seed + 1)
+    return [words[rank] for rank in ranks]
+
+
 def random_matrix(
     rows: int, columns: int, seed: int = 29, low: float = 0.0, high: float = 10.0
 ) -> dict[tuple[int, int], float]:
@@ -250,3 +292,19 @@ def workload_for_program(name: str, size: int, seed: int = 7) -> dict[str, Any]:
         matrix = random_matrix(rows, dimensions, seed=seed)
         return {"X": matrix, "n": rows, "d": dimensions}
     raise KeyError(f"no workload defined for program {name!r}")
+
+
+def skewed_workload_for_program(
+    name: str, size: int, exponent: float = 1.2, seed: int = 7
+) -> dict[str, Any]:
+    """Zipf-skewed variant of :func:`workload_for_program`.
+
+    Only defined for the key-grouping programs where skew changes the
+    execution profile; other programs fall back to the uniform workload.
+    """
+    if name == "group_by":
+        return {"V": skewed_pairs(size, exponent=exponent, seed=seed)}
+    if name in ("word_count", "equal_frequency"):
+        vocabulary = min(STRING_VOCABULARY, max(2, size // 10))
+        return {"words": skewed_words(size, vocabulary=vocabulary, exponent=exponent, seed=seed)}
+    return workload_for_program(name, size, seed=seed)

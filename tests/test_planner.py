@@ -487,6 +487,102 @@ class TestKMeansElimination:
                 assert values_match(optimized[array][key], unoptimized[array][key])
 
 
+class TestPlanSkeletonCache:
+    """Loop bodies cache their lowered plan trees (PR 7): iterations 2+ only
+    rebind the mutated inputs instead of re-running comprehension evaluation
+    and lowering, without changing a single shuffle."""
+
+    def _pagerank(self, **context_kwargs):
+        inputs = workload_for_program("pagerank", 40)
+        inputs["num_steps"] = 4
+        return _run_program("pagerank", inputs, **context_kwargs)
+
+    def test_pagerank_iterations_2_plus_hit_the_plan_cache(self):
+        result, outputs, metrics = self._pagerank()
+        iterations = [m for m in result.iteration_metrics if m["loop"] == 1]
+        assert len(iterations) == 4
+        # Iteration 1 builds and caches the skeletons; 2+ reuse them.
+        assert iterations[0]["plan_cache_hits"] == 0
+        for entry in iterations[1:]:
+            assert entry["plan_cache_hits"] >= 1
+        assert metrics.plan_cache_hits >= 3
+
+        # Reusing a skeleton must not change what executes: same shuffle
+        # structure, same bytes, same outputs as the uncached run.
+        result_off, outputs_off, metrics_off = self._pagerank(plan_cache=False)
+        assert metrics_off.plan_cache_hits == 0
+        assert dict(metrics.shuffle_operations) == dict(metrics_off.shuffle_operations)
+        assert metrics.shuffled_bytes == metrics_off.shuffled_bytes
+        assert metrics.loop_invariant_reuses == metrics_off.loop_invariant_reuses
+        spec = get_program("pagerank")
+        _outputs_match(spec, outputs, outputs_off)
+
+    def test_plan_cache_hits_render_in_explain_metrics(self):
+        _result, _outputs, metrics = self._pagerank()
+        report = "\n".join(explain_metrics(metrics))
+        assert f"plan-skeleton cache hits: {metrics.plan_cache_hits}" in report
+
+    def test_skeleton_reuse_is_traced(self):
+        result, _outputs, metrics = self._pagerank()
+        cached = [line for line in result.trace if "plan skeleton cached" in line]
+        reused = [line for line in result.trace if "plan skeleton reused" in line]
+        assert cached, result.trace
+        assert reused, result.trace
+        # Every cache hit shows up as one reuse trace line.
+        assert len(reused) == metrics.plan_cache_hits
+
+
+class TestProgramLevelPlacement:
+    """The whole-program pass (PR 7): an *input* read by >= 2 keyed consumers
+    is hash-partitioned once up front, and the joins that read it exploit the
+    placement (the keying maps preserve it), so both consumers run narrow."""
+
+    SOURCE = """
+    var C: vector[double] = vector();
+    var D: vector[double] = vector();
+    for i = 0, 99 do
+      C[i] := W[i] + V[i];
+    for i = 0, 99 do
+      D[i] := W[i] * V[i];
+    """
+
+    def _run(self, **context_kwargs):
+        # A threshold below the input size: the W-joins-V statements cannot
+        # broadcast, so without placement each one shuffles both inputs.
+        context_kwargs.setdefault("broadcast_join_threshold", 50)
+        with DistributedContext(num_partitions=4, **context_kwargs) as context:
+            with Diablo(context) as diablo:
+                result = diablo.compile(self.SOURCE).run(
+                    W={i: float(i) for i in range(100)},
+                    V={i: 1.0 for i in range(100)},
+                )
+            return result, context.metrics
+
+    def test_multiply_consumed_inputs_are_placed_up_front(self):
+        result, metrics = self._run()
+        for name in ("V", "W"):
+            assert any(
+                line.startswith(f"{name}: program-level placement for 2 keyed consumer(s)")
+                for line in result.trace
+            ), result.trace
+        # One placement shuffle per input, then both W-joins-V run narrow.
+        assert metrics.shuffle_operations.get("partitionBy", 0) == 2
+        assert metrics.narrow_joins >= 2
+        assert metrics.shuffles_eliminated >= 2
+        assert result.array("C") == {i: float(i) + 1.0 for i in range(100)}
+        assert result.array("D") == {i: float(i) for i in range(100)}
+
+    def test_placement_matches_unoptimized_outputs(self):
+        result_on, metrics_on = self._run()
+        result_off, metrics_off = self._run(plan_optimize=False)
+        assert not any("program-level placement" in line for line in result_off.trace)
+        assert metrics_off.shuffle_operations.get("partitionBy", 0) == 0
+        # Two placement shuffles replace four join-side shuffles.
+        assert metrics_on.shuffled_bytes < metrics_off.shuffled_bytes
+        for array in ("C", "D"):
+            assert result_on.array(array) == result_off.array(array)
+
+
 class _Outputs:
     """Adapter so assert_same_outputs can read plain output dicts."""
 

@@ -253,12 +253,26 @@ class TestShuffleOperations:
         assert ctx.metrics.combiner_output_records <= dataset.num_partitions
         assert ctx.metrics.combiner_hit_rate > 0.9
 
-    def test_group_by_key_shuffles_all_records(self, ctx):
+    def test_group_by_key_shuffles_all_records(self):
+        # Baseline accounting (adaptive off): groupByKey has no map-side
+        # combiner, so every record crosses the shuffle.
+        with DistributedContext(num_partitions=4, adaptive=False) as ctx:
+            dataset = ctx.parallelize([("a", 1)] * 100)
+            ctx.metrics.reset()
+            dataset.group_by_key().materialize()
+            assert ctx.metrics.shuffled_records == 100
+            assert ctx.metrics.shuffled_bytes > 0
+
+    def test_adaptive_group_by_key_ships_one_partial_per_task(self, ctx):
+        # With adaptive execution (the default) the sampled 100x duplication
+        # switches the same shuffle to map-side grouping: each of the 4 map
+        # tasks emits a single ("a", [values]) partial.
         dataset = ctx.parallelize([("a", 1)] * 100)
         ctx.metrics.reset()
-        dataset.group_by_key().materialize()
-        assert ctx.metrics.shuffled_records == 100
-        assert ctx.metrics.shuffled_bytes > 0
+        grouped = dataset.group_by_key().materialize()
+        assert ctx.metrics.shuffled_records == 4
+        assert ctx.metrics.adaptive_decisions == 1
+        assert grouped.collect() == [("a", [1] * 100)]
 
     def test_shuffles_are_lazy_plan_nodes(self, ctx):
         dataset = ctx.parallelize([("a", 1)] * 20)
