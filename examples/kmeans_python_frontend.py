@@ -47,7 +47,7 @@ def main() -> None:
 
         baseline = handwritten.distributed(baseline_context, inputs)
         worst = max(
-            max(abs(a - b) for a, b in zip(new_centroids[index], baseline["C"][index]))
+            max(abs(a - b) for a, b in zip(new_centroids[index], baseline["C"][index], strict=False))
             for index in baseline["C"]
         )
         print(f"KMeans step on {POINTS} points, {len(centroids)} centroids")

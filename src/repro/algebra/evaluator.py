@@ -1109,7 +1109,7 @@ def _bind_pattern(pattern: ir.Pattern, value: Any) -> dict[str, Any]:
         if not isinstance(value, (tuple, list)) or len(value) != len(pattern.elements):
             raise ExecutionError(f"cannot bind pattern {pattern} to value {value!r}")
         bindings: dict[str, Any] = {}
-        for sub_pattern, sub_value in zip(pattern.elements, value):
+        for sub_pattern, sub_value in zip(pattern.elements, value, strict=False):
             bindings.update(_bind_pattern(sub_pattern, sub_value))
         return bindings
     raise ExecutionError(f"unknown pattern {pattern!r}")

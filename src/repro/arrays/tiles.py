@@ -109,7 +109,7 @@ class TiledMatrix:
             merged: dict[Any, list[float]] = {key: list(tile) for key, tile in left_tiles}
             for key, tile in right_tiles:
                 if key in merged:
-                    merged[key] = [combine(a, b) for a, b in zip(merged[key], tile)]
+                    merged[key] = [combine(a, b) for a, b in zip(merged[key], tile, strict=False)]
                 else:
                     merged[key] = list(tile)
             return list(merged.items())
@@ -150,7 +150,7 @@ class TiledMatrix:
             return ((row_tile, column_tile), product)
 
         products = joined.map(multiply_tiles)
-        summed = products.reduce_by_key(lambda a, b: [x + y for x, y in zip(a, b)])
+        summed = products.reduce_by_key(lambda a, b: [x + y for x, y in zip(a, b, strict=False)])
         shape = (self.shape[0], other.shape[1])
         return TiledMatrix(summed, shape, size)
 

@@ -181,7 +181,7 @@ class CasperTranslator:
             yield _Candidate(description, evaluate)
         # Per-key summaries: reduceByKey(op, map(v -> (k(v), x(v)), V)).
         keyers = _key_extractors(element)
-        for (key_name, keyer), (value_name, valuer), (reducer_name, zero, reducer) in itertools.product(
+        for (key_name, keyer), (value_name, valuer), (reducer_name, _zero, reducer) in itertools.product(
             keyers, _value_extractors(element, parameters), reducers
         ):
             description = (
@@ -216,7 +216,7 @@ class CasperTranslator:
         mappers = _element_mappers(0.0, ["p1", "p2", "p3"])
         reducers = _reducers()
         while checked < self.candidate_budget:
-            for (mapper_name, mapper), (reducer_name, zero, reducer) in itertools.product(
+            for (_mapper_name, mapper), (_reducer_name, zero, reducer) in itertools.product(
                 mappers, reducers
             ):
                 checked += 1

@@ -156,7 +156,7 @@ class Avg:
 
     def combine(self, other: "Avg") -> "Avg":
         if isinstance(self.sum, tuple):
-            merged = tuple(a + b for a, b in zip(self.sum, other.sum))
+            merged = tuple(a + b for a, b in zip(self.sum, other.sum, strict=False))
         else:
             merged = self.sum + other.sum
         return Avg(merged, self.count + other.count)

@@ -89,7 +89,7 @@ class Optimizer:
         if isinstance(term, ir.CTuple):
             return ir.CTuple(children)
         if isinstance(term, ir.CRecord):
-            return ir.CRecord(tuple((n, c) for (n, _), c in zip(term.fields, children)))
+            return ir.CRecord(tuple((n, c) for (n, _), c in zip(term.fields, children, strict=False)))
         if isinstance(term, ir.CProject):
             return ir.CProject(children[0], term.attribute)
         if isinstance(term, ir.CBinOp):

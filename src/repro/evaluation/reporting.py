@@ -12,11 +12,11 @@ def format_table(headers: Sequence[str], rows: Sequence[Sequence[Any]], title: s
     lines = []
     if title:
         lines.append(title)
-    header_line = "  ".join(str(h).ljust(width) for h, width in zip(headers, widths))
+    header_line = "  ".join(str(h).ljust(width) for h, width in zip(headers, widths, strict=False))
     lines.append(header_line)
     lines.append("  ".join("-" * width for width in widths))
     for row in rows:
-        lines.append("  ".join(_cell(value).ljust(width) for value, width in zip(row, widths)))
+        lines.append("  ".join(_cell(value).ljust(width) for value, width in zip(row, widths, strict=False)))
     return "\n".join(lines)
 
 

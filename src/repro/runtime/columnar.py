@@ -156,7 +156,7 @@ def _split_columns(template: Any, values: Any, out: list[Any]) -> bool:
         width = len(subs)
         if any(type(value) is not tuple or len(value) != width for value in values):
             return False
-        for sub, part in zip(subs, zip(*values)):
+        for sub, part in zip(subs, zip(*values, strict=False), strict=False):
             if not _split_columns(sub, part, out):
                 return False
         return True
@@ -164,7 +164,7 @@ def _split_columns(template: Any, values: Any, out: list[Any]) -> bool:
     width = len(names)
     if any(type(value) is not dict or len(value) != width for value in values):
         return False
-    for name, sub in zip(names, subs):
+    for name, sub in zip(names, subs, strict=False):
         try:
             part = [value[name] for value in values]
         except KeyError:
@@ -250,7 +250,7 @@ class ColumnarPartition:
             for sub in subs:
                 parts.append(self._assemble(sub, base))
                 base += _leaf_count(sub)
-            return list(zip(*parts))
+            return list(zip(*parts, strict=False))
         names, subs = template[1], template[2]
         if not names:
             return [{} for _ in range(self.length)]
@@ -258,7 +258,7 @@ class ColumnarPartition:
         for sub in subs:
             parts.append(self._assemble(sub, base))
             base += _leaf_count(sub)
-        return [dict(zip(names, values)) for values in zip(*parts)]
+        return [dict(zip(names, values, strict=False)) for values in zip(*parts, strict=False)]
 
     def subpart(self, path: tuple[Any, ...]) -> "ColumnarPartition":
         """The subtree at ``path`` as a partition sharing this one's columns."""
@@ -360,7 +360,7 @@ def _elementwise(op: str, left: Any, right: Any, length: int) -> list[Any]:
     """The list-backend (and scalar) path: apply_binary per element."""
     left_values = left if isinstance(left, list) else [left] * length
     right_values = right if isinstance(right, list) else [right] * length
-    return [apply_binary(op, a, b) for a, b in zip(left_values, right_values)]
+    return [apply_binary(op, a, b) for a, b in zip(left_values, right_values, strict=False)]
 
 
 def batch_binop(op: str, left: Any, right: Any, length: int) -> Any:
@@ -720,7 +720,7 @@ class VectorizedBind(VectorizedFunction):
             if template == "*" or template[0] != "tuple" or len(template[1]) != len(spec[1]):
                 raise ColumnarFallback("pattern/record shape mismatch")
             offset = start
-            for sub_spec, sub_template in zip(spec[1], template[1]):
+            for sub_spec, sub_template in zip(spec[1], template[1], strict=False):
                 walk(sub_spec, sub_template, offset)
                 offset += _leaf_count(sub_template)
 
@@ -739,7 +739,7 @@ class VectorizedBind(VectorizedFunction):
             elif kind == "tuple":
                 if not isinstance(value, (tuple, list)) or len(value) != len(spec[1]):
                     raise ExecutionError(f"cannot bind pattern to value {value!r}")
-                for sub, element_value in zip(spec[1], value):
+                for sub, element_value in zip(spec[1], value, strict=False):
                     bind(sub, element_value)
 
         bind(self.pattern, element)
@@ -912,4 +912,4 @@ def combine_batch(combiner: tuple[Any, ...], records: list[Any]) -> list[Any]:
         accumulator = np.full(len(ordered_keys), zero, dtype=dtype)
         with np.errstate(all="ignore"):
             ufunc.at(accumulator, group_ids, values)
-    return list(zip(ordered_keys, accumulator.tolist()))
+    return list(zip(ordered_keys, accumulator.tolist(), strict=False))

@@ -473,7 +473,7 @@ class Dataset:
         offsets = list(itertools.accumulate([0] + [len(p) for p in partitions[:-1]]))
         new_partitions = [
             [(record, offset + position) for position, record in enumerate(partition)]
-            for offset, partition in zip(offsets, partitions)
+            for offset, partition in zip(offsets, partitions, strict=False)
         ]
         self.context.metrics.record_narrow(self.num_partitions, self.count())
         return Dataset(self.context, new_partitions)
@@ -489,7 +489,7 @@ class Dataset:
                 "zip_partitions requires both datasets to have the same number of partitions"
             )
         new_partitions = [
-            list(function(left, right)) for left, right in zip(self.partitions, other.partitions)
+            list(function(left, right)) for left, right in zip(self.partitions, other.partitions, strict=False)
         ]
         self.context.metrics.record_narrow(self.num_partitions, self.count() + other.count())
         return Dataset(self.context, new_partitions, self.partitioner)
@@ -646,7 +646,7 @@ class Dataset:
         if len(left_partitions) != len(right_partitions):
             return None
         combined = [
-            [left, right] for left, right in zip(left_partitions, right_partitions)
+            [left, right] for left, right in zip(left_partitions, right_partitions, strict=False)
         ]
         stages = (NarrowStage(stage_mod.PARTITIONS, task_function),)
         new_partitions = self.context.run_tasks(
@@ -655,7 +655,7 @@ class Dataset:
         metrics = self.context.metrics
         metrics.record_narrow(
             len(combined),
-            sum(len(left) + len(right) for left, right in zip(left_partitions, right_partitions)),
+            sum(len(left) + len(right) for left, right in zip(left_partitions, right_partitions, strict=False)),
         )
         reason = f"both sides partitioned by {_partitioner_label(self.partitioner)}"
         metrics.record_shuffle_eliminated(operation, reason, narrow_join=True)

@@ -86,7 +86,7 @@ class TranslationRules:
             names = [n for n, _ in expr.fields]
             return self._tuple_like(
                 tuple(e for _, e in expr.fields),
-                lambda parts: ir.CRecord(tuple(zip(names, parts))),
+                lambda parts: ir.CRecord(tuple(zip(names, parts, strict=False))),
             )  # (11f)
         if isinstance(expr, ast.Call):
             return self._tuple_like(
@@ -121,7 +121,7 @@ class TranslationRules:
         qualifiers.append(
             ir.Generator(self._array_pattern(index_names, value), ir.CVar(array.name))
         )
-        for index_name, key_name in zip(index_names, key_names):
+        for index_name, key_name in zip(index_names, key_names, strict=False):
             qualifiers.append(ir.Condition(ir.CBinOp("==", ir.CVar(index_name), ir.CVar(key_name))))
         return ir.Comprehension(ir.CVar(value), tuple(qualifiers))
 

@@ -31,7 +31,7 @@ def close(a, b, tolerance=1e-8):
     if isinstance(a, (int, float)) and isinstance(b, (int, float)):
         return abs(a - b) <= tolerance * max(1.0, abs(a), abs(b))
     if isinstance(a, tuple) and isinstance(b, tuple):
-        return all(close(x, y, tolerance) for x, y in zip(a, b))
+        return all(close(x, y, tolerance) for x, y in zip(a, b, strict=False))
     return a == b
 
 

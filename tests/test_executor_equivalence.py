@@ -478,7 +478,7 @@ class TestSpillEquivalence:
             # spills successfully; keys repeat across partitions, so the
             # reduce-side merge calls it and crashes mid-shuffle.
             pairs = ctx.parallelize([(f"k{i}", i) for i in range(15)] * 2)
-            with pytest.raises(Exception):
+            with pytest.raises(ZeroDivisionError):
                 pairs.reduce_by_key(_failing_combine).collect()
             assert ctx.metrics.spilled_bytes > 0, "the map side must have spilled first"
             assert ctx.shuffle_store.active_shuffle_dirs() == [], (

@@ -39,7 +39,7 @@ def values_match(left, right, tolerance=1e-8):
     if isinstance(left, (int, float)) and isinstance(right, (int, float)):
         return abs(left - right) <= tolerance * max(1.0, abs(left), abs(right))
     if isinstance(left, tuple) and isinstance(right, tuple):
-        return len(left) == len(right) and all(values_match(a, b) for a, b in zip(left, right))
+        return len(left) == len(right) and all(values_match(a, b) for a, b in zip(left, right, strict=False))
     return left == right
 
 
