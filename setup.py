@@ -21,6 +21,7 @@ setup(
     entry_points={
         "console_scripts": [
             "repro-eval=repro.evaluation.__main__:main",
+            "repro-lint=repro.analysis.cli:main",
         ],
     },
     extras_require={

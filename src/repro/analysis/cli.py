@@ -1,0 +1,172 @@
+"""``repro-lint``: run the static-diagnostics pipeline over program files.
+
+Each path argument is a Python file (or a directory of them, searched
+recursively).  Every module-level function in a file that *parses as a loop
+program* is checked with :func:`repro.api.check.check`; functions using
+Python features outside the loop language (decorators aside, e.g. test
+helpers) are reported as ``D001`` findings unless ``--loose`` skips them.
+
+Exit status:
+
+* ``0`` -- no error-severity findings (warnings alone do not fail unless
+  ``--strict`` promotes them);
+* ``1`` -- at least one error;
+* ``2`` -- usage problems (no such path, no checkable functions).
+
+``--expect D102,D201`` inverts the contract for known-bad fixtures: the run
+succeeds (exit 0) exactly when every expected code is reported, and fails
+otherwise -- CI uses this to pin the diagnostics the seeded-bad programs
+must keep producing.
+"""
+
+from __future__ import annotations
+
+import argparse
+import ast as python_ast
+import sys
+import textwrap
+from pathlib import Path
+from typing import Iterable
+
+from repro.analysis.diagnostics import DiagnosticReport
+
+#: Decorator spellings that mark a function as a diablo program.
+_JIT_MARKERS = ("jit",)
+
+
+def _iter_files(paths: Iterable[str]) -> list[Path]:
+    files: list[Path] = []
+    for raw in paths:
+        path = Path(raw)
+        if path.is_dir():
+            files.extend(sorted(path.rglob("*.py")))
+        elif path.is_file():
+            files.append(path)
+        else:
+            raise FileNotFoundError(f"no such file or directory: {raw}")
+    return files
+
+
+def _is_jit_decorated(node: python_ast.FunctionDef) -> bool:
+    for decorator in node.decorator_list:
+        target = decorator.func if isinstance(decorator, python_ast.Call) else decorator
+        name = target.attr if isinstance(target, python_ast.Attribute) else getattr(target, "id", "")
+        if name in _JIT_MARKERS:
+            return True
+    return False
+
+
+def _function_sources(path: Path, jit_only: bool) -> list[tuple[str, str]]:
+    """(name, source) for each checkable module-level function in ``path``.
+
+    The extracted source is padded with blank lines so that every line keeps
+    its original file line number -- diagnostics then point at the file the
+    user opened, not at a re-serialized snippet.
+    """
+    text = path.read_text()
+    try:
+        module = python_ast.parse(text)
+    except SyntaxError as error:
+        raise ValueError(f"{path}: not valid Python: {error}") from error
+    out: list[tuple[str, str]] = []
+    for node in module.body:
+        if not isinstance(node, python_ast.FunctionDef):
+            continue
+        if jit_only and not _is_jit_decorated(node):
+            continue
+        # node.lineno is the ``def`` line, past any decorators -- the segment
+        # must parse as a bare function.
+        segment_lines = text.splitlines()[node.lineno - 1 : node.end_lineno]
+        source = "\n" * (node.lineno - 1) + textwrap.dedent("\n".join(segment_lines))
+        out.append((node.name, source))
+    return out
+
+
+def _check_function(name: str, source: str, strict: bool) -> DiagnosticReport:
+    from repro.api.check import check_python_source
+
+    report = check_python_source(source, strict=strict)
+    report.subject = name
+    return report
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro-lint",
+        description="Static diagnostics (types, restrictions, monoid laws, plan lint) "
+        "for diablo loop programs.",
+    )
+    parser.add_argument("paths", nargs="+", help="Python files or directories to lint")
+    parser.add_argument(
+        "--strict", action="store_true", help="promote warnings to errors (exit 1)"
+    )
+    parser.add_argument(
+        "--all-functions",
+        action="store_true",
+        help="check every module-level function, not only @diablo.jit ones",
+    )
+    parser.add_argument(
+        "--expect",
+        default="",
+        metavar="CODES",
+        help="comma-separated diagnostic codes; exit 0 exactly when all are reported "
+        "(known-bad fixture mode)",
+    )
+    parser.add_argument(
+        "-q", "--quiet", action="store_true", help="print nothing but the exit status"
+    )
+    arguments = parser.parse_args(argv)
+
+    try:
+        files = _iter_files(arguments.paths)
+    except FileNotFoundError as error:
+        print(f"repro-lint: {error}", file=sys.stderr)
+        return 2
+
+    reports: list[tuple[Path, DiagnosticReport]] = []
+    checked = 0
+    for path in files:
+        try:
+            functions = _function_sources(path, jit_only=not arguments.all_functions)
+        except ValueError as error:
+            print(f"repro-lint: {error}", file=sys.stderr)
+            return 2
+        for name, source in functions:
+            checked += 1
+            report = _check_function(name, source, arguments.strict)
+            if report:
+                reports.append((path, report))
+                if not arguments.quiet:
+                    print(f"{path}: {report.render()}")
+
+    if checked == 0:
+        print(
+            "repro-lint: no checkable functions found "
+            "(use --all-functions to lint undecorated ones)",
+            file=sys.stderr,
+        )
+        return 2
+
+    seen_codes = {code for _, report in reports for code in report.codes()}
+    if arguments.expect:
+        expected = {code.strip() for code in arguments.expect.split(",") if code.strip()}
+        missing = expected - seen_codes
+        if missing:
+            print(
+                f"repro-lint: expected diagnostics not reported: {', '.join(sorted(missing))} "
+                f"(reported: {', '.join(sorted(seen_codes)) or 'none'})",
+                file=sys.stderr,
+            )
+            return 1
+        if not arguments.quiet:
+            print(f"repro-lint: all expected codes reported ({', '.join(sorted(expected))})")
+        return 0
+
+    failed = any(report.has_errors for _, report in reports)
+    if not arguments.quiet and not reports:
+        print(f"repro-lint: {checked} function(s) clean")
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

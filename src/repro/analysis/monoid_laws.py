@@ -1,0 +1,194 @@
+"""Property-based verification of registered monoid laws (Section 3.5).
+
+The paper's correctness argument for incremental updates ``d ⊕= e`` rests on
+⊕ being a **commutative monoid**: translation groups the update values by
+destination index and reduces every group with ⊕ on whatever partition, in
+whatever order, the shuffle delivers them.  A combine function that is not
+associative -- or that claims commutativity it does not have -- therefore
+produces *silently wrong* distributed results, never an exception.
+
+This pass checks the laws at registration time with bounded deterministic
+probing over sample elements:
+
+* **associativity** -- ``(a ⊕ b) ⊕ c == a ⊕ (b ⊕ c)`` over every triple of
+  samples (``D401``);
+* **identity**      -- ``zero ⊕ a == a`` and ``a ⊕ zero == a`` for every
+  sample (``D402``);
+* **commutativity** -- ``a ⊕ b == b ⊕ a`` over every pair, checked only when
+  the monoid *claims* ``commutative=True`` (``D403``); the claim feeds the
+  restriction checker's D103 decision and the runtime's skew-salting safety,
+  so a false claim is an error while an honest ``commutative=False`` is not.
+
+Samples come from the monoid's own ``samples`` registry metadata when
+provided (custom element types such as KMeans' ``ArgMin``/``Avg`` records
+need domain values), otherwise they are derived from the type of the
+identity element.  When no samples can be derived the laws are reported as
+unprobeable (``D404``, informational) rather than guessed at.
+
+Probing is bounded: with the default sample budget the associativity sweep
+is at most ``5**3`` combines, cheap enough to run on every ``register()``.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Sequence
+
+from repro.analysis.diagnostics import Diagnostic, make_diagnostic
+from repro.errors import MonoidLawError
+
+#: Hard cap on the samples used for probing (the sweep is cubic in this).
+MAX_SAMPLES = 5
+
+#: Deterministic default samples per identity-element type.  Values are
+#: chosen to expose order sensitivity (mixed signs / magnitudes, strings of
+#: different lengths) without overflowing any reasonable combine.
+_DEFAULT_SAMPLES: dict[type, tuple[Any, ...]] = {
+    bool: (False, True),
+    int: (0, 1, 2, 7, -3),
+    float: (0.0, 1.0, 2.5, -3.25, 8.0),
+    str: ("", "a", "bc", "def"),
+}
+
+
+def default_samples(monoid: Any) -> tuple[Any, ...]:
+    """Probe samples for ``monoid``: its metadata, else derived from its zero.
+
+    Returns an empty tuple when nothing can be derived (opaque identity
+    types); the caller then reports the laws as unprobeable instead of
+    probing with junk values.
+    """
+    declared = tuple(getattr(monoid, "samples", ()) or ())
+    if declared:
+        return declared[:MAX_SAMPLES]
+    zero = monoid.identity()
+    if isinstance(zero, bool):
+        return _DEFAULT_SAMPLES[bool]
+    if isinstance(zero, int):
+        return _DEFAULT_SAMPLES[int]
+    if isinstance(zero, float):
+        derived = _DEFAULT_SAMPLES[float]
+        # Keep the identity itself probeable even when it is inf/-inf.
+        return tuple(list(derived[:4]) + [zero])[:MAX_SAMPLES]
+    if isinstance(zero, str):
+        return _DEFAULT_SAMPLES[str]
+    if isinstance(zero, tuple) and zero and all(isinstance(c, (int, float)) for c in zero):
+        width = len(zero)
+        return (
+            zero,
+            tuple(float(i + 1) for i in range(width)),
+            tuple(float(2 * i) - 1.0 for i in range(width)),
+        )
+    return ()
+
+
+def _equal(left: Any, right: Any) -> bool:
+    """Structural equality tolerant of float rounding."""
+    if isinstance(left, float) and isinstance(right, float):
+        if left == right:
+            return True
+        scale = max(abs(left), abs(right), 1.0)
+        return abs(left - right) <= 1e-9 * scale
+    if isinstance(left, tuple) and isinstance(right, tuple) and len(left) == len(right):
+        return all(_equal(a, b) for a, b in zip(left, right, strict=False))
+    try:
+        return bool(left == right)
+    except Exception:
+        return False
+
+
+def verify_monoid(monoid: Any, samples: Sequence[Any] | None = None) -> list[Diagnostic]:
+    """Probe ``monoid`` for associativity, identity and claimed commutativity.
+
+    Returns diagnostics (``D401``/``D402``/``D403`` errors, or a single
+    ``D404`` note when the element domain cannot be sampled).  A monoid whose
+    combine raises on the samples is also reported as unprobeable -- a raise
+    means the samples are outside the combine's domain, not that a law fails.
+    """
+    probe = tuple(samples) if samples is not None else default_samples(monoid)
+    probe = probe[:MAX_SAMPLES]
+    symbol = getattr(monoid, "symbol", "?")
+    if not probe:
+        return [
+            make_diagnostic(
+                "D404",
+                f"monoid {symbol!r} has an opaque element type; its laws were not probed",
+                hint="pass samples=(...) at construction so registration can verify the laws",
+                source="monoid-laws",
+            )
+        ]
+    combine = monoid.combine
+    findings: list[Diagnostic] = []
+    try:
+        zero = monoid.identity()
+        for a in probe:
+            if not _equal(combine(zero, a), a) or not _equal(combine(a, monoid.identity()), a):
+                findings.append(
+                    make_diagnostic(
+                        "D402",
+                        f"monoid {symbol!r}: zero is not an identity "
+                        f"(zero ⊕ {a!r} or {a!r} ⊕ zero differs from {a!r})",
+                        hint="missing array entries are treated as the identity, so a broken "
+                        "identity corrupts sparse updates",
+                        source="monoid-laws",
+                    )
+                )
+                break
+        for a in probe:
+            for b in probe:
+                for c in probe:
+                    if not _equal(combine(combine(a, b), c), combine(a, combine(b, c))):
+                        findings.append(
+                            make_diagnostic(
+                                "D401",
+                                f"monoid {symbol!r}: combine is not associative on "
+                                f"({a!r}, {b!r}, {c!r})",
+                                hint="distributed reduction combines partial results in an "
+                                "arbitrary tree order; a non-associative combine gives "
+                                "partition-count-dependent results",
+                                source="monoid-laws",
+                            )
+                        )
+                        return findings
+        if getattr(monoid, "commutative", False):
+            for index, a in enumerate(probe):
+                for b in probe[index + 1 :]:
+                    if not _equal(combine(a, b), combine(b, a)):
+                        findings.append(
+                            make_diagnostic(
+                                "D403",
+                                f"monoid {symbol!r} claims commutativity but "
+                                f"{a!r} ⊕ {b!r} != {b!r} ⊕ {a!r}",
+                                hint="declare commutative=False (the operator then cannot be "
+                                "used in incremental updates) or fix the combine; the claim "
+                                "also gates skew salting at runtime",
+                                source="monoid-laws",
+                            )
+                        )
+                        return findings
+    except Exception as error:
+        return [
+            make_diagnostic(
+                "D404",
+                f"monoid {symbol!r}: law probing raised {type(error).__name__}: {error}; "
+                "the default samples are outside the combine's domain",
+                hint="pass samples=(...) of the real element type at construction",
+                source="monoid-laws",
+            )
+        ]
+    return findings
+
+
+def require_lawful(monoid: Any, samples: Sequence[Any] | None = None) -> None:
+    """Raise :class:`MonoidLawError` when probing finds a law violation.
+
+    Unprobeable monoids (``D404``) pass -- rejecting every monoid with an
+    opaque element type would make custom record monoids unusable without
+    samples metadata.
+    """
+    findings = [d for d in verify_monoid(monoid, samples) if d.code != "D404"]
+    if findings:
+        details = "\n".join(d.render() for d in findings)
+        symbol = getattr(monoid, "symbol", "?")
+        raise MonoidLawError(
+            f"monoid {symbol!r} violates the monoid laws:\n{details}", findings
+        )

@@ -12,19 +12,21 @@ Figure 2 rules) when:
    (b) ``d1 ∈ A[s1]``, ``d1 = d2``, ``s1`` precedes ``s2``, ``affine(d2, s2)``
        and ``context(s1) ∩ context(s2) = indexes(d1)``.
 
-The checker reports every violation it finds, with the paper's suggested
-work-arounds as hints (e.g. promote a scalar temporary to an array indexed by
-the surrounding loop variables).  Additional structural checks reflect the
-syntax restrictions of Section 3.1: no variable declarations inside for-loops,
+The checker reports every violation it finds as a
+:class:`~repro.analysis.diagnostics.Diagnostic` with a stable code (``D1xx``
+structural, ``D2xx`` dependence) and the paper's suggested work-arounds as
+hints (e.g. promote a scalar temporary to an array indexed by the surrounding
+loop variables).  Additional structural checks reflect the syntax
+restrictions of Section 3.1: no variable declarations inside for-loops,
 incremental updates must use a commutative monoid, and (a limitation of this
-reproduction, documented in DESIGN.md) no while-loops nested inside for-loops.
+reproduction, documented in DESIGN.md) no while-loops nested inside
+for-loops.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-
 from repro.analysis.affine import is_affine_destination
+from repro.analysis.diagnostics import Diagnostic, location_of, make_diagnostic
 from repro.analysis.lvalues import (
     StatementAccess,
     collect_accesses,
@@ -35,40 +37,39 @@ from repro.comprehension.monoids import DEFAULT_MONOIDS, MonoidRegistry
 from repro.errors import RestrictionError
 from repro.loop_lang import ast
 
+#: Historical alias: violations are plain diagnostics since the unified
+#: static-analysis subsystem landed; ``message`` / ``statement`` / ``hint``
+#: and the ``str()`` rendering are unchanged.
+RestrictionViolation = Diagnostic
 
-@dataclass
-class RestrictionViolation:
-    """A single violation of the Definition 3.1 restrictions."""
 
-    message: str
-    statement: ast.Stmt | None = None
-    hint: str | None = None
-
-    def __str__(self) -> str:
-        text = self.message
-        if self.statement is not None:
-            text += f" (in statement: {self.statement})"
-        if self.hint:
-            text += f"\n  hint: {self.hint}"
-        return text
+def _violation(code: str, message: str, statement: ast.Stmt | None, hint: str) -> Diagnostic:
+    return make_diagnostic(
+        code,
+        message,
+        hint=hint,
+        location=location_of(statement),
+        statement=statement,
+        source="restrictions",
+    )
 
 
 class RestrictionChecker:
     """Checks loop-language programs against the Definition 3.1 restrictions."""
 
-    def __init__(self, monoids: MonoidRegistry | None = None):
+    def __init__(self, monoids: MonoidRegistry | None = None) -> None:
         self.monoids = monoids or DEFAULT_MONOIDS
 
     # -- public API -----------------------------------------------------------
 
-    def check_program(self, program: ast.Program) -> list[RestrictionViolation]:
+    def check_program(self, program: ast.Program) -> list[Diagnostic]:
         """Check every maximal for-loop in ``program``; return all violations."""
-        violations: list[RestrictionViolation] = []
+        violations: list[Diagnostic] = []
         for stmt in program.statements:
             violations.extend(self._check_region(stmt))
         return violations
 
-    def check_statement(self, stmt: ast.Stmt) -> list[RestrictionViolation]:
+    def check_statement(self, stmt: ast.Stmt) -> list[Diagnostic]:
         """Check a single top-level statement."""
         return self._check_region(stmt)
 
@@ -84,7 +85,7 @@ class RestrictionChecker:
 
     # -- traversal -------------------------------------------------------------
 
-    def _check_region(self, stmt: ast.Stmt) -> list[RestrictionViolation]:
+    def _check_region(self, stmt: ast.Stmt) -> list[Diagnostic]:
         """Find maximal for-loops under ``stmt`` (descending through sequential
         constructs) and check each of them."""
         if isinstance(stmt, (ast.ForRange, ast.ForIn)):
@@ -106,8 +107,8 @@ class RestrictionChecker:
 
     # -- the per-loop checks -----------------------------------------------------
 
-    def _check_for_loop(self, loop: ast.Stmt) -> list[RestrictionViolation]:
-        violations: list[RestrictionViolation] = []
+    def _check_for_loop(self, loop: ast.Stmt) -> list[Diagnostic]:
+        violations: list[Diagnostic] = []
         violations.extend(self._structural_checks(loop))
         accesses = collect_accesses(loop)
         loop_indexes = frozenset(ast.loop_index_variables(loop))
@@ -115,13 +116,14 @@ class RestrictionChecker:
         violations.extend(self._restriction_two(accesses, loop_indexes))
         return violations
 
-    def _structural_checks(self, loop: ast.Stmt) -> list[RestrictionViolation]:
-        violations: list[RestrictionViolation] = []
+    def _structural_checks(self, loop: ast.Stmt) -> list[Diagnostic]:
+        violations: list[Diagnostic] = []
         seen_indexes: set[str] = set()
         for node in ast.walk_statements(loop):
             if isinstance(node, ast.VarDecl) and node is not loop:
                 violations.append(
-                    RestrictionViolation(
+                    _violation(
+                        "D101",
                         "variable declarations cannot appear inside for-loops (Section 3.1)",
                         node,
                         hint="declare the variable before the loop, or promote it to an array "
@@ -130,7 +132,8 @@ class RestrictionChecker:
                 )
             if isinstance(node, ast.While):
                 violations.append(
-                    RestrictionViolation(
+                    _violation(
+                        "D102",
                         "a while-loop nested inside a for-loop makes the for-loop sequential; "
                         "this reproduction does not parallelize such loops",
                         node,
@@ -140,7 +143,8 @@ class RestrictionChecker:
             if isinstance(node, ast.IncrementalUpdate):
                 if not self.monoids.is_commutative(node.op):
                     violations.append(
-                        RestrictionViolation(
+                        _violation(
+                            "D103",
                             f"incremental update operator {node.op!r} is not a registered "
                             "commutative monoid (Section 3.5)",
                             node,
@@ -151,7 +155,8 @@ class RestrictionChecker:
             if isinstance(node, (ast.ForRange, ast.ForIn)):
                 if node.variable in seen_indexes:
                     violations.append(
-                        RestrictionViolation(
+                        _violation(
+                            "D104",
                             f"loop index variable {node.variable!r} is reused by a nested loop; "
                             "every for-loop must have a distinct index variable (Section 3.2)",
                             node,
@@ -163,14 +168,15 @@ class RestrictionChecker:
 
     def _restriction_one(
         self, accesses: list[StatementAccess], loop_indexes: frozenset[str]
-    ) -> list[RestrictionViolation]:
-        violations: list[RestrictionViolation] = []
+    ) -> list[Diagnostic]:
+        violations: list[Diagnostic] = []
         for access in accesses:
             stmt = access.statement
             if isinstance(stmt, ast.Assign):
                 if not is_affine_destination(stmt.destination, access.context):
                     violations.append(
-                        RestrictionViolation(
+                        _violation(
+                            "D201",
                             f"destination {stmt.destination} of a non-incremental update is not "
                             f"affine in the loop indexes {sorted(access.context)} (Restriction 1)",
                             stmt,
@@ -183,8 +189,8 @@ class RestrictionChecker:
 
     def _restriction_two(
         self, accesses: list[StatementAccess], loop_indexes: frozenset[str]
-    ) -> list[RestrictionViolation]:
-        violations: list[RestrictionViolation] = []
+    ) -> list[Diagnostic]:
+        violations: list[Diagnostic] = []
         for first in accesses:
             for second in accesses:
                 violations.extend(self._check_pair(first, second, loop_indexes))
@@ -192,8 +198,8 @@ class RestrictionChecker:
 
     def _check_pair(
         self, first: StatementAccess, second: StatementAccess, loop_indexes: frozenset[str]
-    ) -> list[RestrictionViolation]:
-        violations: list[RestrictionViolation] = []
+    ) -> list[Diagnostic]:
+        violations: list[Diagnostic] = []
         for d1, kind in [(d, "writer") for d in first.writers] + [
             (d, "aggregator") for d in first.aggregators
         ]:
@@ -203,7 +209,8 @@ class RestrictionChecker:
                 if self._excepted(first, second, d1, d2, kind, loop_indexes):
                     continue
                 violations.append(
-                    RestrictionViolation(
+                    _violation(
+                        "D202",
                         f"{kind} {d1} of one statement overlaps reader {d2} of another "
                         "statement in the same loop (Restriction 2)",
                         second.statement,
@@ -236,15 +243,11 @@ class RestrictionChecker:
         return intersection == lvalue_indexes(d1, loop_indexes)
 
 
-def check_program(
-    program: ast.Program, monoids: MonoidRegistry | None = None
-) -> list[RestrictionViolation]:
+def check_program(program: ast.Program, monoids: MonoidRegistry | None = None) -> list[Diagnostic]:
     """Convenience wrapper: check a whole program."""
     return RestrictionChecker(monoids).check_program(program)
 
 
-def check_statement(
-    stmt: ast.Stmt, monoids: MonoidRegistry | None = None
-) -> list[RestrictionViolation]:
+def check_statement(stmt: ast.Stmt, monoids: MonoidRegistry | None = None) -> list[Diagnostic]:
     """Convenience wrapper: check a single statement."""
     return RestrictionChecker(monoids).check_statement(stmt)

@@ -24,6 +24,10 @@ functions::
 The pieces:
 
 * :func:`jit` / :class:`JitFunction` -- the decorator (``repro.api.jit``);
+* :func:`check` -- the whole-pipeline static checker (``diablo.check(fn)``
+  returns a :class:`~repro.analysis.diagnostics.DiagnosticReport` without
+  executing anything; ``strict=True`` in the config or decorator promotes
+  its warnings to compile errors);
 * :class:`DiabloConfig`, :func:`configure`, :func:`options`,
   :func:`current_config` -- unified configuration with scoped overrides;
 * :func:`cache_info` / :func:`cache_clear` -- the shared compilation cache;
@@ -36,6 +40,7 @@ compatibility layer over these same pieces.
 
 from __future__ import annotations
 
+from repro.api.check import check
 from repro.api.config import (
     DiabloConfig,
     configure,
@@ -66,6 +71,7 @@ from repro.translate.cache import CacheInfo, CompilationCache
 __all__ = [
     "jit",
     "JitFunction",
+    "check",
     "DiabloConfig",
     "configure",
     "options",

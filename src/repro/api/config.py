@@ -78,6 +78,11 @@ class DiabloConfig:
             performance only, never results.
         check_restrictions: reject programs violating Definition 3.1.
         optimize: apply the Section 3.6 / Section 4 rewrites.
+        strict: run the full static-diagnostics suite (type/shape inference,
+            plan lint) at compile time and treat **warnings as compile
+            errors** (:class:`~repro.errors.StaticCheckError`).  ``False``
+            (default) reports nothing extra; ``diablo.check()`` runs the same
+            passes on demand.
     """
 
     executor_mode: str = "sequential"
@@ -93,6 +98,7 @@ class DiabloConfig:
     plan_cache: bool = True
     check_restrictions: bool = True
     optimize: bool = True
+    strict: bool = False
 
     def __post_init__(self) -> None:
         if self.executor_mode not in EXECUTOR_MODES:
@@ -140,6 +146,7 @@ class DiabloConfig:
         return {
             "check_restrictions": self.check_restrictions,
             "optimize": self.optimize,
+            "strict": self.strict,
         }
 
 

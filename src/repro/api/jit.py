@@ -109,7 +109,7 @@ class JitFunction:
         config: DiabloConfig | None = None,
         cache: CompilationCache | None = None,
         **config_overrides: Any,
-    ):
+    ) -> None:
         functools.update_wrapper(self, function)
         self._function = function
         self._signature = inspect.signature(function)

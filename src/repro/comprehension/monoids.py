@@ -32,12 +32,19 @@ class Monoid:
         combine: the associative, commutative binary operation.
         commutative: monoids must be commutative to be used in incremental
             updates; the flag exists so tests can construct counter-examples.
+        samples: example elements of the monoid's domain, used by the
+            registration-time law verifier
+            (:mod:`repro.analysis.monoid_laws`) to probe associativity /
+            identity / commutativity.  Required in practice for custom record
+            types (``ArgMin``, ``Avg``, ...) whose values cannot be derived
+            from the identity element alone.
     """
 
     symbol: str
     zero: Any
     combine: Callable[[Any, Any], Any]
     commutative: bool = True
+    samples: tuple[Any, ...] = ()
 
     def identity(self) -> Any:
         """Return a fresh identity element."""
@@ -87,8 +94,22 @@ class MonoidRegistry:
         self._uid = next(_REGISTRY_COUNTER)
         self._version = 0
 
-    def register(self, monoid: Monoid) -> None:
-        """Register (or replace) a monoid under its symbol."""
+    def register(self, monoid: Monoid, *, verify: bool = True) -> None:
+        """Register (or replace) a monoid under its symbol.
+
+        By default the monoid's laws (associativity, identity, claimed
+        commutativity) are probed over sample elements first, and a
+        counter-example raises
+        :class:`~repro.errors.MonoidLawError` -- a broken monoid produces
+        silently wrong distributed results, so registration is the last
+        place to catch it.  Pass ``verify=False`` to skip (e.g. when
+        deliberately constructing counter-examples in tests).
+        """
+        if verify:
+            # Imported lazily: repro.analysis imports this module.
+            from repro.analysis.monoid_laws import require_lawful
+
+            require_lawful(monoid)
         self._monoids[monoid.symbol] = monoid
         self._version += 1
 
@@ -170,11 +191,18 @@ class Avg:
 
 
 def argmin_monoid(large_distance: float = 1e12) -> Monoid:
-    """The ``^`` monoid: pick the :class:`ArgMin` with the smaller distance."""
+    """The ``^`` monoid: pick the :class:`ArgMin` with the smaller distance.
+
+    The law-probing samples use *distinct* distances: on a distance tie the
+    combine keeps its left argument, so ``^`` is only commutative up to
+    tie-breaking -- exactly like ``min`` over incomparable records.  Ties pick
+    an arbitrary-but-valid arg-min, which the KMeans programs accept.
+    """
     return Monoid(
         "^",
         lambda: ArgMin(0, large_distance),
         lambda a, b: a.combine(b) if isinstance(a, ArgMin) else b,
+        samples=(ArgMin(1, 4.0), ArgMin(2, 1.5), ArgMin(3, 9.0), ArgMin(4, 0.25)),
     )
 
 
@@ -184,4 +212,5 @@ def avg_monoid() -> Monoid:
         "^^",
         lambda: Avg((0.0, 0.0), 0),
         lambda a, b: a.combine(b) if isinstance(a, Avg) and a.count else b,
+        samples=(Avg((1.0, 2.0), 1), Avg((3.0, -1.0), 2), Avg((0.5, 0.5), 1)),
     )

@@ -73,12 +73,38 @@ class RestrictionError(DiabloError):
         super().__init__(full)
 
 
+class MonoidLawError(DiabloError):
+    """Raised when a registered monoid fails property-based law probing.
+
+    The monoid-law verifier (:mod:`repro.analysis.monoid_laws`) probes
+    associativity, the identity laws and (when claimed) commutativity over
+    sample elements at registration time; a counter-example is a user error
+    that would otherwise surface as silently wrong distributed results.
+    """
+
+    def __init__(self, message: str, violations: list | None = None):
+        self.violations = list(violations or [])
+        super().__init__(message)
+
+
 class TranslationError(DiabloError):
     """Raised when the Figure 2 translation rules fail unexpectedly."""
 
 
 class CompilationError(DiabloError):
     """Raised when a comprehension cannot be compiled to a DISC plan."""
+
+
+class StaticCheckError(CompilationError):
+    """Raised in strict mode when static diagnostics block compilation.
+
+    ``diagnostics`` holds the :class:`repro.analysis.diagnostics.Diagnostic`
+    findings (warnings promoted to errors) that caused the rejection.
+    """
+
+    def __init__(self, message: str, diagnostics: list | None = None):
+        self.diagnostics = list(diagnostics or [])
+        super().__init__(message)
 
 
 class ExecutionError(DiabloError):

@@ -310,7 +310,17 @@ def destination_root(dest: Expr) -> Var:
 
 @dataclass(frozen=True)
 class Stmt:
-    """Base class of loop-language statements."""
+    """Base class of loop-language statements.
+
+    ``location`` carries the 1-based source position the statement came from
+    (set by the parser and the Python frontend, default unknown); it is
+    excluded from equality/hash so structural comparisons in rewrites and
+    tests ignore provenance.
+    """
+
+    location: SourceLocation = field(
+        default_factory=SourceLocation, compare=False, repr=False, kw_only=True
+    )
 
     def substatements(self) -> tuple["Stmt", ...]:
         """Direct sub-statements (used by generic traversals)."""
@@ -543,35 +553,48 @@ def rename_loop_variable(stmt: Stmt, old: str, new: str) -> Stmt:
     def rename_expr(e: Expr) -> Expr:
         return substitute(e, mapping)
 
+    loc = stmt.location
     if isinstance(stmt, IncrementalUpdate):
-        return IncrementalUpdate(rename_expr(stmt.destination), stmt.op, rename_expr(stmt.value))
+        return IncrementalUpdate(
+            rename_expr(stmt.destination), stmt.op, rename_expr(stmt.value), location=loc
+        )
     if isinstance(stmt, Assign):
-        return Assign(rename_expr(stmt.destination), rename_expr(stmt.value))
+        return Assign(rename_expr(stmt.destination), rename_expr(stmt.value), location=loc)
     if isinstance(stmt, VarDecl):
-        return VarDecl(stmt.name, stmt.type, rename_expr(stmt.init))
+        return VarDecl(stmt.name, stmt.type, rename_expr(stmt.init), location=loc)
     if isinstance(stmt, ForRange):
         if stmt.variable == old:
             # The inner loop rebinds the name; do not rename inside.
-            return ForRange(stmt.variable, rename_expr(stmt.lower), rename_expr(stmt.upper), stmt.body)
+            return ForRange(
+                stmt.variable, rename_expr(stmt.lower), rename_expr(stmt.upper), stmt.body, location=loc
+            )
         return ForRange(
             stmt.variable,
             rename_expr(stmt.lower),
             rename_expr(stmt.upper),
             rename_loop_variable(stmt.body, old, new),
+            location=loc,
         )
     if isinstance(stmt, ForIn):
         if stmt.variable == old:
-            return ForIn(stmt.variable, rename_expr(stmt.source), stmt.body)
-        return ForIn(stmt.variable, rename_expr(stmt.source), rename_loop_variable(stmt.body, old, new))
+            return ForIn(stmt.variable, rename_expr(stmt.source), stmt.body, location=loc)
+        return ForIn(
+            stmt.variable, rename_expr(stmt.source), rename_loop_variable(stmt.body, old, new), location=loc
+        )
     if isinstance(stmt, While):
-        return While(rename_expr(stmt.condition), rename_loop_variable(stmt.body, old, new))
+        return While(rename_expr(stmt.condition), rename_loop_variable(stmt.body, old, new), location=loc)
     if isinstance(stmt, If):
         else_branch = None
         if stmt.else_branch is not None:
             else_branch = rename_loop_variable(stmt.else_branch, old, new)
-        return If(rename_expr(stmt.condition), rename_loop_variable(stmt.then_branch, old, new), else_branch)
+        return If(
+            rename_expr(stmt.condition),
+            rename_loop_variable(stmt.then_branch, old, new),
+            else_branch,
+            location=loc,
+        )
     if isinstance(stmt, Block):
-        return Block(tuple(rename_loop_variable(s, old, new) for s in stmt.statements))
+        return Block(tuple(rename_loop_variable(s, old, new) for s in stmt.statements), location=loc)
     raise TypeError(f"unknown statement node: {stmt!r}")
 
 

@@ -11,6 +11,8 @@ KMeans program).
 
 from __future__ import annotations
 
+import dataclasses
+
 from repro.errors import ParseError
 from repro.loop_lang import ast
 from repro.loop_lang.lexer import Token, tokenize
@@ -98,6 +100,12 @@ class Parser:
         while self._match_symbol(";"):
             pass
         token = self._current()
+        statement = self._parse_statement_body(token)
+        if statement.location.line <= 0 and token.location.line > 0:
+            statement = dataclasses.replace(statement, location=token.location)
+        return statement
+
+    def _parse_statement_body(self, token: "Token") -> ast.Stmt:
         if token.is_keyword("var"):
             return self._parse_var_decl()
         if token.is_keyword("for"):

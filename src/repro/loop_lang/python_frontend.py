@@ -30,12 +30,13 @@ function tail, ``break``/``continue``) is rejected with a
 from __future__ import annotations
 
 import ast as python_ast
+import dataclasses
 import inspect
 import textwrap
 from dataclasses import dataclass
 from typing import Callable, NoReturn
 
-from repro.errors import DiabloError
+from repro.errors import DiabloError, SourceLocation
 from repro.loop_lang import ast as loop_ast
 
 
@@ -216,6 +217,22 @@ def _convert_return(node: python_ast.Return) -> tuple[tuple[str, ...], bool]:
 
 
 def _convert_statement(node: python_ast.stmt) -> loop_ast.Stmt | None:
+    converted = _convert_statement_node(node)
+    if converted is None:
+        return None
+    return _located(converted, node)
+
+
+def _located(stmt: loop_ast.Stmt, node: python_ast.AST) -> loop_ast.Stmt:
+    """Attach the Python node's source position to a converted statement."""
+    line = getattr(node, "lineno", 0) or 0
+    if line <= 0 or stmt.location.line > 0:
+        return stmt
+    column = getattr(node, "col_offset", 0) or 0
+    return dataclasses.replace(stmt, location=SourceLocation(line, column + 1))
+
+
+def _convert_statement_node(node: python_ast.stmt) -> loop_ast.Stmt | None:
     if isinstance(node, python_ast.AnnAssign):
         return _convert_declaration(node)
     if isinstance(node, python_ast.Assign):

@@ -25,22 +25,38 @@ def canonicalize_increments(
 
 
 def _canonicalize_stmt(stmt: ast.Stmt, monoids: MonoidRegistry) -> ast.Stmt:
+    location = stmt.location
     if isinstance(stmt, ast.Assign):
         rewritten = _try_rewrite_assignment(stmt, monoids)
         return rewritten if rewritten is not None else stmt
     if isinstance(stmt, ast.ForRange):
-        return ast.ForRange(stmt.variable, stmt.lower, stmt.upper, _canonicalize_stmt(stmt.body, monoids))
+        return ast.ForRange(
+            stmt.variable,
+            stmt.lower,
+            stmt.upper,
+            _canonicalize_stmt(stmt.body, monoids),
+            location=location,
+        )
     if isinstance(stmt, ast.ForIn):
-        return ast.ForIn(stmt.variable, stmt.source, _canonicalize_stmt(stmt.body, monoids))
+        return ast.ForIn(
+            stmt.variable, stmt.source, _canonicalize_stmt(stmt.body, monoids), location=location
+        )
     if isinstance(stmt, ast.While):
-        return ast.While(stmt.condition, _canonicalize_stmt(stmt.body, monoids))
+        return ast.While(stmt.condition, _canonicalize_stmt(stmt.body, monoids), location=location)
     if isinstance(stmt, ast.If):
         else_branch = None
         if stmt.else_branch is not None:
             else_branch = _canonicalize_stmt(stmt.else_branch, monoids)
-        return ast.If(stmt.condition, _canonicalize_stmt(stmt.then_branch, monoids), else_branch)
+        return ast.If(
+            stmt.condition,
+            _canonicalize_stmt(stmt.then_branch, monoids),
+            else_branch,
+            location=location,
+        )
     if isinstance(stmt, ast.Block):
-        return ast.Block(tuple(_canonicalize_stmt(s, monoids) for s in stmt.statements))
+        return ast.Block(
+            tuple(_canonicalize_stmt(s, monoids) for s in stmt.statements), location=location
+        )
     return stmt
 
 
@@ -51,7 +67,11 @@ def _try_rewrite_assignment(stmt: ast.Assign, monoids: MonoidRegistry) -> ast.St
     if not monoids.is_commutative(value.op):
         return None
     if value.left == stmt.destination:
-        return ast.IncrementalUpdate(stmt.destination, value.op, value.right)
+        return ast.IncrementalUpdate(
+            stmt.destination, value.op, value.right, location=stmt.location
+        )
     if value.right == stmt.destination:
-        return ast.IncrementalUpdate(stmt.destination, value.op, value.left)
+        return ast.IncrementalUpdate(
+            stmt.destination, value.op, value.left, location=stmt.location
+        )
     return None

@@ -238,7 +238,9 @@ class TranslationRules:
             return self._assignment(stmt, qualifiers)  # (15b)
         if isinstance(stmt, ast.VarDecl):
             # (15c): declarations translate like assignments to the variable.
-            return self._assignment(ast.Assign(ast.Var(stmt.name), stmt.init), qualifiers)
+            return self._assignment(
+                ast.Assign(ast.Var(stmt.name), stmt.init, location=stmt.location), qualifiers
+            )
         if isinstance(stmt, ast.ForRange):
             return self._for_range(stmt, qualifiers)  # (15d)
         if isinstance(stmt, ast.ForIn):

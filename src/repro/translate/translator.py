@@ -65,6 +65,10 @@ class DiabloCompiler:
             Definition 3.1 are rejected with :class:`RestrictionError`.
         optimize: when False the Section 3.6 / Section 4 rewrites are skipped
             (used by the ablation benchmarks).
+        strict: when True the full static-diagnostics suite (type/shape
+            inference and plan lint; see :mod:`repro.analysis`) runs after
+            translation with warnings promoted to errors, and any finding
+            raises :class:`~repro.errors.StaticCheckError`.
         cache: the compilation cache consulted by :meth:`compile` (a private
             one is created when omitted; the jit API passes a shared cache so
             every decorated function draws from one pool).
@@ -77,11 +81,13 @@ class DiabloCompiler:
         optimize: bool = True,
         enable_range_elimination: bool = True,
         enable_group_by_elimination: bool = True,
+        strict: bool = False,
         cache: CompilationCache | None = None,
     ):
         self.monoids = monoids or DEFAULT_MONOIDS
         self.check_restrictions = check_restrictions
         self.optimize = optimize
+        self.strict = strict
         self.enable_range_elimination = enable_range_elimination
         self.enable_group_by_elimination = enable_group_by_elimination
         self.cache = cache if cache is not None else CompilationCache()
@@ -143,6 +149,8 @@ class DiabloCompiler:
         optimized = tuple(self._optimize_statement(s, optimizer, fresh) for s in statements)
         elapsed = time.perf_counter() - started
         target = TargetProgram(optimized, variables)
+        if self.strict:
+            self._enforce_strict(target)
         return TranslationResult(
             target=target,
             source=program,
@@ -151,6 +159,23 @@ class DiabloCompiler:
         )
 
     # -- helpers ---------------------------------------------------------------
+
+    def _enforce_strict(self, target: TargetProgram) -> None:
+        """Strict mode: static diagnostics (warnings promoted) block compilation."""
+        # Imported lazily: repro.analysis imports translate modules.
+        from repro.analysis.plan_lint import lint_target
+        from repro.analysis.typecheck import check_types
+        from repro.errors import StaticCheckError
+
+        findings = [d.promote() for d in check_types(target, self.monoids)]
+        findings += [d.promote() for d in lint_target(target)]
+        errors = [d for d in findings if d.severity.name == "ERROR"]
+        if errors:
+            details = "\n".join(d.render() for d in errors)
+            raise StaticCheckError(
+                f"strict mode: {len(errors)} static finding(s) block compilation:\n{details}",
+                errors,
+            )
 
     def _cache_key(
         self,
@@ -182,6 +207,7 @@ class DiabloCompiler:
         options_key = (
             self.check_restrictions,
             self.optimize,
+            self.strict,
             self.enable_range_elimination,
             self.enable_group_by_elimination,
             # Registry identity + mutation version: replacing a monoid under

@@ -1,0 +1,39 @@
+"""Known-bad programs for the ``repro-lint`` CLI and CI gate.
+
+Every function here is deliberately broken; CI runs
+
+    repro-lint tests/fixtures/bad_program.py --expect D102,D201,D501
+
+and fails whenever any of these diagnostics stops being reported -- the
+codes and the line numbers they attach to are part of the public contract
+(see ``repro.analysis.diagnostics.CODES``).
+"""
+
+import repro.api as diablo
+from repro.api import Vector
+
+
+@diablo.jit
+def while_inside_for(V: Vector, n: int):
+    s = 0.0
+    for i in range(n):
+        while s < 10.0:  # D102: a nested while makes the loop sequential
+            s += V[i]
+    return s
+
+
+@diablo.jit
+def non_affine_destination(V: Vector, n: int):
+    R: Vector = Vector()
+    for i in range(n):
+        R[i * i] = V[i]  # D201: destination index is not affine in i
+    return R
+
+
+@diablo.jit
+def all_pairs_product(P: Vector, Q: Vector, n: int):
+    S: Vector = Vector()
+    for i in range(n):
+        for j in range(n):
+            S[i] += P[i] * Q[j]  # D501: no key links the two generators
+    return S

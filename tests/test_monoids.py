@@ -63,9 +63,42 @@ class TestRegistry:
     def test_copy_is_independent(self):
         registry = MonoidRegistry()
         clone = registry.copy()
-        clone.register(Monoid("@", 0, lambda a, b: a))
+        clone.register(Monoid("@", 0, lambda a, b: a + b))
         assert "@" in clone
         assert "@" not in registry
+
+    def test_register_rejects_non_associative_combine(self):
+        from repro.errors import MonoidLawError
+
+        registry = MonoidRegistry()
+        with pytest.raises(MonoidLawError):
+            registry.register(Monoid("avg2", 0.0, lambda a, b: (a + b) / 2.0))
+        assert "avg2" not in registry
+
+    def test_register_rejects_broken_identity(self):
+        from repro.errors import MonoidLawError
+
+        registry = MonoidRegistry()
+        with pytest.raises(MonoidLawError):
+            registry.register(Monoid("@", 0, lambda a, b: a))
+
+    def test_register_rejects_false_commutativity_claim(self):
+        from repro.errors import MonoidLawError
+
+        registry = MonoidRegistry()
+        with pytest.raises(MonoidLawError):
+            registry.register(Monoid("cat2", "", lambda a, b: a + b, commutative=True))
+
+    def test_register_verify_false_skips_probing(self):
+        registry = MonoidRegistry()
+        registry.register(Monoid("@", 0, lambda a, b: a), verify=False)
+        assert "@" in registry
+
+    def test_register_accepts_kmeans_record_monoids(self):
+        registry = MonoidRegistry()
+        registry.register(argmin_monoid())
+        registry.register(avg_monoid())
+        assert "^" in registry and "^^" in registry
 
     def test_symbols_listing(self):
         assert "+" in MonoidRegistry().symbols()
