@@ -24,8 +24,24 @@ from benchmarks._recording import record_entry, write_results
 from repro.baselines import get_baseline
 from repro.evaluation.harness import diablo_for
 from repro.programs import get_program
-from repro.runtime.context import DistributedContext
+from repro.runtime.cluster import ClusterContext
+from repro.runtime.context import EXECUTOR_MODES, DistributedContext
 from repro.workloads import workload_for_program
+
+#: The executor-comparison axis: the three in-process modes plus the
+#: multi-process cluster backend (PR 9).
+ALL_EXECUTOR_MODES = EXECUTOR_MODES + ("cluster",)
+
+#: Worker count for cluster-mode benchmark contexts.
+CLUSTER_BENCH_WORKERS = max(1, int(os.environ.get("DIABLO_CLUSTER_WORKERS", "2")))
+
+
+def make_context(executor: str, num_partitions: int = 4) -> DistributedContext:
+    """A context for one executor-comparison cell, cluster mode included."""
+    if executor == "cluster":
+        return ClusterContext(num_partitions=num_partitions, cluster_workers=CLUSTER_BENCH_WORKERS)
+    return DistributedContext(num_partitions=num_partitions, executor=executor)
+
 
 #: Multiplies every benchmark input size; per-PR CI runs at 1, the nightly
 #: workflow sets BENCH_SIZE_SCALE=4 for the sizes too slow to gate on.
@@ -49,6 +65,7 @@ FIGURE3_BENCH_SIZES: dict[str, list[int]] = {
         "matrix_factorization": [8, 14],
     }.items()
 }
+
 
 def record_run(
     workload: str,
@@ -100,6 +117,16 @@ def record_run(
             "plan_cache_hits": metrics.plan_cache_hits,
             "salted_keys": metrics.salted_keys,
             "adaptive_decisions": metrics.adaptive_decisions,
+            # PR 9 cluster counters: worker-to-worker shuffle transfers and
+            # the driver-bypass guarantee (all 0 under the in-process
+            # executors; check_regression compares wall_seconds only, so
+            # baseline entries predating these keys stay comparable).
+            "cluster_fallbacks": metrics.cluster_fallbacks,
+            "resident_partition_reuses": metrics.resident_partition_reuses,
+            "driver_payload_bytes": metrics.driver_payload_bytes,
+            "worker_payload_fetches": metrics.worker_payload_fetches,
+            "worker_payload_bytes": metrics.worker_payload_bytes,
+            "worker_payload_local_reads": metrics.worker_payload_local_reads,
         }
     record_entry(entry)
 

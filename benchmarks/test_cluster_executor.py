@@ -1,0 +1,78 @@
+"""Cluster-mode rows for the machine-readable results file.
+
+Runs a shuffle-heavy subset of the Figure 3 workloads on a multi-process
+:class:`ClusterContext` and records them as ``system="cluster"`` entries in
+``BENCH_results.json``, alongside the existing ``diablo`` (in-process) rows.
+The recorded shuffle metrics include the PR 9 cluster counters, so the
+results file tracks how many bytes moved worker-to-worker and asserts the
+driver-bypass guarantee held (``driver_payload_bytes == 0``) for the runs
+behind each number.
+
+``check_regression.py`` compares ``wall_seconds`` only on keys present in
+both files, so baselines that predate the ``cluster`` system are unaffected.
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from benchmarks.conftest import CLUSTER_BENCH_WORKERS, record_run
+from repro.evaluation.harness import diablo_for
+from repro.programs import get_program
+from repro.runtime.cluster import ClusterContext
+from repro.workloads import workload_for_program
+
+#: Shuffle-heavy subset; sizes match the executor-comparison panels so the
+#: cluster rows are directly comparable to the in-process ``diablo`` rows.
+CLUSTER_BENCH_SIZES = {
+    "word_count": 2_000,
+    "group_by": 2_000,
+    "matrix_multiplication": 8,
+    "pagerank": 60,
+}
+
+
+@pytest.fixture(scope="module")
+def cluster_context():
+    with ClusterContext(num_partitions=4, cluster_workers=CLUSTER_BENCH_WORKERS) as context:
+        yield context
+
+
+@pytest.mark.parametrize("name", sorted(CLUSTER_BENCH_SIZES))
+def test_cluster_executor_panel(benchmark, name, cluster_context):
+    """One (workload, cluster) point: translated plan on live worker processes."""
+    size = CLUSTER_BENCH_SIZES[name]
+    spec = get_program(name)
+    inputs = workload_for_program(name, size)
+    compiled = diablo_for(spec, cluster_context).compile(spec.source)
+    timings: list[float] = []
+
+    def timed_round():
+        cluster_context.metrics.reset()
+        started = time.perf_counter()
+        value = compiled.run(**inputs)
+        timings.append(time.perf_counter() - started)
+        return value
+
+    benchmark.pedantic(timed_round, rounds=2, iterations=1)
+    metrics = cluster_context.metrics
+    assert metrics.cluster_fallbacks == 0, f"{name}: task batches fell back to the driver"
+    assert metrics.driver_payload_bytes == 0, f"{name}: payload bytes transited the driver"
+    record_run(
+        name,
+        size,
+        "cluster",
+        sum(timings) / len(timings),
+        cluster_context,
+        rounds=len(timings),
+        method="benchmark-mean",
+    )
+    benchmark.extra_info["program"] = name
+    benchmark.extra_info["size"] = size
+    benchmark.extra_info["system"] = "cluster"
+    benchmark.extra_info["cluster_workers"] = CLUSTER_BENCH_WORKERS
+    benchmark.extra_info["worker_payload_fetches"] = metrics.worker_payload_fetches
+    benchmark.extra_info["worker_payload_bytes"] = metrics.worker_payload_bytes
+    benchmark.extra_info["worker_payload_local_reads"] = metrics.worker_payload_local_reads

@@ -5,15 +5,15 @@ here the parallel column is the translated program on the local DISC runtime
 and the sequential column is the reference loop interpreter (see DESIGN.md).
 
 A third axis compares the runtime's executor modes (sequential / threads /
-processes) on a CPU-heavy subset, exercising the fused-stage dispatch path of
-each executor with identical plans.
+processes / cluster) on a CPU-heavy subset, exercising the fused-stage
+dispatch path of each executor with identical plans.
 """
 
 import pytest
 
+from benchmarks.conftest import ALL_EXECUTOR_MODES, make_context
 from repro.evaluation.harness import diablo_for
 from repro.programs import get_program, table2_program_names
-from repro.runtime.context import EXECUTOR_MODES, DistributedContext
 from repro.workloads import workload_for_program
 
 #: Smaller sizes than the evaluation harness so the bench suite stays fast.
@@ -86,9 +86,13 @@ def _record_shuffle_metrics(benchmark, context):
     benchmark.extra_info["combiner_hit_rate"] = round(metrics.combiner_hit_rate, 4)
     benchmark.extra_info["parallel_tasks"] = metrics.parallel_tasks
     benchmark.extra_info["join_strategies"] = dict(metrics.join_strategies)
+    benchmark.extra_info["cluster_fallbacks"] = metrics.cluster_fallbacks
+    benchmark.extra_info["driver_payload_bytes"] = metrics.driver_payload_bytes
+    benchmark.extra_info["worker_payload_fetches"] = metrics.worker_payload_fetches
+    benchmark.extra_info["worker_payload_local_reads"] = metrics.worker_payload_local_reads
 
 
-@pytest.mark.parametrize("executor", EXECUTOR_MODES)
+@pytest.mark.parametrize("executor", ALL_EXECUTOR_MODES)
 @pytest.mark.parametrize("name", EXECUTOR_COMPARISON_PROGRAMS)
 def test_translated_evaluation_by_executor(benchmark, name, executor):
     """The same translated plan under each executor mode.
@@ -99,11 +103,13 @@ def test_translated_evaluation_by_executor(benchmark, name, executor):
     operators (group/merge/join of shuffle buckets) are module-level stage
     chains that do pickle, so groupBy/join-heavy workloads now genuinely use
     the pool -- ``parallel_tasks`` records how many tasks crossed into an
-    executor.
+    executor.  ``"cluster"`` ships even the closure-laden map sides to
+    worker processes (the cluster wire pickles functions by value) and keeps
+    shuffle payloads worker-to-worker.
     """
     spec = get_program(name)
     inputs = workload_for_program(name, SIZES[name])
-    with DistributedContext(num_partitions=4, executor=executor) as context:
+    with make_context(executor) as context:
         diablo = diablo_for(spec, context)
         compiled = diablo.compile(spec.source)
         benchmark.pedantic(lambda: compiled.run(**inputs), rounds=2, iterations=1)
@@ -117,7 +123,7 @@ def _add(a, b):
     return a + b
 
 
-@pytest.mark.parametrize("executor", EXECUTOR_MODES)
+@pytest.mark.parametrize("executor", ALL_EXECUTOR_MODES)
 @pytest.mark.parametrize("name", ["group_by", "matrix_multiplication"])
 def test_wide_stage_workloads_by_executor(benchmark, name, executor):
     """Hand-written wide-stage pipelines (picklable stage functions), so every
@@ -126,7 +132,7 @@ def test_wide_stage_workloads_by_executor(benchmark, name, executor):
     from repro.baselines import get_baseline
 
     inputs = workload_for_program(name, SIZES[name])
-    with DistributedContext(num_partitions=4, executor=executor) as context:
+    with make_context(executor) as context:
         module = get_baseline(name)
         benchmark.pedantic(lambda: module.distributed(context, inputs), rounds=2, iterations=1)
         _record_shuffle_metrics(benchmark, context)
@@ -149,12 +155,12 @@ def _bucket_pair(value: float) -> tuple[int, float]:
     return (int(value) % 64, value)
 
 
-@pytest.mark.parametrize("executor", EXECUTOR_MODES)
+@pytest.mark.parametrize("executor", ALL_EXECUTOR_MODES)
 def test_picklable_pipeline_by_executor(benchmark, executor):
     """A fused map→filter chain plus a reduceByKey shuffle of module-level
     (picklable) functions: narrow map side, combiner, bucketing and the
     reduce side all cross the process boundary under ``"processes"``."""
-    with DistributedContext(num_partitions=4, executor=executor) as context:
+    with make_context(executor) as context:
         records = [float(i - 25_000) for i in range(50_000)]
 
         def run_once():

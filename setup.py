@@ -22,6 +22,7 @@ setup(
         "console_scripts": [
             "repro-eval=repro.evaluation.__main__:main",
             "repro-lint=repro.analysis.cli:main",
+            "repro-worker=repro.runtime.cluster.worker:main",
         ],
     },
     extras_require={

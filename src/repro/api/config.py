@@ -37,13 +37,22 @@ class DiabloConfig:
     """Every user-facing knob of the compiler and the runtime, in one place.
 
     Attributes:
-        executor_mode: ``"sequential"``, ``"threads"`` or ``"processes"``
-            (see :class:`~repro.runtime.context.DistributedContext`).
+        executor_mode: ``"sequential"``, ``"threads"``, ``"processes"``
+            (see :class:`~repro.runtime.context.DistributedContext`) or
+            ``"cluster"`` (multi-process workers over TCP; see
+            :class:`~repro.runtime.cluster.ClusterContext`).
         num_partitions: default number of partitions for datasets.
         num_threads: thread-pool size for ``executor_mode="threads"``
             (None = one thread per partition).
         num_processes: process-pool size for ``executor_mode="processes"``
             (None = ``min(num_partitions, cpu count)``).
+        cluster_workers: number of local worker subprocesses a
+            ``"cluster"`` context spawns when no address is given.
+        cluster_address: ``host:port`` a ``"cluster"`` context binds and
+            externally started ``repro-worker`` processes connect to
+            (``None`` = spawn a local cluster on an ephemeral port; the
+            ``DIABLO_CLUSTER_ADDRESS`` environment variable applies as a
+            fallback).
         broadcast_join_threshold: joins whose build side is at most this many
             records run as broadcast hash joins.
         spill_threshold_bytes: out-of-core shuffle budget -- estimated bytes
@@ -89,6 +98,8 @@ class DiabloConfig:
     num_partitions: int = 8
     num_threads: int | None = None
     num_processes: int | None = None
+    cluster_workers: int = 2
+    cluster_address: str | None = None
     broadcast_join_threshold: int = DEFAULT_BROADCAST_JOIN_THRESHOLD
     spill_threshold_bytes: int | None = None
     spill_dir: str | None = None
@@ -101,12 +112,19 @@ class DiabloConfig:
     strict: bool = False
 
     def __post_init__(self) -> None:
-        if self.executor_mode not in EXECUTOR_MODES:
+        # "cluster" is deliberately NOT in EXECUTOR_MODES: the in-process
+        # runtime never sees it (DistributedContext.from_config dispatches
+        # to ClusterContext first), and tests that parametrize over
+        # EXECUTOR_MODES should not silently start spawning clusters.
+        if self.executor_mode != "cluster" and self.executor_mode not in EXECUTOR_MODES:
             raise ValueError(
-                f"unknown executor_mode {self.executor_mode!r}; choose from {EXECUTOR_MODES}"
+                f"unknown executor_mode {self.executor_mode!r}; choose from "
+                f"{EXECUTOR_MODES + ('cluster',)}"
             )
         if self.num_partitions <= 0:
             raise ValueError("num_partitions must be positive")
+        if self.cluster_workers <= 0:
+            raise ValueError("cluster_workers must be positive")
         if self.spill_threshold_bytes is not None and self.spill_threshold_bytes <= 0:
             raise ValueError("spill_threshold_bytes must be positive (or None to disable)")
 
@@ -132,6 +150,8 @@ class DiabloConfig:
             self.num_partitions,
             self.num_threads,
             self.num_processes,
+            self.cluster_workers,
+            self.cluster_address,
             self.broadcast_join_threshold,
             self.spill_threshold_bytes,
             self.spill_dir,

@@ -111,5 +111,15 @@ class ExecutionError(DiabloError):
     """Raised when evaluating a plan or interpreting a loop program fails."""
 
 
+class WorkerLostError(ExecutionError):
+    """Raised by the cluster backend when a worker process dies mid-job.
+
+    A worker counts as lost when its control socket closes unexpectedly,
+    a request times out, or it stops answering heartbeats.  The cluster is
+    fail-fast (no lineage, no task retry), so losing a worker fails the
+    computation promptly instead of hanging on its resident state.
+    """
+
+
 class InterpreterError(ExecutionError):
     """Raised by the sequential loop-language interpreter."""

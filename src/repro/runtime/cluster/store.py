@@ -1,0 +1,229 @@
+"""Worker-side state: resident partitions, captured shuffle payloads, and the
+:class:`RemotePayload` handle that moves shuffle data worker-to-worker.
+
+Each worker process owns one :class:`WorkerStore`:
+
+* **Resident partitions** -- input partitions the driver shipped once and
+  addresses by ``(data_id, partition_index)`` afterwards, so re-scanning the
+  same dataset across stages costs a tiny reference instead of re-sending
+  the records.
+* **Captured payloads** -- the :class:`~repro.runtime.spill.BucketPayload`
+  outputs of map-side shuffle chains, keyed by
+  ``(capture_id, map_partition, bucket)``.  The driver only ever routes the
+  *descriptors* (:class:`RemotePayload`); the records stay put until the
+  reduce task that owns the bucket reads them -- locally when the map ran on
+  the same worker, over a peer fetch otherwise.  Shuffle data therefore
+  never passes through the driver.
+
+A :class:`RemotePayload` quacks like an in-memory ``BucketPayload`` (``runs``
+is the empty tuple, ``records`` materializes on first access), so the
+reduce-side processors in :mod:`repro.runtime.stage` stream it without
+knowing it crossed the network.  Collapsing a spilled payload to one flat
+record list preserves results: runs-then-remainder is exactly the record
+order the in-memory path produces, and both the streaming merge and the sort
+merge consume payloads in that order.
+"""
+
+from __future__ import annotations
+
+import socket
+import threading
+from typing import Any, Iterable
+
+from repro.errors import ExecutionError
+from repro.runtime.cluster import protocol
+from repro.runtime.spill import BucketPayload, iter_payload
+
+
+class WorkerStore:
+    """Partition / payload storage for one worker process (thread-safe: the
+    serve loop reads while the task loop writes)."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._partitions: dict[tuple[int, int], list[Any]] = {}
+        self._payloads: dict[tuple[int, int, int], BucketPayload] = {}
+        self.payload_fetches = 0
+        self.payload_fetch_bytes = 0
+        self.payload_local_reads = 0
+
+    # -- resident partitions ------------------------------------------------
+
+    def put_partition(self, data_id: int, index: int, records: list[Any]) -> None:
+        with self._lock:
+            self._partitions[(data_id, index)] = records
+
+    def get_partition(self, data_id: int, index: int) -> list[Any]:
+        with self._lock:
+            try:
+                return self._partitions[(data_id, index)]
+            except KeyError:
+                raise ExecutionError(
+                    f"worker has no resident partition ({data_id}, {index}); "
+                    "the driver's push cache and this store disagree"
+                ) from None
+
+    # -- captured shuffle payloads ------------------------------------------
+
+    def put_payload(self, key: tuple[int, int, int], payload: BucketPayload) -> None:
+        with self._lock:
+            self._payloads[key] = payload
+
+    def get_payload(self, key: tuple[int, int, int]) -> BucketPayload | None:
+        with self._lock:
+            return self._payloads.get(key)
+
+    def free(self, data_ids: Iterable[int] = (), capture_ids: Iterable[int] = ()) -> int:
+        """Drop resident partitions / captured payloads; returns entries freed."""
+        dropped = 0
+        data_ids = set(data_ids)
+        capture_ids = set(capture_ids)
+        with self._lock:
+            for key in [k for k in self._partitions if k[0] in data_ids]:
+                del self._partitions[key]
+                dropped += 1
+            for pkey in [k for k in self._payloads if k[0] in capture_ids]:
+                del self._payloads[pkey]
+                dropped += 1
+        return dropped
+
+    def resident_counts(self) -> tuple[int, int]:
+        """``(resident partitions, captured payloads)`` currently held."""
+        with self._lock:
+            return len(self._partitions), len(self._payloads)
+
+    def drain_counters(self) -> dict[str, int]:
+        """The payload-transfer counters since the last drain."""
+        with self._lock:
+            counters = {
+                "payload_fetches": self.payload_fetches,
+                "payload_fetch_bytes": self.payload_fetch_bytes,
+                "payload_local_reads": self.payload_local_reads,
+            }
+            self.payload_fetches = 0
+            self.payload_fetch_bytes = 0
+            self.payload_local_reads = 0
+            return counters
+
+
+#: The store of the worker process we are running in (None in the driver).
+_ACTIVE_STORE: WorkerStore | None = None
+_ACTIVE_ADDRESS: str | None = None
+
+
+def set_active_store(store: WorkerStore | None, address: str | None) -> None:
+    """Install ``store`` as this process's worker store (worker startup)."""
+    global _ACTIVE_STORE, _ACTIVE_ADDRESS
+    _ACTIVE_STORE = store
+    _ACTIVE_ADDRESS = address
+
+
+#: Payload traffic that crossed *through the driver process* (reduce inputs
+#: fetched by a driver-side fallback).  Zero in a healthy cluster run.
+_DRIVER_FETCHES = {"fetches": 0, "bytes": 0}
+_DRIVER_FETCH_LOCK = threading.Lock()
+
+
+def drain_driver_fetch_counters() -> tuple[int, int]:
+    """``(fetches, bytes)`` pulled into the driver since the last drain."""
+    with _DRIVER_FETCH_LOCK:
+        fetches, fetched = _DRIVER_FETCHES["fetches"], _DRIVER_FETCHES["bytes"]
+        _DRIVER_FETCHES["fetches"] = 0
+        _DRIVER_FETCHES["bytes"] = 0
+        return fetches, fetched
+
+
+class _FetchConnections:
+    """A per-process cache of peer-fetch sockets, one per serve address."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._sockets: dict[str, socket.socket] = {}
+
+    def fetch(self, address: str, key: tuple[int, int, int]) -> tuple[list[Any], int]:
+        """``(records, frame_bytes)`` for one stored payload on a peer."""
+        with self._lock:
+            sock = self._sockets.pop(address, None)
+        try:
+            if sock is None:
+                sock = socket.create_connection(protocol.parse_address(address), timeout=60.0)
+            protocol.send_message(sock, protocol.FETCH_PAYLOAD, {"key": key})
+            message_type, payload, frame_bytes = protocol.recv_message_sized(sock)
+        except (OSError, protocol.ProtocolError):
+            if sock is not None:
+                sock.close()
+            raise
+        if message_type != protocol.PAYLOAD or not payload.get("found", False):
+            sock.close()
+            raise ExecutionError(
+                f"peer {address} could not serve payload {key}: got {message_type}"
+            )
+        with self._lock:
+            previous = self._sockets.setdefault(address, sock)
+        if previous is not sock:  # pragma: no cover - concurrent fetches to one peer
+            sock.close()
+        return payload["records"], frame_bytes
+
+    def close(self) -> None:
+        with self._lock:
+            for sock in self._sockets.values():
+                sock.close()
+            self._sockets.clear()
+
+
+_FETCH_CONNECTIONS = _FetchConnections()
+
+
+class RemotePayload:
+    """A shuffle bucket payload that still lives on the worker that wrote it.
+
+    Duck-types the in-memory :class:`~repro.runtime.spill.BucketPayload`
+    surface the reduce processors use: ``runs`` (always empty -- spilled runs
+    were written on the *producing* worker's filesystem and are streamed by
+    it at fetch time), ``records`` (materialized on first access and cached,
+    because the sorted-merge path reads it twice), and ``record_count``
+    (known without any transfer, so the driver can route buckets for free).
+    """
+
+    __slots__ = ("address", "key", "record_count", "_records")
+
+    #: No local spill runs, ever: remote data arrives as one record block.
+    runs: tuple = ()
+
+    def __init__(self, address: str, key: tuple[int, int, int], record_count: int):
+        self.address = address
+        self.key = key
+        self.record_count = record_count
+        self._records = None
+
+    @property
+    def records(self) -> tuple[Any, ...]:
+        if self._records is None:
+            self._records = tuple(self._resolve())
+        return self._records
+
+    def _resolve(self) -> list[Any]:
+        store = _ACTIVE_STORE
+        if store is not None and _ACTIVE_ADDRESS == self.address:
+            payload = store.get_payload(self.key)
+            if payload is None:
+                raise ExecutionError(f"local payload {self.key} missing from the worker store")
+            store.payload_local_reads += 1
+            return list(iter_payload(payload))
+        records, frame_bytes = _FETCH_CONNECTIONS.fetch(self.address, self.key)
+        if store is not None:
+            with store._lock:
+                store.payload_fetches += 1
+                store.payload_fetch_bytes += frame_bytes
+        else:
+            # No worker store: this payload was just pulled into the driver.
+            with _DRIVER_FETCH_LOCK:
+                _DRIVER_FETCHES["fetches"] += 1
+                _DRIVER_FETCHES["bytes"] += frame_bytes
+        return records
+
+    def __reduce__(self) -> tuple:
+        return (RemotePayload, (self.address, self.key, self.record_count))
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"RemotePayload({self.address}, key={self.key}, records={self.record_count})"

@@ -155,6 +155,13 @@ class DistributedContext:
             results.
     """
 
+    #: Whether an unspilled shuffle's reduce side must still go through
+    #: :meth:`run_tasks`.  False here (in-memory payloads concatenate for
+    #: free in the driver); the cluster backend overrides it to True because
+    #: its routed payloads are worker-resident references that only a task
+    #: should resolve.
+    _reduce_in_tasks = False
+
     def __init__(
         self,
         num_partitions: int = 8,
@@ -201,6 +208,10 @@ class DistributedContext:
         :class:`repro.api.DiabloConfig`) so the runtime layer does not depend
         on the api layer.
         """
+        if getattr(config, "executor_mode", None) == "cluster" and cls is DistributedContext:
+            from repro.runtime.cluster.context import ClusterContext
+
+            return ClusterContext.from_config(config)
         return cls(
             num_partitions=config.num_partitions,
             executor=config.executor_mode,
@@ -645,7 +656,10 @@ class DistributedContext:
                 spill_files += stats.spill_files
                 peak_memory = max(peak_memory, stats.peak_memory)
                 for bucket_index, payload in enumerate(output[1:]):
-                    if payload.runs or payload.records:
+                    # record_count rather than runs/records truthiness: a
+                    # cluster RemotePayload knows its count for free, while
+                    # touching .records would fetch it over the network.
+                    if payload.record_count:
                         merged[bucket_index].append(payload)
             if shuffle_input.captured_operators:
                 self.metrics.record_fused(shuffle_input.captured_operators)
@@ -668,9 +682,11 @@ class DistributedContext:
                 task_spec=shuffle.reduce_stages,
             )
             reduce_tasks = len(merged)
-        elif spill is not None:
+        elif spill is not None or self._reduce_in_tasks:
             # The routed payloads *are* the result (repartition/partitionBy),
             # but spilled runs still need reading -- a real reduce pass.
+            # The cluster backend forces this path even without spilling:
+            # its payloads are remote references that workers resolve.
             read_stages = (NarrowStage(stage_mod.PARTITIONS, stage_mod.read_bucket),)
             result = self.run_tasks(
                 stage_mod.compose(read_stages), merged, task_spec=read_stages

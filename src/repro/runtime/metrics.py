@@ -95,6 +95,26 @@ class Metrics:
     #: Force-time adaptive execution decisions taken (salting, map-side
     #: grouping, histogram-driven range bounds, broadcast re-decisions).
     adaptive_decisions: int = 0
+    #: Cluster-mode task batches that ran in the driver instead of on workers
+    #: (no task_spec, or a chain that could not cross the wire).  0 under the
+    #: three in-process executors.
+    cluster_fallbacks: int = 0
+    #: Partitions served from the workers' resident stores instead of being
+    #: re-shipped by the driver (cluster-mode push-cache hits).
+    resident_partition_reuses: int = 0
+    #: Serialized shuffle-payload bytes that passed *through the driver* in
+    #: cluster mode.  Zero in a healthy cluster run: reduce inputs move
+    #: worker-to-worker, and this counter only grows when a driver fallback
+    #: produced or consumed real payloads.
+    driver_payload_bytes: int = 0
+    #: Shuffle bucket payloads a cluster worker fetched from a peer worker's
+    #: serve socket (the worker-to-worker shuffle transfers).
+    worker_payload_fetches: int = 0
+    #: Serialized frame bytes moved by those worker-to-worker fetches.
+    worker_payload_bytes: int = 0
+    #: Shuffle bucket payloads a cluster worker read from its own store
+    #: (map and reduce for that bucket landed on the same worker).
+    worker_payload_local_reads: int = 0
     #: Per-operation shuffle counts (operation name -> count).
     shuffle_operations: dict[str, int] = field(default_factory=dict)
     #: Chosen join strategies ("broadcast" / "shuffle" / "cartesian" -> count).
@@ -218,6 +238,24 @@ class Metrics:
         """Account for ``tasks`` tasks dispatched to a worker pool."""
         self.parallel_tasks += tasks
 
+    def record_cluster_fallback(self) -> None:
+        """Account for one cluster-mode task batch executed in the driver."""
+        self.cluster_fallbacks += 1
+
+    def record_resident_reuse(self, partitions: int) -> None:
+        """Account for ``partitions`` partitions reused from worker stores."""
+        self.resident_partition_reuses += partitions
+
+    def record_driver_payload(self, payload_bytes: int) -> None:
+        """Account for shuffle-payload bytes that crossed through the driver."""
+        self.driver_payload_bytes += payload_bytes
+
+    def record_worker_payload(self, fetches: int, fetch_bytes: int, local_reads: int) -> None:
+        """Merge one worker's payload-transfer counters into the driver view."""
+        self.worker_payload_fetches += fetches
+        self.worker_payload_bytes += fetch_bytes
+        self.worker_payload_local_reads += local_reads
+
     def record_dataset(self) -> None:
         self.datasets_created += 1
 
@@ -253,6 +291,12 @@ class Metrics:
         self.plan_cache_hits = 0
         self.salted_keys = 0
         self.adaptive_decisions = 0
+        self.cluster_fallbacks = 0
+        self.resident_partition_reuses = 0
+        self.driver_payload_bytes = 0
+        self.worker_payload_fetches = 0
+        self.worker_payload_bytes = 0
+        self.worker_payload_local_reads = 0
         self.shuffle_operations = {}
         self.join_strategies = {}
         self.shuffle_stage_log = []
@@ -293,6 +337,12 @@ class Metrics:
             "plan_cache_hits": self.plan_cache_hits,
             "salted_keys": self.salted_keys,
             "adaptive_decisions": self.adaptive_decisions,
+            "cluster_fallbacks": self.cluster_fallbacks,
+            "resident_partition_reuses": self.resident_partition_reuses,
+            "driver_payload_bytes": self.driver_payload_bytes,
+            "worker_payload_fetches": self.worker_payload_fetches,
+            "worker_payload_bytes": self.worker_payload_bytes,
+            "worker_payload_local_reads": self.worker_payload_local_reads,
             "broadcast_joins": self.join_strategies.get("broadcast", 0),
             "shuffle_joins": self.join_strategies.get("shuffle", 0),
         }
