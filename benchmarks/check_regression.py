@@ -137,6 +137,13 @@ TRACKED_STRUCTURAL_COUNTERS = (
     "plan_cache_hits",
     "salted_keys",
     "adaptive_decisions",
+    # PR 10: columnar coverage -- baseline entries recorded before these
+    # counters existed compare as "n/a" (see below), never as drift.
+    "vectorized_stages",
+    "columnar_fallbacks",
+    "columnar_memoized_skips",
+    "columnar_resident_reuses",
+    "columnar_vector_bucket_tasks",
 )
 
 

@@ -111,6 +111,12 @@ def record_run(
             # as batch kernels (0 whenever columnar execution is off).
             "vectorized_stages": metrics.vectorized_stages,
             "columnar_fallbacks": metrics.columnar_fallbacks,
+            # PR 10 batch-runtime counters: conversion-tax bookkeeping for
+            # the columnar engine (memoized fallback skips, resident
+            # partition reuses across forces, vectorized bucket tasks).
+            "columnar_memoized_skips": metrics.columnar_memoized_skips,
+            "columnar_resident_reuses": metrics.columnar_resident_reuses,
+            "columnar_vector_bucket_tasks": metrics.columnar_vector_bucket_tasks,
             # PR 7 adaptive counters: plan-skeleton reuse across loop
             # iterations plus the runtime's skew decisions (salted hot keys,
             # map-side grouping, histogram ranges, broadcast re-decisions).

@@ -304,7 +304,12 @@ class TermEvaluator:
             return evaluator.evaluate_local(head, {**base, **row})
 
         head_fn = vectorize.head_map(
-            head, frozenset(build.bound_order), base, self._scope_values, project_head
+            head,
+            frozenset(build.bound_order),
+            base,
+            self._scope_values,
+            project_head,
+            self.env.functions,
         )
         head_key_term = None
         if isinstance(head, ir.CTuple) and len(head.elements) == 2:
@@ -454,9 +459,12 @@ class TermEvaluator:
                 def expand_local(row: dict[str, Any]) -> list[dict[str, Any]]:
                     return [{**row, **_bind_pattern(pattern, element)} for element in bag]
 
+                flat_fn = vectorize.extend_flat_map(
+                    [_bind_pattern(pattern, element) for element in bag], expand_local
+                )
                 node = NarrowNode(
                     kind=plan_mod.FLAT_MAP,
-                    function=expand_local,
+                    function=flat_fn or expand_local,
                     child=build.rows,
                     describe=f"expand local {domain}",
                 )
@@ -753,7 +761,13 @@ class TermEvaluator:
             return {**row, **_bind_pattern(pattern, value)}
 
         let_fn = vectorize.let_map(
-            pattern, term, frozenset(build.bound_order), base, self._scope_values, add_binding
+            pattern,
+            term,
+            frozenset(build.bound_order),
+            base,
+            self._scope_values,
+            add_binding,
+            self.env.functions,
         )
         node = NarrowNode(
             kind=plan_mod.MAP,
@@ -787,7 +801,12 @@ class TermEvaluator:
             return bool(evaluator.evaluate_local(term, {**base, **row}))
 
         filter_fn = vectorize.row_filter(
-            term, frozenset(build.bound_order), base, self._scope_values, keep_row
+            term,
+            frozenset(build.bound_order),
+            base,
+            self._scope_values,
+            keep_row,
+            self.env.functions,
         )
         node = NarrowNode(
             kind=plan_mod.FILTER,
@@ -847,6 +866,7 @@ class TermEvaluator:
                 base,
                 self._scope_values,
                 key_value_row,
+                self.env.functions,
             )
 
             self.trace.append(f"group-by on {key_term} compiled to reduceByKey({op})")

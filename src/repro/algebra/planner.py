@@ -46,6 +46,7 @@ from repro.algebra.plan import (
     ReduceByKeyNode,
     ScanNode,
 )
+from repro.algebra import vectorize
 from repro.comprehension import ir
 from repro.errors import ExecutionError
 from repro.translate.target import TargetAssign
@@ -491,9 +492,14 @@ class Planner:
             context.metrics.record_broadcast()
             context.metrics.record_join_strategy("broadcast")
             node.notes.append("broadcast right side")
-            return rows.flat_map(
-                lambda row: [{**row, **bind(element)} for element in elements]
+
+            def expand_broadcast(row: dict[str, Any]) -> list[dict[str, Any]]:
+                return [{**row, **bind(element)} for element in elements]
+
+            flat_fn = vectorize.extend_flat_map(
+                [bind(element) for element in elements], expand_broadcast
             )
+            return rows.flat_map(flat_fn or expand_broadcast)
         if side == "left":
             row_list = rows.collect()
             context.metrics.record_broadcast()

@@ -6,9 +6,9 @@ Two complementary entry points:
   (no data, no planner) and mirrors the evaluator's join-detection logic to
   predict the plan shape.  It flags products -- dataset generators the
   evaluator will pair without an equi-join key (``D501``) -- and, when the
-  configuration enables columnar execution, comprehensions whose expressions
-  fall outside the vectorizable kernel set and silently run row-at-a-time
-  (``D504``).
+  configuration *explicitly* sets ``columnar=True`` (not the self-selecting
+  ``"auto"`` default), comprehensions whose expressions fall outside the
+  vectorizable kernel set and silently run row-at-a-time (``D504``).
 * :func:`lint_plan` walks an actual lowered :class:`~repro.algebra.plan.PlanNode`
   tree and reads the planner's own annotations: hash joins where *neither*
   side could reuse an existing placement -- so both sides shuffle -- are
@@ -128,7 +128,12 @@ class _TargetLinter:
                 self._walk(qualifier.term)
             elif isinstance(qualifier, ir.GroupBy):
                 bound.update(qualifier.pattern.variables())
-        if getattr(self.config, "columnar", False):
+        # Only explicit columnar=True warrants fallback warnings: the user
+        # asked for batch execution and these stages won't deliver it.  The
+        # default "auto" mode self-selects fully lowerable chains and runs
+        # everything else record-at-a-time with no conversion tax, so there
+        # is nothing to warn about.
+        if getattr(self.config, "columnar", False) is True:
             self._lint_columnar(comp, bound)
         self._walk(comp.head)
 

@@ -69,9 +69,15 @@ class DiabloConfig:
         columnar: columnar vectorized execution -- recognized narrow chains
             and map-side combiners run as batch kernels over unzipped
             column arrays, with per-partition fallback to the record path
-            (see :mod:`repro.runtime.columnar`).  Affects performance and
-            the ``vectorized_stages``/``columnar_fallbacks`` counters only,
-            never results.
+            (see :mod:`repro.runtime.columnar`).  ``"auto"`` (default)
+            batches only fully lowerable chains (plan-time cost model plus
+            runtime fallback memoization, so partial chains never pay the
+            conversion tax); ``True`` batches every vectorizable run;
+            ``False`` keeps everything record-at-a-time.  The
+            ``DIABLO_COLUMNAR`` environment variable applies as a fallback
+            at the raw ``DistributedContext`` layer.  Affects performance
+            and the ``vectorized_stages``/``columnar_fallbacks`` counters
+            only, never results.
         adaptive: adaptive skew-aware execution -- shuffle inputs are
             sampled at force time; hot keys in keyed reductions are salted
             into per-task partials with an exact driver-side final fold,
@@ -104,7 +110,7 @@ class DiabloConfig:
     spill_threshold_bytes: int | None = None
     spill_dir: str | None = None
     plan_optimize: bool = True
-    columnar: bool = False
+    columnar: bool | str = "auto"
     adaptive: bool = True
     plan_cache: bool = True
     check_restrictions: bool = True
@@ -127,6 +133,8 @@ class DiabloConfig:
             raise ValueError("cluster_workers must be positive")
         if self.spill_threshold_bytes is not None and self.spill_threshold_bytes <= 0:
             raise ValueError("spill_threshold_bytes must be positive (or None to disable)")
+        if self.columnar not in (True, False, "auto"):
+            raise ValueError('columnar must be True, False or "auto"')
 
     def replace(self, **overrides: Any) -> "DiabloConfig":
         """A copy with the given fields changed; unknown names raise TypeError."""

@@ -244,7 +244,7 @@ class ClusterContext(DistributedContext):
             spill_threshold_bytes=config.spill_threshold_bytes,
             spill_dir=config.spill_dir,
             plan_optimize=getattr(config, "plan_optimize", True),
-            columnar=getattr(config, "columnar", False),
+            columnar=getattr(config, "columnar", None),
             adaptive=getattr(config, "adaptive", True),
             plan_cache=getattr(config, "plan_cache", True),
         )

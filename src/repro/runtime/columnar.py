@@ -13,13 +13,22 @@ This module executes such chains one *partition* at a time instead:
   for tuple records such as ``((i, j), v)``, ``("dict", names, (...))`` for
   the row dicts the comprehension evaluator binds.
 * :class:`Expr` trees (:class:`Col` / :class:`Ref` / :class:`Lit` /
-  :class:`BinOp` / :class:`UnOp`) evaluate a scalar term over every record at
-  once, with exactly the semantics of :func:`repro.operators.apply_binary`.
+  :class:`BinOp` / :class:`UnOp` / :class:`Call`) evaluate a scalar term over
+  every record at once, with exactly the semantics of
+  :func:`repro.operators.apply_binary` -- including true/integer division and
+  modulo (``/`` and ``%`` fall back on zero divisors and on integer ranges
+  where numpy's double rounding could diverge) and the pure scalar builtins
+  in :data:`VECTOR_CALL_IMPLS` (``abs``/``min``/``max``).
 * :class:`VectorizedMap` / :class:`VectorizedFilter` /
-  :class:`VectorizedMapValues` / :class:`VectorizedBind` are *callable record
-  functions* that additionally carry an ``apply_batch`` kernel, and
-  :func:`combine_batch` is the grouped-fold kernel behind vectorized
-  ``("reduce", fn)`` / ``("seq", zero, seq_op)`` map-side combiners.
+  :class:`VectorizedMapValues` / :class:`VectorizedBind` /
+  :class:`VectorizedFlatMap` are *callable record functions* that
+  additionally carry an ``apply_batch`` kernel (flat_map covers the
+  constant-fan-out shapes the evaluator and planner emit: tuple-of-heads
+  expansion and row extension with literal bindings), and
+  :func:`combine_batch` is the grouped kernel behind vectorized
+  ``("reduce", fn)`` / ``("seq", zero, seq_op)`` map-side combiners as well
+  as the ``("group",)`` grouped-collect used by high-duplication
+  ``group_by_key``.
 
 **The record path is the oracle.**  Every vectorized function holds the
 original record-at-a-time closure (``oracle``) and delegates ``__call__`` to
@@ -55,14 +64,27 @@ SCALAR_TYPES = (bool, int, float, str)
 #: to float64 (when the other operand is a float) is lossless.
 _INT_OP_BOUND = 2**31
 
-#: Binary operators with a batch kernel.  ``/`` and ``%`` are excluded on
-#: purpose: ``apply_binary`` gives ``/`` mixed int/float semantics that have
-#: no faithful fixed-dtype equivalent.
-SUPPORTED_BINOPS = frozenset({"+", "-", "*", "==", "!=", "<", "<=", ">", ">=", "&&", "||"})
+#: Binary operators with a batch kernel.  ``/`` and ``%`` vectorize with
+#: guards mirroring ``apply_binary``'s mixed int/float semantics: any zero
+#: divisor falls back (the record replay raises the canonical
+#: ZeroDivisionError), integer division batches only when every pair divides
+#: exactly (int result) or none does (float result), and int operands stay
+#: inside the exact-arithmetic window so int64/float64 conversions and
+#: rounding match CPython's arbitrary-precision results bit for bit.
+SUPPORTED_BINOPS = frozenset(
+    {"+", "-", "*", "/", "%", "==", "!=", "<", "<=", ">", ">=", "&&", "||"}
+)
 SUPPORTED_UNOPS = frozenset({"-", "!"})
 
 #: Monoid operators :func:`combine_batch` can fold with a ufunc.
 VECTOR_COMBINE_OPS = frozenset({"+", "*", "min", "max"})
+
+#: Pure scalar builtins with a batch kernel.  The values are the exact
+#: callables :mod:`repro.functions` registers under these names; the lowering
+#: only emits a :class:`Call` when the program's registry entry *is* the
+#: matching builtin, so a re-registered function can never diverge from its
+#: kernel.
+VECTOR_CALL_IMPLS: dict[str, Callable[..., Any]] = {"abs": abs, "min": min, "max": max}
 
 
 class ColumnarFallback(Exception):
@@ -399,6 +421,8 @@ def batch_binop(op: str, left: Any, right: Any, length: int) -> Any:
         ufunc = {"+": np.add, "-": np.subtract, "*": np.multiply}[op]
         with np.errstate(all="ignore"):
             return ufunc(left, right)
+    if op in ("/", "%"):
+        return _batch_divmod(op, left, right, kinds)
     # Comparisons.  A str operand against a numeric one has Python semantics
     # (== is False, < raises) that numpy's promotion rules do not replicate.
     if "s" in kinds and kinds != {"s"}:
@@ -407,6 +431,118 @@ def batch_binop(op: str, left: Any, right: Any, length: int) -> Any:
     _guard_int(right)
     with np.errstate(all="ignore"):
         return getattr(np, _CMP_UFUNCS[op])(left, right)
+
+
+def _batch_divmod(op: str, left: Any, right: Any, kinds: set[str]) -> Any:
+    """The ``/`` and ``%`` kernels (numpy backend; at least one ndarray operand).
+
+    ``apply_binary`` gives ``/`` layered semantics: exactly-divisible int
+    pairs yield an int quotient, everything else true-divides, and a zero
+    divisor raises ZeroDivisionError (for floats too -- ``1.0 / 0.0`` raises
+    in Python where IEEE would give inf).  The kernel batches only the cases
+    a fixed dtype represents faithfully and falls back on the rest; the
+    record replay then reproduces both the canonical values *and* the
+    canonical errors.
+    """
+    if "b" in kinds:
+        # Python promotes bools to int (True / True == 1); numpy's bool
+        # division semantics differ.  Never vectorize it.
+        raise ColumnarFallback("bool arithmetic")
+    if "s" in kinds:
+        raise ColumnarFallback("string operand in division")
+    if _is_column(right):
+        has_zero = bool((np.asarray(right) == 0).any())
+    else:
+        has_zero = right == 0
+    if has_zero:
+        # Includes -0.0 divisors: Python raises ZeroDivisionError where
+        # numpy would produce +/-inf (or 0 for integer columns).
+        raise ColumnarFallback("zero divisor")
+    if kinds == {"i"}:
+        # Keep int64/float64 conversions exact: CPython's int/int true
+        # division is correctly rounded from the exact rationals, while
+        # numpy converts each int64 to float64 *first* (double rounding
+        # beyond 2**53).  Inside the window both agree bit for bit.
+        _guard_int(left)
+        _guard_int(right)
+        if op == "/":
+            with np.errstate(all="ignore"):
+                remainder = np.mod(left, right)
+            exact = remainder == 0
+            if bool(np.all(exact)):
+                with np.errstate(all="ignore"):
+                    return np.floor_divide(left, right)
+            if bool(np.any(exact)):
+                # Python yields int for the exact pairs and float for the
+                # rest; no single dtype holds that column.
+                raise ColumnarFallback("mixed exact/inexact integer division")
+    with np.errstate(all="ignore"):
+        return np.true_divide(left, right) if op == "/" else np.mod(left, right)
+
+
+def batch_call(function: str, operands: list[Any], length: int) -> Any:
+    """Apply one whitelisted scalar builtin (``abs``/``min``/``max``) batchwise.
+
+    Mirrors the Python builtins exactly or raises :class:`ColumnarFallback`:
+    ``abs`` keeps int results int (int64's minimum cannot be negated, so it
+    falls back); ``min``/``max`` return the *first* extremal argument under
+    Python's comparison rules, so mixed dtypes (Python preserves the winning
+    operand's type), NaN (Python's result depends on argument order) and
+    signed zeros (numpy orders them, Python keeps the first seen) all fall
+    back to the record path.
+    """
+    impl = VECTOR_CALL_IMPLS.get(function)
+    if impl is None:
+        raise ColumnarFallback(f"no batch kernel for call {function!r}")
+    if not any(_is_column(operand) for operand in operands):
+        return impl(*operands)
+    if np is None or not any(
+        isinstance(operand, np.ndarray) for operand in operands
+    ):
+        columns = [
+            operand if isinstance(operand, list) else [operand] * length
+            for operand in operands
+        ]
+        return [impl(*values) for values in zip(*columns, strict=False)]
+
+    kinds = {_kind(operand) for operand in operands}
+    if function == "abs":
+        (operand,) = operands
+        kind = kinds.pop()
+        if kind == "i":
+            if operand.size and operand.min() == np.iinfo(np.int64).min:
+                raise ColumnarFallback("int64 minimum has no exact absolute value")
+            return np.abs(operand)
+        if kind == "f":
+            return np.abs(operand)
+        raise ColumnarFallback(f"abs over column kind {kind!r}")
+    # min / max with explicit scalar arguments.  A single argument means the
+    # builtin iterates it (a bag reduction), which is not this kernel's job.
+    if len(operands) < 2:
+        raise ColumnarFallback("min/max needs at least two scalar arguments")
+    if len(kinds) != 1:
+        raise ColumnarFallback("mixed-type min/max")
+    kind = kinds.pop()
+    if kind not in ("i", "f"):
+        raise ColumnarFallback(f"min/max over column kind {kind!r}")
+    if kind == "f":
+        for operand in operands:
+            if _is_column(operand):
+                if np.isnan(operand).any():
+                    raise ColumnarFallback("NaN under min/max")
+                if ((operand == 0.0) & np.signbit(operand)).any():
+                    raise ColumnarFallback("negative zero under min/max")
+            elif isinstance(operand, float):
+                if operand != operand:
+                    raise ColumnarFallback("NaN under min/max")
+                if operand == 0.0 and math.copysign(1.0, operand) < 0.0:
+                    raise ColumnarFallback("negative zero under min/max")
+    ufunc = np.minimum if function == "min" else np.maximum
+    result = operands[0]
+    with np.errstate(all="ignore"):
+        for operand in operands[1:]:
+            result = ufunc(result, operand)
+    return result
 
 
 def batch_unop(op: str, operand: Any, length: int) -> Any:
@@ -562,6 +698,31 @@ class UnOp(Expr):
         return f"{self.op}({self.operand!r})"
 
 
+class Call(Expr):
+    """A call to a whitelisted pure scalar builtin (``abs``/``min``/``max``).
+
+    Only constructed by the lowering after checking the program's function
+    registry still maps ``function`` to the exact builtin in
+    :data:`VECTOR_CALL_IMPLS`; the record path applies that same builtin, so
+    both paths share one implementation.
+    """
+
+    def __init__(self, function: str, args: Iterable[Expr]):
+        self.function = function
+        self.args = tuple(args)
+
+    def batch(self, part: ColumnarPartition, scope: ScalarScope) -> Any:
+        operands = [arg.batch(part, scope) for arg in self.args]
+        return batch_call(self.function, operands, part.length)
+
+    def record(self, record: Any, scope: ScalarScope) -> Any:
+        impl = VECTOR_CALL_IMPLS[self.function]
+        return impl(*(arg.record(record, scope) for arg in self.args))
+
+    def __repr__(self) -> str:
+        return f"Call({self.function}, {self.args!r})"
+
+
 class OutTuple:
     """A tuple-shaped output spec for :class:`VectorizedMap`."""
 
@@ -603,6 +764,53 @@ class VectorizedFunction:
         raise NotImplementedError
 
 
+def _build_output(spec: Any, part: ColumnarPartition, scope: ScalarScope) -> tuple[Any, list[Any]]:
+    """Evaluate one output spec over a partition: ``(template, columns)``."""
+    if isinstance(spec, Col):
+        sub = part.subpart(spec.path)
+        return sub.template, list(sub.columns)
+    if isinstance(spec, OutTuple):
+        templates = []
+        columns: list[Any] = []
+        for element in spec.specs:
+            template, element_columns = _build_output(element, part, scope)
+            templates.append(template)
+            columns.extend(element_columns)
+        return ("tuple", tuple(templates)), columns
+    column = spec.batch(part, scope)
+    if not _is_column(column):
+        column = _broadcast(column, part.length)
+    return "*", [column]
+
+
+def _record_output(spec: Any, record: Any, scope: ScalarScope) -> Any:
+    """Evaluate one output spec for a single record (the oracle shape)."""
+    if isinstance(spec, OutTuple):
+        return tuple(_record_output(element, record, scope) for element in spec.specs)
+    return spec.record(record, scope)
+
+
+def _interleave(columns: list[Any], count: int, fan_out: int) -> Any:
+    """Merge ``fan_out`` per-copy columns so copy ``j`` of record ``i`` lands
+    at output position ``i * fan_out + j`` (the record path's emission order).
+    """
+    if np is not None and all(isinstance(column, np.ndarray) for column in columns):
+        dtypes = {column.dtype for column in columns}
+        if len(dtypes) != 1:
+            # e.g. a constant bag mixing ints and floats: the record path
+            # binds exact per-element types no single dtype represents.
+            raise ColumnarFallback("mixed column dtypes across flat_map copies")
+        out = np.empty(count * fan_out, dtype=dtypes.pop())
+        for j, column in enumerate(columns):
+            out[j::fan_out] = column
+        return out
+    merged = [None] * (count * fan_out)
+    for j, column in enumerate(columns):
+        values = _column_list(column)
+        merged[j::fan_out] = values
+    return merged
+
+
 class VectorizedMap(VectorizedFunction):
     """A ``map`` whose output is built from expressions and spliced columns.
 
@@ -618,25 +826,11 @@ class VectorizedMap(VectorizedFunction):
         self.scope = scope or ScalarScope()
 
     def apply_batch(self, part: ColumnarPartition) -> ColumnarPartition:
-        template, columns = self._build(self.out, part)
+        template, columns = _build_output(self.out, part, self.scope)
         return ColumnarPartition(template, columns, part.length)
 
     def _build(self, spec: Any, part: ColumnarPartition) -> tuple[Any, list[Any]]:
-        if isinstance(spec, Col):
-            sub = part.subpart(spec.path)
-            return sub.template, list(sub.columns)
-        if isinstance(spec, OutTuple):
-            templates = []
-            columns: list[Any] = []
-            for element in spec.specs:
-                template, element_columns = self._build(element, part)
-                templates.append(template)
-                columns.extend(element_columns)
-            return ("tuple", tuple(templates)), columns
-        column = spec.batch(part, self.scope)
-        if not _is_column(column):
-            column = _broadcast(column, part.length)
-        return "*", [column]
+        return _build_output(spec, part, self.scope)
 
     def apply_record(self, record: Any) -> Any:
         return self._record_value(self.out, record)
@@ -782,6 +976,97 @@ class VectorizedLet(VectorizedFunction):
         return {**row, self.name: self.expr.record(row, self.scope)}
 
 
+class VectorizedFlatMap(VectorizedFunction):
+    """A ``flat_map`` with a statically-known (spec-driven) expansion.
+
+    Two spec shapes cover the constant-fan-out expansions the compiler
+    emits:
+
+    * ``("tuple", (out_0, ..., out_{k-1}))`` -- every record emits ``k``
+      records, the ``j``-th built from output spec ``out_j`` (a
+      :class:`Col` / :class:`Expr` / :class:`OutTuple`, exactly as in
+      :class:`VectorizedMap`).  All output specs must produce the same
+      template.
+    * ``("extend", names, (ext_0, ..., ext_{k-1}))`` -- rows are dicts; every
+      row is emitted ``k`` times, copy ``j`` extended with ``names`` bound to
+      the expressions of ``ext_j``.  This is the shape of a generator over a
+      constant local bag (``expand_local``) and of a broadcast nested-loop
+      join side: repeat the row, append the bag element's bindings.
+
+    Expansions are interleaved in record order -- record ``i``'s ``k``
+    outputs are adjacent, ordered by ``j`` -- matching the record-path list
+    comprehension bit for bit.
+    """
+
+    def __init__(self, spec: tuple[Any, ...], scope: ScalarScope | None = None, oracle: Any = None):
+        super().__init__(oracle)
+        self.spec = spec
+        self.scope = scope or ScalarScope()
+
+    @property
+    def fan_out(self) -> int:
+        return len(self.spec[-1])
+
+    def apply_batch(self, part: ColumnarPartition) -> ColumnarPartition:
+        if self.spec[0] == "tuple":
+            return self._batch_tuple(part)
+        return self._batch_extend(part)
+
+    def _batch_tuple(self, part: ColumnarPartition) -> ColumnarPartition:
+        outs = self.spec[1]
+        built = [_build_output(out, part, self.scope) for out in outs]
+        templates = {template for template, _ in built}
+        if len(templates) != 1:
+            raise ColumnarFallback("flat_map outputs have differing templates")
+        template = templates.pop()
+        leaf_columns = [
+            _interleave([columns[leaf] for _, columns in built], part.length, len(outs))
+            for leaf in range(_leaf_count(template))
+        ]
+        return ColumnarPartition(template, leaf_columns, part.length * len(outs))
+
+    def _batch_extend(self, part: ColumnarPartition) -> ColumnarPartition:
+        template = part.template
+        if template == "*" or template[0] != "dict":
+            raise ColumnarFallback("extend kernels require dict-shaped rows")
+        names, exts = self.spec[1], self.spec[2]
+        row_names, row_subs = template[1], template[2]
+        if set(names) & set(row_names):
+            # Rebinding overwrites in place on the record path; keep that
+            # rare case there instead of re-ordering template fields.
+            raise ColumnarFallback("flat_map rebinds an existing field")
+        fan_out = len(exts)
+        repeated = [
+            np.repeat(column, fan_out)
+            if np is not None and isinstance(column, np.ndarray)
+            else [value for value in _column_list(column) for _ in range(fan_out)]
+            for column in part.columns
+        ]
+        new_columns: list[Any] = []
+        for position in range(len(names)):
+            copies = []
+            for ext in exts:
+                column = ext[position].batch(part, self.scope)
+                if not _is_column(column):
+                    column = _broadcast(column, part.length)
+                copies.append(column)
+            new_columns.append(_interleave(copies, part.length, fan_out))
+        return ColumnarPartition(
+            ("dict", row_names + tuple(names), row_subs + ("*",) * len(names)),
+            repeated + new_columns,
+            part.length * fan_out,
+        )
+
+    def apply_record(self, record: Any) -> list[Any]:
+        if self.spec[0] == "tuple":
+            return [_record_output(out, record, self.scope) for out in self.spec[1]]
+        names, exts = self.spec[1], self.spec[2]
+        return [
+            {**record, **{name: expr.record(record, self.scope) for name, expr in zip(names, ext, strict=False)}}
+            for ext in exts
+        ]
+
+
 class VectorizedCombine:
     """A key-value combiner carrying its monoid operator symbol.
 
@@ -809,8 +1094,9 @@ class VectorizedCombine:
 
 
 def combiner_vectorizable(combiner: tuple[Any, ...]) -> bool:
-    """Whether a ``("reduce", fn)`` / ``("seq", zero, seq_op)`` combiner spec
-    carries a batch-foldable :class:`VectorizedCombine`."""
+    """Whether a combiner spec has a batch kernel: a ``("reduce", fn)`` /
+    ``("seq", zero, seq_op)`` carrying a foldable :class:`VectorizedCombine`,
+    or the adaptive layer's map-side ``("group",)`` collector."""
     kind = combiner[0]
     if kind == "reduce":
         fn = combiner[1]
@@ -822,7 +1108,7 @@ def combiner_vectorizable(combiner: tuple[Any, ...]) -> bool:
             and seq_op.op in VECTOR_COMBINE_OPS
             and type(zero) in (int, float)
         )
-    return False
+    return kind == "group"
 
 
 _FOLD_UFUNC_NAMES = {"+": "add", "*": "multiply", "min": "minimum", "max": "maximum"}
@@ -865,6 +1151,9 @@ def combine_batch(combiner: tuple[Any, ...], records: list[Any]) -> list[Any]:
     part = ColumnarPartition.from_records(records)
     if part is None:
         raise ColumnarFallback("records are not columnar")
+    kind = combiner[0]
+    if kind == "group":
+        return _grouped_collect(part)
     template = part.template
     if template == "*" or template[0] != "tuple" or len(template[1]) != 2 or template[1][1] != "*":
         raise ColumnarFallback("combiner needs (key, scalar value) records")
@@ -872,7 +1161,6 @@ def combine_batch(combiner: tuple[Any, ...], records: list[Any]) -> list[Any]:
     if values.dtype.kind not in ("i", "f"):
         raise ColumnarFallback("non-numeric value column")
 
-    kind = combiner[0]
     if kind == "reduce":
         op = combiner[1].op
         zero = None
@@ -913,3 +1201,45 @@ def combine_batch(combiner: tuple[Any, ...], records: list[Any]) -> list[Any]:
         with np.errstate(all="ignore"):
             ufunc.at(accumulator, group_ids, values)
     return list(zip(ordered_keys, accumulator.tolist(), strict=False))
+
+
+def _grouped_collect(part: ColumnarPartition) -> list[Any]:
+    """The ``("group",)`` kernel: collect each key's values in record order.
+
+    Key grouping is fully vectorized for scalar integer keys (the only case
+    where ``np.unique`` equality provably coincides with Python dict
+    hashing): ``inverse`` ranks are remapped to *first-seen* order and a
+    stable argsort gathers each group's values in record order, so the
+    result is exactly the record path's ``setdefault(key, []).append(value)``
+    dict, item for item.
+    """
+    template = part.template
+    if template == "*" or template[0] != "tuple" or len(template[1]) != 2:
+        raise ColumnarFallback("group combiner needs (key, value) records")
+    if template[1][0] != "*":
+        raise ColumnarFallback("grouped collect needs scalar keys")
+    keys_column = part.columns[0]
+    if not isinstance(keys_column, np.ndarray) or keys_column.dtype.kind != "i":
+        raise ColumnarFallback("grouped collect needs an integer key column")
+    unique, first_index, inverse = np.unique(
+        keys_column, return_index=True, return_inverse=True
+    )
+    order = np.argsort(first_index, kind="stable")
+    rank = np.empty(len(unique), dtype=np.int64)
+    rank[order] = np.arange(len(unique), dtype=np.int64)
+    group_ids = rank[inverse.reshape(-1)]
+    ordered_keys = unique[order].tolist()
+    permutation = np.argsort(group_ids, kind="stable")
+    counts = np.bincount(group_ids, minlength=len(unique))
+    value_part = part.subpart((1,))
+    if value_part.template == "*":
+        ordered_values = value_part.columns[0][permutation].tolist()
+    else:
+        values = value_part.to_records()
+        ordered_values = [values[position] for position in permutation.tolist()]
+    groups: list[list[Any]] = []
+    start = 0
+    for count in counts.tolist():
+        groups.append(ordered_values[start : start + count])
+        start += count
+    return list(zip(ordered_keys, groups, strict=False))

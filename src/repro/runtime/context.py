@@ -103,6 +103,27 @@ def _spill_threshold_from_env() -> int | None:
     return value if value > 0 else None
 
 
+def _columnar_from_env() -> bool | str:
+    """The ``DIABLO_COLUMNAR`` default: ``"auto"``, a truthy or a falsy flag.
+
+    Unset or empty means "record path" so plain contexts keep their
+    historical behaviour; the api layer's :class:`~repro.api.DiabloConfig`
+    defaults to ``"auto"`` explicitly.
+    """
+    raw = os.environ.get("DIABLO_COLUMNAR", "").strip().lower()
+    if not raw:
+        return False
+    if raw == "auto":
+        return "auto"
+    if raw in ("1", "true", "on", "yes"):
+        return True
+    if raw in ("0", "false", "off", "no"):
+        return False
+    raise ValueError(
+        f'DIABLO_COLUMNAR must be "auto", a truthy or a falsy flag, got {raw!r}'
+    )
+
+
 class DistributedContext:
     """Creates and executes datasets on the local DISC runtime.
 
@@ -131,10 +152,16 @@ class DistributedContext:
             only affects performance and metrics, never results).
         columnar: execute vectorizable narrow chains and map-side combiners
             as columnar batch kernels (see :mod:`repro.runtime.columnar`).
-            Off by default; per-partition fallback to the record path keeps
-            results identical either way (performance and the
-            ``vectorized_stages`` / ``columnar_fallbacks`` counters are the
-            only observable difference).
+            ``True`` batches every vectorizable run; ``"auto"`` batches only
+            fully lowerable chains (and memoizes runtime fallbacks, so a
+            chain that failed batch execution once never pays the conversion
+            tax again); ``False`` keeps everything record-at-a-time.
+            ``None`` (the default) reads the ``DIABLO_COLUMNAR`` environment
+            variable, falling back to ``False``.  Per-partition fallback to
+            the record path keeps results identical in every mode
+            (performance and the ``vectorized_stages`` /
+            ``columnar_fallbacks`` counters are the only observable
+            difference).
         adaptive: adaptive skew-aware execution.  At force time the driver
             stride-samples an eligible keyed shuffle's input (through its
             captured narrow chain) into a per-key histogram; hot keys in
@@ -172,7 +199,7 @@ class DistributedContext:
         spill_threshold_bytes: int | None = None,
         spill_dir: str | None = None,
         plan_optimize: bool = True,
-        columnar: bool = False,
+        columnar: bool | str | None = None,
         adaptive: bool = True,
         plan_cache: bool = True,
     ):
@@ -180,6 +207,10 @@ class DistributedContext:
             raise ValueError("num_partitions must be positive")
         if executor not in EXECUTOR_MODES:
             raise ValueError(f"unknown executor {executor!r}")
+        if columnar is None:
+            columnar = _columnar_from_env()
+        if columnar not in (True, False, "auto"):
+            raise ValueError('columnar must be True, False or "auto"')
         self.num_partitions = num_partitions
         self.executor = executor
         self.num_threads = num_threads or num_partitions
@@ -221,7 +252,7 @@ class DistributedContext:
             spill_threshold_bytes=config.spill_threshold_bytes,
             spill_dir=config.spill_dir,
             plan_optimize=getattr(config, "plan_optimize", True),
-            columnar=getattr(config, "columnar", False),
+            columnar=getattr(config, "columnar", None),
             adaptive=getattr(config, "adaptive", True),
             plan_cache=getattr(config, "plan_cache", True),
         )
@@ -292,6 +323,21 @@ class DistributedContext:
         ``"processes"`` executor rebuild the fused task inside a worker
         process instead of pickling a driver closure.
         """
+        try:
+            return self._run_tasks(task, partitions, task_spec)
+        finally:
+            if self.columnar:
+                # Fold the module-global batch-runtime counters (memoized
+                # fallback skips, resident partition reuses, ...) into this
+                # context's metrics; only driver-side executors produce them.
+                self.metrics.record_columnar_runtime(stage_mod.consume_batch_stats())
+
+    def _run_tasks(
+        self,
+        task: Callable[[list[Any], int], list[Any]],
+        partitions: list[list[Any]],
+        task_spec: tuple[Any, ...] | None = None,
+    ) -> list[list[Any]]:
         if self.executor == "sequential" or len(partitions) <= 1:
             return [task(partition, index) for index, partition in enumerate(partitions)]
         if self.executor == "processes":
@@ -642,7 +688,9 @@ class DistributedContext:
                 )
             chain += (NarrowStage(stage_mod.PARTITIONS_INDEXED, writer),)
             if self.columnar:
-                self.metrics.record_vectorization(*stage_mod.vectorization_counts(chain))
+                self.metrics.record_vectorization(
+                    *stage_mod.vectorization_counts(chain, self.columnar)
+                )
             outputs = self.run_tasks(
                 stage_mod.compose(chain, self.columnar), source_partitions, task_spec=chain
             )
@@ -741,7 +789,7 @@ class DistributedContext:
             return shuffle_input, partitions
         if self.columnar:
             self.metrics.record_vectorization(
-                *stage_mod.vectorization_counts(shuffle_input.stages)
+                *stage_mod.vectorization_counts(shuffle_input.stages, self.columnar)
             )
         chained = self.run_tasks(
             stage_mod.compose(shuffle_input.stages, self.columnar),

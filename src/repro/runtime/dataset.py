@@ -97,6 +97,14 @@ def choose_broadcast_side(left_count: int, right_count: int, threshold: int) -> 
     return "none"
 
 
+def _vectorization_notes(stages: tuple[Any, ...], columnar: Any) -> tuple[str, ...]:
+    """Human-readable per-stage vectorization outcomes for ``explain()``."""
+    return tuple(
+        f"{kind}: {kernel}" if kernel is not None else f"{kind}: record path ({note})"
+        for kind, kernel, note in stage_mod.vectorization_report(stages, columnar)
+    )
+
+
 class Dataset:
     """A partitioned collection of records.
 
@@ -120,6 +128,7 @@ class Dataset:
         self.partitioner = partitioner
         self.provenance: str | None = None
         self.adaptive_notes: tuple[str, ...] = ()
+        self.vectorization_notes: tuple[str, ...] = ()
         self._materialized: list[list[Any]] | None = partitions
         self._source: "Dataset" | None = None
         self._stages: tuple[NarrowStage, ...] = ()
@@ -141,6 +150,7 @@ class Dataset:
         dataset.partitioner = partitioner
         dataset.provenance = None
         dataset.adaptive_notes = ()
+        dataset.vectorization_notes = ()
         dataset._materialized = None
         dataset._source = source
         dataset._stages = stages
@@ -157,6 +167,7 @@ class Dataset:
         dataset.partitioner = shuffle.result_partitioner
         dataset.provenance = None
         dataset.adaptive_notes = ()
+        dataset.vectorization_notes = ()
         dataset._materialized = None
         dataset._source = None
         dataset._stages = ()
@@ -209,7 +220,10 @@ class Dataset:
         task = stage_mod.compose(stages, self.context.columnar)
         metrics = self.context.metrics
         if self.context.columnar:
-            metrics.record_vectorization(*stage_mod.vectorization_counts(stages))
+            metrics.record_vectorization(
+                *stage_mod.vectorization_counts(stages, self.context.columnar)
+            )
+            self.vectorization_notes = _vectorization_notes(stages, self.context.columnar)
         new_partitions = self.context.run_tasks(task, source_partitions, task_spec=stages)
         metrics.record_narrow(
             len(source_partitions), sum(len(partition) for partition in source_partitions)
@@ -377,6 +391,8 @@ class Dataset:
             lines.append(f"{pad}Source[{len(materialized)} partitions{suffix}]{note}")
             for adaptive_note in self.adaptive_notes:
                 lines.append(f"{pad}  adaptive: {adaptive_note}")
+            for vector_note in self.vectorization_notes:
+                lines.append(f"{pad}  vectorized: {vector_note}")
             return
         if shuffle is not None:
             combiner = "yes" if any(inp.combiner for inp in shuffle.inputs) else "no"
@@ -395,6 +411,9 @@ class Dataset:
             return
         note = f" (shuffle eliminated: {self.provenance})" if self.provenance else ""
         lines.append(f"{pad}NarrowChain({stage_mod.describe(stages)}){note}")
+        if self.context.columnar:
+            for vector_note in _vectorization_notes(stages, self.context.columnar):
+                lines.append(f"{pad}  vectorized: {vector_note}")
         source._explain_into(lines, depth + 1)
 
     # -- narrow transformations --------------------------------------------------

@@ -76,14 +76,28 @@ class Metrics:
     #: being recomputed (and re-shuffled) by a later iteration.
     loop_invariant_reuses: int = 0
     #: Record-function stages planned to run as columnar batch kernels
-    #: (``map``/``filter``/``map_values`` chains and vectorizable map-side
-    #: combiners).  Counted at plan time, so identical across executor modes;
-    #: 0 unless the context was created with ``columnar=True``.
+    #: (``map``/``flat_map``/``filter``/``map_values`` chains and
+    #: vectorizable map-side combiners).  Counted at plan time, so identical
+    #: across executor modes; 0 unless the context runs with ``columnar``
+    #: truthy (``True`` or ``"auto"``).
     vectorized_stages: int = 0
     #: Record-function stages that stayed on the record path while columnar
-    #: execution was on (unrecognized functions, ``flat_map``, combiners
-    #: without a vectorizable operator).
+    #: execution was on (unrecognized functions, combiners without a kernel,
+    #: and -- under ``columnar="auto"`` -- whole chains that were not fully
+    #: lowerable).
     columnar_fallbacks: int = 0
+    #: Batch runs skipped straight to the record path because an earlier
+    #: partition of the same (plan-cached) segment already fell back -- the
+    #: memoized-fallback conversion-tax savings.  Runtime counters, so only
+    #: driver-side executors (sequential / threads) report them; process and
+    #: cluster workers keep theirs worker-side.
+    columnar_memoized_skips: int = 0
+    #: Batch runs that resumed from a resident ColumnarPartition produced by
+    #: the previous force instead of re-running ``from_records``.
+    columnar_resident_reuses: int = 0
+    #: Map-side shuffle tasks whose bucket assignment ran vectorized over a
+    #: resident int key column instead of hashing record-at-a-time.
+    columnar_vector_bucket_tasks: int = 0
     #: Loop-body statements whose lowered plan skeleton was served from the
     #: while-loop plan cache (iterations 2+ rebind mutated scans instead of
     #: re-running CSE / annotation / lowering from the IR).
@@ -234,6 +248,12 @@ class Metrics:
         self.vectorized_stages += vectorized
         self.columnar_fallbacks += fallbacks
 
+    def record_columnar_runtime(self, stats: dict[str, int]) -> None:
+        """Merge one batch of :func:`repro.runtime.stage.consume_batch_stats`."""
+        self.columnar_memoized_skips += stats.get("memoized_skips", 0)
+        self.columnar_resident_reuses += stats.get("resident_reuses", 0)
+        self.columnar_vector_bucket_tasks += stats.get("vector_bucket_tasks", 0)
+
     def record_parallel_tasks(self, tasks: int) -> None:
         """Account for ``tasks`` tasks dispatched to a worker pool."""
         self.parallel_tasks += tasks
@@ -288,6 +308,9 @@ class Metrics:
         self.loop_invariant_reuses = 0
         self.vectorized_stages = 0
         self.columnar_fallbacks = 0
+        self.columnar_memoized_skips = 0
+        self.columnar_resident_reuses = 0
+        self.columnar_vector_bucket_tasks = 0
         self.plan_cache_hits = 0
         self.salted_keys = 0
         self.adaptive_decisions = 0
@@ -334,6 +357,9 @@ class Metrics:
             "loop_invariant_reuses": self.loop_invariant_reuses,
             "vectorized_stages": self.vectorized_stages,
             "columnar_fallbacks": self.columnar_fallbacks,
+            "columnar_memoized_skips": self.columnar_memoized_skips,
+            "columnar_resident_reuses": self.columnar_resident_reuses,
+            "columnar_vector_bucket_tasks": self.columnar_vector_bucket_tasks,
             "plan_cache_hits": self.plan_cache_hits,
             "salted_keys": self.salted_keys,
             "adaptive_decisions": self.adaptive_decisions,

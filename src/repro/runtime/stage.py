@@ -44,10 +44,12 @@ import functools
 import pickle
 import random
 import sys
+from collections import OrderedDict
 from typing import Any, Callable, Iterable, NamedTuple
 
 from repro.runtime import columnar as columnar_mod
 from repro.runtime import spill as spill_mod
+from repro.runtime.partitioner import HashPartitioner
 from repro.runtime.spill import BucketPayload, SpillSpec
 
 #: Stage kinds understood by :func:`apply_stage`.
@@ -94,15 +96,92 @@ def apply_stage(stage: NarrowStage, records: list[Any], index: int) -> list[Any]
 #: stage semantics (a vectorized marker on a mismatched kind is ignored).
 _VECTOR_CLASSES = {
     MAP: (columnar_mod.VectorizedMap, columnar_mod.VectorizedBind, columnar_mod.VectorizedLet),
+    FLAT_MAP: (columnar_mod.VectorizedFlatMap,),
     FILTER: (columnar_mod.VectorizedFilter,),
     MAP_VALUES: (columnar_mod.VectorizedMapValues,),
 }
+
+#: The record-function stage kinds (the kinds a batch kernel may replace).
+_VECTOR_KINDS = (MAP, FLAT_MAP, FILTER, MAP_VALUES)
 
 
 def stage_vectorizable(stage: NarrowStage) -> bool:
     """Whether one narrow stage has a batch kernel compatible with its kind."""
     classes = _VECTOR_CLASSES.get(stage.kind)
     return classes is not None and isinstance(stage.function, classes)
+
+
+# -- batch-runtime memoization ---------------------------------------------------
+#
+# Both caches live at module level so they are shared by every task of every
+# force within one interpreter: the driver's for the sequential/threads
+# executors, each worker's own for the processes/cluster executors (a worker
+# is long-lived, so its caches warm up the same way).
+
+#: Stage runs whose batch execution failed once (any partition): keyed by the
+#: functions' identities, with the function objects pinned as the value so a
+#: key id can never be recycled by a new function while its entry is live.  A
+#: memoized run skips straight to the record path -- the chain never pays the
+#: records->columns conversion tax again.
+_FALLBACK_MEMO: OrderedDict[tuple[int, ...], tuple[Any, ...]] = OrderedDict()
+_FALLBACK_MEMO_LIMIT = 256
+
+#: Output record lists of successful batch runs mapped (by identity) to the
+#: ColumnarPartition they were materialized from, so a consecutive narrow
+#: force over the same partition resumes columnar instead of re-running
+#: ``from_records``.  Entries pin both objects; the small bound caps the
+#: doubled (records + columns) residency.
+_RESIDENT: OrderedDict[int, tuple[list[Any], Any]] = OrderedDict()
+_RESIDENT_LIMIT = 16
+
+#: Batch-runtime counters (reported through ``consume_batch_stats``).
+_BATCH_STATS = {"memoized_skips": 0, "resident_reuses": 0, "vector_bucket_tasks": 0}
+
+
+def consume_batch_stats() -> dict[str, int]:
+    """Return and reset the interpreter-wide batch-runtime counters.
+
+    The counters are updated inside executor tasks, so they are only
+    observable from the driver for executors sharing its interpreter
+    (sequential / threads); process-pool and cluster workers accumulate into
+    their own interpreters and their counts stay worker-side.
+    """
+    stats = dict(_BATCH_STATS)
+    for key in _BATCH_STATS:
+        _BATCH_STATS[key] = 0
+    return stats
+
+
+def _segment_key(segment: tuple[NarrowStage, ...]) -> tuple[int, ...]:
+    return tuple(id(stage.function) for stage in segment)
+
+
+def _memoized_fallback(segment: tuple[NarrowStage, ...]) -> bool:
+    return _segment_key(segment) in _FALLBACK_MEMO
+
+
+def _record_fallback(segment: tuple[NarrowStage, ...]) -> None:
+    key = _segment_key(segment)
+    if key not in _FALLBACK_MEMO:
+        _FALLBACK_MEMO[key] = tuple(stage.function for stage in segment)
+        while len(_FALLBACK_MEMO) > _FALLBACK_MEMO_LIMIT:
+            _FALLBACK_MEMO.popitem(last=False)
+
+
+def _resident_part(records: list[Any]) -> Any | None:
+    entry = _RESIDENT.get(id(records))
+    if entry is None:
+        return None
+    cached_records, part = entry
+    if cached_records is not records or part.length != len(records):
+        return None
+    return part
+
+
+def _remember_resident(records: list[Any], part: Any) -> None:
+    _RESIDENT[id(records)] = (records, part)
+    while len(_RESIDENT) > _RESIDENT_LIMIT:
+        _RESIDENT.popitem(last=False)
 
 
 def _segment(chain: tuple[NarrowStage, ...]) -> list[tuple[bool, tuple[NarrowStage, ...]]]:
@@ -126,33 +205,71 @@ def _run_batch_segment(
     so *any* failure -- a :class:`~repro.runtime.columnar.ColumnarFallback`,
     a dtype surprise, an operand TypeError -- can safely replay the same
     records through the record path, which then produces the canonical
-    result (or raises the canonical error).
+    result (or raises the canonical error).  Every fallback is memoized by
+    the segment's function identities, so later partitions and later forces
+    of the same (plan-cached) segment skip the conversion attempt entirely.
     """
+    if _memoized_fallback(segment):
+        _BATCH_STATS["memoized_skips"] += 1
+        for stage in segment:
+            records = apply_stage(stage, records, index)
+        return records
     try:
-        part = columnar_mod.ColumnarPartition.from_records(records)
+        part = _resident_part(records)
+        if part is not None:
+            _BATCH_STATS["resident_reuses"] += 1
+        else:
+            part = columnar_mod.ColumnarPartition.from_records(records)
         if part is None:
             raise columnar_mod.ColumnarFallback("records are not columnar")
         for stage in segment:
             part = stage.function.apply_batch(part)
-        return part.to_records()
+        out = part.to_records()
+        _remember_resident(out, part)
+        return out
     except Exception:
+        _record_fallback(segment)
         for stage in segment:
             records = apply_stage(stage, records, index)
         return records
 
 
+def _auto_batchable(chain: tuple[NarrowStage, ...]) -> bool:
+    """Whether ``columnar="auto"`` batches this chain.
+
+    Auto mode batches only *fully lowerable* chains -- every record-function
+    stage carries a kernel (whole-partition stages manage their own columnar
+    handling) and there is at least one.  A partially lowerable chain would
+    pay the records->columns conversion tax for a handful of batched stages
+    and then round-trip back; those chains stay record-at-a-time.
+    """
+    found = False
+    for stage in chain:
+        if stage.kind in _VECTOR_KINDS:
+            if not stage_vectorizable(stage):
+                return False
+            found = True
+    return found
+
+
 def compose(
-    stages: Iterable[NarrowStage], columnar: bool = False
+    stages: Iterable[NarrowStage], columnar: Any = False
 ) -> Callable[[list[Any], int], list[Any]]:
     """Fuse a stage chain into a single per-partition task.
 
-    With ``columnar=True``, maximal runs of vectorizable stages execute as
-    batch kernels over a :class:`~repro.runtime.columnar.ColumnarPartition`
-    (per-partition record-path fallback included); everything else -- and
-    everything when the flag is off -- runs record-at-a-time.
+    ``columnar`` is ``False`` (record path), ``True`` (batch every
+    vectorizable run, even inside partially lowerable chains) or ``"auto"``
+    (batch only chains :func:`_auto_batchable` accepts).  Batched runs
+    execute as kernels over a
+    :class:`~repro.runtime.columnar.ColumnarPartition` with a per-partition
+    record-path fallback; everything else runs record-at-a-time.
     """
     chain = tuple(stages)
-    if columnar and any(stage_vectorizable(stage) for stage in chain):
+    if columnar == "auto":
+        batch = _auto_batchable(chain)
+    else:
+        batch = bool(columnar) and any(stage_vectorizable(stage) for stage in chain)
+    if batch:
         segments = _segment(chain)
 
         def fused_columnar(records: list[Any], index: int) -> list[Any]:
@@ -200,7 +317,7 @@ class FusedTaskError(Exception):
 def run_fused_chunk(
     stages: tuple[NarrowStage, ...],
     chunk: list[tuple[int, list[Any]]],
-    columnar: bool = False,
+    columnar: Any = False,
 ) -> list[tuple[int, list[Any]]]:
     """Process-pool worker: run the fused chain over a chunk of indexed partitions."""
     task = compose(stages, columnar)
@@ -346,14 +463,16 @@ def tag_record(side: int, record: Any) -> tuple[int, Any]:
 
 
 def apply_combiner(
-    combiner: tuple[Any, ...], records: list[Any], columnar: bool = False
+    combiner: tuple[Any, ...], records: list[Any], columnar: Any = False
 ) -> list[Any]:
     """Run a map-side combiner spec over one partition's key-value records.
 
-    With ``columnar=True`` and a combiner whose function is a
-    :class:`~repro.runtime.columnar.VectorizedCombine`, the grouped fold runs
-    through :func:`~repro.runtime.columnar.combine_batch`; any failure there
-    falls back to this record path (the kernel never mutates ``records``).
+    With ``columnar`` truthy (``True`` or ``"auto"``) and a combiner
+    :func:`~repro.runtime.columnar.combiner_vectorizable` accepts (a
+    :class:`~repro.runtime.columnar.VectorizedCombine` fold or the adaptive
+    ``("group",)`` collect), the grouped fold runs through
+    :func:`~repro.runtime.columnar.combine_batch`; any failure there falls
+    back to this record path (the kernel never mutates ``records``).
     """
     if columnar and records and columnar_mod.combiner_vectorizable(combiner):
         try:
@@ -454,6 +573,40 @@ def _writer_output(writer: spill_mod.BucketWriter, records_in: int) -> list[Any]
     return [stats, *payloads]
 
 
+def _vector_buckets(
+    partitioner: Any, key_of: Callable[[Any], Any], records: list[Any], columnar: Any
+) -> list[int] | None:
+    """Vectorized map-side bucket assignment for scalar int keys, or None.
+
+    Valid only when per-record bucketing provably equals ``key % n``: a plain
+    :class:`HashPartitioner` over untagged pairs whose key column is resident
+    as an int64 array (the upstream batch segment just produced it) and every
+    key satisfies ``hash(key) == key`` -- i.e. ``|key| < 2**61 - 1`` (CPython
+    hashes ints modulo the Mersenne prime ``2**61 - 1``) and ``key != -1``
+    (``hash(-1)`` is ``-2``).  Python and numpy agree on the sign of ``%``
+    for a positive modulus, so ``np.mod`` reproduces ``partition()`` exactly.
+    """
+    np = columnar_mod.np
+    if not columnar or np is None or key_of is not pair_key:
+        return None
+    if type(partitioner) is not HashPartitioner:
+        return None
+    part = _resident_part(records)
+    if part is None:
+        return None
+    template = part.template
+    if template == "*" or template[0] != "tuple" or not template[1] or template[1][0] != "*":
+        return None
+    keys = part.columns[0]
+    if not isinstance(keys, np.ndarray) or keys.dtype.kind != "i":
+        return None
+    bound = (1 << 61) - 1
+    if not bool(np.all((keys > -bound) & (keys < bound) & (keys != -1))):
+        return None
+    _BATCH_STATS["vector_bucket_tasks"] += 1
+    return np.mod(keys, partitioner.num_partitions).tolist()
+
+
 def shuffle_write(
     partitioner: Any,
     combiner: tuple[Any, ...] | None,
@@ -463,7 +616,7 @@ def shuffle_write(
     sort_spec: tuple[Callable[[Any], Any], bool] | None,
     records: list[Any],
     index: int,
-    columnar: bool = False,
+    columnar: Any = False,
 ) -> list[Any]:
     """Map-side shuffle writer: combine (optionally), bucket by key, spill
     over budget.
@@ -482,8 +635,13 @@ def shuffle_write(
     writer = spill_mod.BucketWriter(
         partitioner.num_partitions, spill, f"i{input_index}-m{index}", sort_spec
     )
-    for record in records:
-        writer.add(partitioner.partition(key_of(record)), record)
+    buckets = _vector_buckets(partitioner, key_of, records, columnar)
+    if buckets is not None:
+        for bucket, record in zip(buckets, records, strict=True):
+            writer.add(bucket, record)
+    else:
+        for record in records:
+            writer.add(partitioner.partition(key_of(record)), record)
     return _writer_output(writer, records_in)
 
 
@@ -497,7 +655,7 @@ def salted_shuffle_write(
     hot_keys: frozenset,
     records: list[Any],
     index: int,
-    columnar: bool = False,
+    columnar: Any = False,
 ) -> list[Any]:
     """:func:`shuffle_write` with hot-key salting (adaptive skew handling).
 
@@ -782,7 +940,18 @@ def take_key(pair: Any) -> Any:
     return pair[0]
 
 
-def vectorization_counts(stages: Iterable[NarrowStage]) -> tuple[int, int]:
+def _stage_combiner(function: functools.partial) -> tuple[Any, ...] | None:
+    """The combiner spec carried by a whole-partition stage closure, if any."""
+    if function.func is apply_combiner and function.args:
+        return function.args[0]
+    if function.func in (shuffle_write, salted_shuffle_write) and len(function.args) > 1:
+        return function.args[1]
+    return None
+
+
+def vectorization_counts(
+    stages: Iterable[NarrowStage], columnar: Any = True
+) -> tuple[int, int]:
     """Plan-time vectorization accounting for one stage chain.
 
     Returns ``(vectorized, fallbacks)``: record-function stages that will run
@@ -790,33 +959,71 @@ def vectorization_counts(stages: Iterable[NarrowStage]) -> tuple[int, int]:
     execution is on.  Counted from the *plan* -- like ``shuffles_eliminated``
     -- so the numbers are identical across executor modes (a worker-side
     per-partition fallback cannot be observed from the driver under the
-    process executor).  Whole-partition stages are only counted when they are
-    ``apply_combiner`` / ``shuffle_write`` closures carrying a combiner (the
-    two shapes with a grouped-fold kernel); structural passes such as
-    ``read_bucket`` do no per-record work and are skipped.
+    process executor).  Under ``columnar="auto"`` a chain that is not fully
+    lowerable counts every record-function stage as a fallback, matching
+    what :func:`compose` will execute.  Whole-partition stages are only
+    counted when they are ``apply_combiner`` / ``shuffle_write`` closures
+    carrying a combiner (the shapes with a grouped-fold/collect kernel);
+    structural passes such as ``read_bucket`` do no per-record work and are
+    skipped.
     """
+    chain = tuple(stages)
+    auto_off = columnar == "auto" and not _auto_batchable(chain)
     vectorized = fallbacks = 0
-    for stage in stages:
+    for stage in chain:
         function = stage.function
-        if stage.kind in (MAP, FLAT_MAP, FILTER, MAP_VALUES):
-            if stage_vectorizable(stage):
+        if stage.kind in _VECTOR_KINDS:
+            if stage_vectorizable(stage) and not auto_off:
                 vectorized += 1
             else:
                 fallbacks += 1
         elif isinstance(function, functools.partial):
-            combiner = None
-            if function.func is apply_combiner and function.args:
-                combiner = function.args[0]
-                enabled = bool(function.keywords.get("columnar"))
-            elif (
-                function.func in (shuffle_write, salted_shuffle_write)
-                and len(function.args) > 1
-            ):
-                combiner = function.args[1]
-                enabled = bool(function.keywords.get("columnar"))
+            combiner = _stage_combiner(function)
             if combiner is not None:
+                enabled = bool(function.keywords.get("columnar"))
                 if enabled and columnar_mod.combiner_vectorizable(combiner):
                     vectorized += 1
                 else:
                     fallbacks += 1
     return vectorized, fallbacks
+
+
+def vectorization_report(
+    stages: Iterable[NarrowStage], columnar: Any = True
+) -> list[tuple[str, str | None, str]]:
+    """Per-stage vectorization outcomes for explain output.
+
+    One ``(kind, kernel, note)`` entry per counted stage (same selection as
+    :func:`vectorization_counts`): ``kernel`` is the batch-kernel name when
+    the stage will run batched (note ``"batch"``), else ``None`` with the
+    fallback reason -- ``"no batch kernel"``, ``"auto: chain not fully
+    lowerable"``, or ``"memoized record-path fallback"`` once a runtime
+    fallback has been memoized for the stage's segment.
+    """
+    chain = tuple(stages)
+    auto_off = columnar == "auto" and not _auto_batchable(chain)
+    entries: list[tuple[str, str | None, str]] = []
+    for batchable, segment in _segment(chain):
+        memoized = batchable and _memoized_fallback(segment)
+        for stage in segment:
+            function = stage.function
+            if stage.kind in _VECTOR_KINDS:
+                if not batchable:
+                    entries.append((stage.kind, None, "no batch kernel"))
+                elif auto_off:
+                    entries.append((stage.kind, None, "auto: chain not fully lowerable"))
+                elif memoized:
+                    entries.append((stage.kind, None, "memoized record-path fallback"))
+                else:
+                    entries.append((stage.kind, type(function).__name__, "batch"))
+            elif isinstance(function, functools.partial):
+                combiner = _stage_combiner(function)
+                if combiner is None:
+                    continue
+                enabled = bool(function.keywords.get("columnar"))
+                if enabled and columnar_mod.combiner_vectorizable(combiner):
+                    kernel = "grouped-collect" if combiner[0] == "group" else "grouped-fold"
+                    entries.append(("combine", kernel, "batch"))
+                else:
+                    entries.append(("combine", None, "no combiner kernel"))
+    return entries
